@@ -1,0 +1,75 @@
+"""Benchmarks for the analytic core (Lemma 1 / Theorem 2 / P_UD).
+
+These quantify the cost of the closed forms the heuristics evaluate in
+their inner loops, and the speed-up of the closed form over the
+Monte-Carlo estimate it replaces (the reason Theorem 2 matters in
+practice, not only in the proofs).
+"""
+
+import numpy as np
+
+from repro.core.expectation import (
+    expected_completion_slots,
+    p_no_down_approx,
+    p_no_down_exact,
+    p_plus,
+    simulate_completion_slots,
+)
+from repro.core.markov import paper_random_model
+
+
+def _models(count=50, seed=0):
+    rng = np.random.default_rng(seed)
+    return [paper_random_model(rng) for _ in range(count)]
+
+
+def test_p_plus_closed_form(benchmark):
+    models = _models()
+
+    def run():
+        return sum(p_plus(m) for m in models)
+
+    total = benchmark(run)
+    assert 0 < total < len(models)
+
+
+def test_theorem2_closed_form(benchmark):
+    models = _models()
+
+    def run():
+        return sum(expected_completion_slots(m, 50) for m in models)
+
+    total = benchmark(run)
+    assert total >= 50 * len(models)
+
+
+def test_theorem2_monte_carlo_equivalent(benchmark):
+    # The estimate the closed form replaces: orders of magnitude slower
+    # for the same answer (tolerances asserted in the unit tests).
+    model = _models(1, seed=3)[0]
+
+    def run():
+        return simulate_completion_slots(
+            model, 20, np.random.default_rng(0), samples=200
+        )
+
+    p_success, _mean = benchmark(run)
+    assert 0 <= p_success <= 1
+
+
+def test_p_ud_exact_matrix_power(benchmark):
+    models = _models()
+
+    def run():
+        return sum(p_no_down_exact(m, 40) for m in models)
+
+    benchmark(run)
+
+
+def test_p_ud_rank1_approximation(benchmark):
+    models = _models()
+
+    def run():
+        return sum(p_no_down_approx(m, 40.0) for m in models)
+
+    benchmark(run)

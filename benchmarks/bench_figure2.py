@@ -1,0 +1,44 @@
+"""Figure 2 regeneration benchmark (exp. id ``figure2``).
+
+Reduced-scale dfb-vs-wmin sweep for the six heuristics the paper plots.
+Prints the ASCII figure.  Robust shape assertion at smoke scale: the
+expectation-aware EMCT gains on plain MCT as wmin grows (the paper's
+crossover around wmin ≈ 3) — asserted as "EMCT's dfb advantage over MCT
+at the top of the wmin range is at least its advantage at the bottom,
+minus noise slack".
+"""
+
+from repro.experiments.figure2 import render_figure2, run_figure2
+
+WMIN_VALUES = (1, 3, 5, 8, 10)
+
+
+def test_figure2_regeneration(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_figure2(
+            scenarios_per_cell=1 * scale,
+            trials=2,
+            n_values=(10, 20),
+            ncom_values=(5,),
+            wmin_values=WMIN_VALUES,
+            seed=12061,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_figure2(result))
+
+    series = result.series()
+    assert set(series) == {"mct", "mct*", "emct", "emct*", "ud*", "lw*"}
+    for values in series.values():
+        assert len(values) == len(WMIN_VALUES)
+        assert all(v >= 0 for v in values)
+
+    # Shape: averaged over the top half of the wmin range, EMCT should be
+    # no worse relative to MCT than on the bottom half (its advantage is
+    # supposed to *grow* with wmin).
+    half = len(WMIN_VALUES) // 2
+    low_gap = sum(series["mct"][:half]) - sum(series["emct"][:half])
+    high_gap = sum(series["mct"][half:]) - sum(series["emct"][half:])
+    assert high_gap >= low_gap - 10.0  # noise slack at smoke scale

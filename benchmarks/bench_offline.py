@@ -1,0 +1,78 @@
+"""Section 4 benchmarks (exp. ids ``figure1`` and ``counterexample``).
+
+Times the executable complexity artefacts and re-asserts their paper
+values: the certificate round trip on the Figure 1 formula, the exact
+solver reproducing the optimal makespan of 9 on the worked example, and
+the MCT-vs-exact cross-validation of Proposition 2.
+"""
+
+import numpy as np
+
+from repro.core.offline.counterexample import analyze, paper_counterexample
+from repro.core.offline.exact import exact_offline_makespan
+from repro.core.offline.instance import OfflineInstance
+from repro.core.offline.mct import offline_mct
+from repro.core.offline.sat_reduction import (
+    PAPER_FIGURE1_FORMULA,
+    brute_force_sat,
+    reduction_instance,
+    schedule_from_assignment,
+    verify_schedule,
+)
+
+
+def test_figure1_certificate_round_trip(benchmark):
+    sat = PAPER_FIGURE1_FORMULA
+
+    def run():
+        assignment = brute_force_sat(sat)
+        schedule = schedule_from_assignment(sat, assignment)
+        return verify_schedule(reduction_instance(sat), schedule)
+
+    makespan = benchmark(run)
+    assert makespan is not None
+    assert makespan <= reduction_instance(sat).horizon
+
+
+def test_counterexample_exact_solver(benchmark):
+    result = benchmark(lambda: exact_offline_makespan(paper_counterexample()))
+    assert result.makespan == 9  # the paper's optimal
+
+
+def test_counterexample_full_analysis(benchmark):
+    analysis = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    assert analysis.optimal_makespan == 9
+    assert analysis.mct_online_makespan > 9
+    assert analysis.mct_first_choice_processor == 0
+
+
+def test_offline_mct_greedy(benchmark):
+    rng = np.random.default_rng(0)
+    rows = ["".join(rng.choice(list("uuur"), size=60)) for _ in range(8)]
+    inst = OfflineInstance.from_codes(
+        rows, t_prog=3, t_data=1, speeds=[int(rng.integers(1, 4)) for _ in range(8)],
+        ncom=None, m=12,
+    )
+    result = benchmark(lambda: offline_mct(inst))
+    assert result.makespan is not None
+
+
+def test_proposition2_cross_validation(benchmark, scale):
+    def run():
+        rng = np.random.default_rng(7)
+        matches = 0
+        trials = 5 * scale
+        for _ in range(trials):
+            rows = ["".join(rng.choice(list("uuur"), size=12)) for _ in range(2)]
+            inst = OfflineInstance.from_codes(
+                rows, t_prog=1, t_data=1, speeds=1, ncom=None,
+                m=int(rng.integers(1, 4)),
+            )
+            matches += (
+                offline_mct(inst).makespan
+                == exact_offline_makespan(inst).makespan
+            )
+        return matches, trials
+
+    matches, trials = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert matches == trials  # Proposition 2: MCT optimal without contention

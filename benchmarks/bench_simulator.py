@@ -1,0 +1,57 @@
+"""Benchmarks for the simulator core: runs/second across workload shapes.
+
+These are throughput measurements for the substrate every experiment rests
+on; regressions here multiply directly into campaign wall-clock.
+"""
+
+import pytest
+
+from repro.experiments.harness import run_instance
+from repro.workload.scenarios import ScenarioGenerator
+
+
+@pytest.mark.parametrize(
+    "n,ncom,wmin",
+    [(5, 5, 1), (20, 5, 5), (40, 20, 10)],
+    ids=["small", "medium", "large"],
+)
+def test_single_run(benchmark, n, ncom, wmin):
+    scenario = ScenarioGenerator(1).scenario(n, ncom, wmin, 0)
+
+    def run():
+        return run_instance(scenario, 0, "emct*")
+
+    makespan = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert makespan > 0
+
+
+def test_trace_sampling_throughput(benchmark):
+    import numpy as np
+
+    from repro.core.markov import paper_random_model
+
+    model = paper_random_model(np.random.default_rng(0))
+
+    def run():
+        return model.sample_trace(50_000, np.random.default_rng(1), initial=0)
+
+    trace = benchmark(run)
+    assert len(trace) == 50_000
+
+
+def test_des_kernel_event_throughput(benchmark):
+    from repro.sim.engine import Environment
+
+    def run():
+        env = Environment()
+
+        def ping_pong(n):
+            for _ in range(n):
+                yield env.timeout(1.0)
+
+        env.process(ping_pong(5000))
+        env.run()
+        return env.now
+
+    now = benchmark(run)
+    assert now == 5000.0

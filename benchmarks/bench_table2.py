@@ -1,0 +1,48 @@
+"""Table 2 regeneration benchmark (exp. id ``table2`` in DESIGN.md).
+
+Runs the paper's Table 2 protocol at reduced scale (scale with
+``REPRO_BENCH_SCALE``), prints the measured-vs-paper table, and asserts
+the *shape* conclusions that are robust even at smoke scale:
+
+* every random heuristic has a worse average dfb than the best greedy
+  heuristic;
+* the table is internally consistent (dfb ≥ 0, wins sum ≥ instances).
+
+Finer-grained shape targets (EMCT ≤ MCT, the exact ranking) need larger
+samples; they are recorded in EXPERIMENTS.md from medium-scale runs.
+"""
+
+from repro.experiments.table2 import render_table2, run_table2
+
+# A reduced but still grid-shaped slice: all n values, one ncom, three
+# wmin levels spanning the x-axis of Figure 2.
+REDUCED = dict(n_values=(5, 20), ncom_values=(5,), wmin_values=(1, 5, 10))
+
+
+def test_table2_regeneration(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_table2(
+            scenarios_per_cell=1 * scale,
+            trials=2,
+            seed=12061,
+            **REDUCED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table2(result))
+
+    rows = {name: (dfb, wins) for name, dfb, wins in result.rows()}
+    assert len(rows) == 17
+
+    greedy_best = min(rows[n][0] for n in ("mct", "mct*", "emct", "emct*"))
+    for name in ("random", "random1", "random2", "random3", "random4"):
+        assert rows[name][0] > greedy_best, (
+            f"{name} should trail the MCT family"
+        )
+
+    for name, (dfb, wins) in rows.items():
+        assert dfb >= 0.0
+        assert wins >= 0
+    assert sum(w for _, w in rows.values()) >= result.campaign.instances

@@ -1,0 +1,20 @@
+"""Shared configuration for the benchmark harness.
+
+Scale control: the environment variable ``REPRO_BENCH_SCALE`` multiplies
+the scenario/trial counts of the campaign benchmarks (default 1 — a
+laptop-friendly smoke scale; the paper's full protocol corresponds to
+roughly scale 120 and hours of CPU time).
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+@pytest.fixture(scope="session")
+def scale() -> int:
+    return bench_scale()

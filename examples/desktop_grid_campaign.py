@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""A miniature Table 2-style campaign on synthetic desktop-grid scenarios.
+
+Reproduces the paper's evaluation protocol end to end at toy scale:
+generate random scenarios per the Section 7 recipe, run a set of
+heuristics on paired availability samples, and report average
+degradation-from-best with win counts — the same aggregates as the
+paper's Table 2, plus a dfb-vs-wmin mini Figure 2.
+
+Run:  python examples/desktop_grid_campaign.py [scenarios_per_cell]
+(defaults to 2; the paper uses 247 with 10 trials)
+"""
+
+import sys
+
+from repro.analysis.plotting import ascii_plot, format_table
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.harness import CampaignConfig, run_campaign
+from repro.workload.scenarios import ScenarioGenerator
+
+HEURISTICS = ("emct*", "emct", "mct", "ud*", "lw*", "random2w", "random")
+
+
+def main() -> None:
+    per_cell = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+
+    print(f"running mini-campaign: {per_cell} scenario(s)/cell, 2 trials,")
+    print(f"heuristics: {', '.join(HEURISTICS)}")
+    generator = ScenarioGenerator(7)
+    scenarios = list(
+        generator.grid(
+            per_cell,
+            n_values=(5, 20),
+            ncom_values=(5,),
+            wmin_values=(1, 5),
+        )
+    )
+    result = run_campaign(
+        scenarios, CampaignConfig(heuristics=HEURISTICS, trials=2)
+    )
+
+    rows = [
+        (name, dfb, wins) for name, dfb, wins in result.accumulator.table()
+    ]
+    print()
+    print(
+        format_table(
+            ["Algorithm", "avg dfb (%)", "wins"],
+            rows,
+            title=f"mini Table 2 over {result.instances} instances",
+        )
+    )
+
+    print("\nmini Figure 2 (dfb vs wmin, separate quick campaign):")
+    fig = run_figure2(
+        scenarios_per_cell=per_cell,
+        trials=1,
+        heuristics=("mct", "emct", "ud*"),
+        n_values=(10,),
+        ncom_values=(5,),
+        wmin_values=(1, 3, 5, 8),
+        seed=7,
+    )
+    print(
+        ascii_plot(
+            fig.series(),
+            list(fig.wmin_values),
+            title="average dfb vs wmin",
+            x_label="wmin",
+            height=12,
+            width=48,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

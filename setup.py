@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works in fully offline environments where the
+``wheel`` package (needed by the PEP 517 editable path) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,101 @@
+"""repro — reproduction of *Scheduling Parallel Iterative Applications on
+Volatile Resources* (Casanova, Dufossé, Robert, Vivien; IPDPS 2011).
+
+The package implements the paper's entire system in pure Python:
+
+* :mod:`repro.core.markov` / :mod:`repro.core.expectation` — the 3-state
+  Markov availability model with the closed-form results (Lemma 1,
+  Theorem 2, the :math:`P_{UD}` forms of Section 6.3.3);
+* :mod:`repro.core.heuristics` — all seventeen online heuristics of the
+  evaluation plus baselines and extensions;
+* :mod:`repro.core.offline` — the Section 4 toolkit: the 3SAT reduction of
+  Theorem 1, the polynomial ``ncom = ∞`` MCT of Proposition 2, an exact
+  solver, and the MCT non-optimality counterexample;
+* :mod:`repro.sim` — the volatile master–worker simulator with the bounded
+  multi-port network model;
+* :mod:`repro.workload` — the application model, the Section 7 scenario
+  generator and trace (de)serialisation;
+* :mod:`repro.experiments` — harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro import (IterativeApplication, Platform, Processor,
+                       RngFactory, make_scheduler, paper_random_model,
+                       simulate)
+
+    fac = RngFactory(42)
+    procs = [
+        Processor.from_markov(q, speed_w=5,
+                              model=paper_random_model(fac.generator("chain", q)),
+                              rng=fac.generator("trace", q))
+        for q in range(20)
+    ]
+    report = simulate(
+        Platform(procs, ncom=5),
+        IterativeApplication(tasks_per_iteration=10, iterations=10,
+                             t_prog=5, t_data=1),
+        make_scheduler("emct*"),
+        rng=fac.generator("sched"),
+    )
+    print(report.summary())
+"""
+
+from .core.expectation import (
+    expected_completion_slots,
+    p_no_down_approx,
+    p_no_down_exact,
+    p_plus,
+    success_probability,
+)
+from .core.heuristics.base import Scheduler, SchedulingContext
+from .core.heuristics.registry import (
+    GREEDY_HEURISTICS,
+    PAPER_HEURISTICS,
+    available_heuristics,
+    make_scheduler,
+)
+from .analysis.gantt import render_gantt
+from .core.markov import MarkovAvailabilityModel, paper_random_model
+from .rng import RngFactory
+from .sim.events import EventLog
+from .sim.master import MasterSimulator, SimulatorOptions, simulate
+from .sim.metrics import SimulationReport
+from .sim.platform import Platform, Processor
+from .sim.timeline import TimelineRecorder
+from .types import ProcState
+from .workload.application import IterativeApplication
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # availability / analytics
+    "MarkovAvailabilityModel",
+    "paper_random_model",
+    "p_plus",
+    "expected_completion_slots",
+    "success_probability",
+    "p_no_down_exact",
+    "p_no_down_approx",
+    # scheduling
+    "Scheduler",
+    "SchedulingContext",
+    "make_scheduler",
+    "available_heuristics",
+    "PAPER_HEURISTICS",
+    "GREEDY_HEURISTICS",
+    # simulation
+    "MasterSimulator",
+    "SimulatorOptions",
+    "simulate",
+    "SimulationReport",
+    "Platform",
+    "Processor",
+    "ProcState",
+    "IterativeApplication",
+    "RngFactory",
+    # observability
+    "EventLog",
+    "TimelineRecorder",
+    "render_gantt",
+]

@@ -1,0 +1,14 @@
+"""Statistics and text plotting helpers for the experiment harness."""
+
+from .gantt import render_gantt
+from .plotting import ascii_plot, format_table
+from .stats import bootstrap_ci, mean_and_sem, summarize
+
+__all__ = [
+    "mean_and_sem",
+    "bootstrap_ci",
+    "summarize",
+    "ascii_plot",
+    "format_table",
+    "render_gantt",
+]

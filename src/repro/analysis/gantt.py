@@ -1,0 +1,80 @@
+"""ASCII Gantt rendering of recorded simulation timelines.
+
+Turns a :class:`~repro.sim.timeline.TimelineRecorder` matrix into the
+schedule pictures scheduling papers reason about: one row per processor,
+one column per slot, with the activity codes documented in
+:mod:`repro.sim.timeline` (``#`` compute, ``=`` data, ``p`` program,
+``.`` idle-UP, ``r`` reclaimed, ``X`` down).
+
+Long runs are windowed (``start``/``width``) and tick-marked every ten
+slots so slot indices remain readable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["render_gantt"]
+
+LEGEND = "legend: #=compute  ==data  p=program  .=idle-up  r=reclaimed  X=down"
+
+
+def render_gantt(
+    timeline,
+    *,
+    start: int = 0,
+    width: Optional[int] = None,
+    workers: Optional[List[int]] = None,
+    show_legend: bool = True,
+) -> str:
+    """Render a timeline window as an ASCII Gantt chart.
+
+    Args:
+        timeline: a :class:`~repro.sim.timeline.TimelineRecorder`.
+        start: first slot of the window.
+        width: window width in slots (default: to the end of the record).
+        workers: subset of worker indices to show (default: all).
+        show_legend: append the activity legend.
+
+    Returns:
+        The chart as a multi-line string.
+
+    Raises:
+        ValueError: for an empty record or an out-of-range window.
+    """
+    matrix = timeline.matrix()
+    slots = matrix.shape[0]
+    if slots == 0:
+        raise ValueError("timeline is empty; was the recorder attached?")
+    if not 0 <= start < slots:
+        raise ValueError(f"start {start} outside recorded range [0, {slots})")
+    end = slots if width is None else min(slots, start + width)
+    chosen = workers if workers is not None else list(range(timeline.n_workers))
+    for q in chosen:
+        if not 0 <= q < timeline.n_workers:
+            raise ValueError(f"worker {q} out of range")
+
+    label_width = max(len(f"P{q}") for q in chosen) + 1
+    window = end - start
+
+    # Tick header: a mark every 10 slots, labelled with the slot index.
+    ticks = [" "] * window
+    labels = [" "] * window
+    for offset in range(window):
+        slot = start + offset
+        if slot % 10 == 0:
+            ticks[offset] = "|"
+            text = str(slot)
+            for i, ch in enumerate(text):
+                if offset + i < window:
+                    labels[offset + i] = ch
+    lines = [
+        " " * label_width + "".join(labels),
+        " " * label_width + "".join(ticks),
+    ]
+    for q in chosen:
+        row = "".join(chr(c) for c in matrix[start:end, q])
+        lines.append(f"{f'P{q}':<{label_width}}{row}")
+    if show_legend:
+        lines.append(LEGEND)
+    return "\n".join(lines)

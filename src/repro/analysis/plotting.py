@@ -1,0 +1,174 @@
+"""Terminal plotting: ASCII line charts and aligned tables.
+
+The paper's Figure 2 is a multi-series line chart (average dfb versus
+``wmin``).  We render the same chart as ASCII so the reproduction needs no
+plotting dependency and the benchmark output remains diffable text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["ascii_plot", "format_table"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[float],
+    *,
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more numeric series as an ASCII line chart.
+
+    Args:
+        series: mapping of series name to y-values (all the same length as
+            ``x_values``; ``nan`` entries are skipped).
+        x_values: shared x coordinates (ascending).
+        width: plot-area character width.
+        height: plot-area character height.
+        title: optional title line.
+        x_label / y_label: optional axis labels.
+
+    Returns:
+        The chart as a multi-line string (legend included).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    n = len(x_values)
+    if n == 0:
+        raise ValueError("x_values must be non-empty")
+    for name, ys in series.items():
+        if len(ys) != n:
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {n} x-values"
+            )
+
+    finite = [
+        y
+        for ys in series.values()
+        for y in ys
+        if y == y  # filters nan
+    ]
+    if not finite:
+        raise ValueError("all series values are NaN")
+    y_min = min(finite)
+    y_max = max(finite)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x_values[0]), float(x_values[-1])
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return min(width - 1, int(round((x - x_min) / (x_max - x_min) * (width - 1))))
+
+    def to_row(y: float) -> int:
+        frac = (y - y_min) / (y_max - y_min)
+        return min(height - 1, int(round((1.0 - frac) * (height - 1))))
+
+    legend: Dict[str, str] = {}
+    for s_idx, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[s_idx % len(_MARKERS)]
+        legend[name] = marker
+        previous: Optional[tuple] = None
+        for x, y in zip(x_values, ys):
+            if y != y:  # nan
+                previous = None
+                continue
+            col, row = to_col(float(x)), to_row(float(y))
+            grid[row][col] = marker
+            if previous is not None:
+                # Linear interpolation between consecutive points.
+                pcol, prow = previous
+                steps = max(abs(col - pcol), abs(row - prow))
+                for step in range(1, steps):
+                    icol = pcol + (col - pcol) * step // max(steps, 1)
+                    irow = prow + (row - prow) * step // max(steps, 1)
+                    if grid[irow][icol] == " ":
+                        grid[irow][icol] = "."
+            previous = (col, row)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{y_max:.1f}"), len(f"{y_min:.1f}"))
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            label = f"{y_max:.1f}"
+        elif row_idx == height - 1:
+            label = f"{y_min:.1f}"
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = f"{x_min:g}" + " " * (width - len(f"{x_min:g}") - len(f"{x_max:g}")) + f"{x_max:g}"
+    lines.append(" " * label_width + "  " + x_axis)
+    if x_label:
+        lines.append(" " * label_width + "  " + x_label.center(width))
+    if y_label:
+        lines.insert(1 if title else 0, f"[y: {y_label}]")
+    lines.append("legend: " + "  ".join(f"{m}={name}" for name, m in legend.items()))
+    return "\n".join(lines)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render an aligned text table (paper-style results table).
+
+    Numeric cells are right-aligned, text cells left-aligned.
+    """
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("all rows must match the header width")
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows)) if str_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    numeric = [
+        all(_is_numeric(row[i]) for row in str_rows) if str_rows else False
+        for i in range(len(headers))
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line([str(h) for h in headers]))
+    out.append(line(["-" * w for w in widths]))
+    for row in str_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def _is_numeric(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,113 @@
+"""Small statistics utilities used by the experiment reports.
+
+Only what the harness actually needs: means with standard errors, a
+bootstrap confidence interval for skewed dfb distributions, and a compact
+five-number summary.  Everything operates on plain sequences and returns
+plain floats so report code stays free of numpy idioms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["mean_and_sem", "bootstrap_ci", "summarize", "Summary"]
+
+
+def mean_and_sem(values: Sequence[float]) -> Tuple[float, float]:
+    """Sample mean and standard error of the mean.
+
+    The SEM is 0.0 for singleton samples (no dispersion information).
+
+    Raises:
+        ValueError: on an empty sample.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return mean, 0.0
+    sem = float(arr.std(ddof=1) / math.sqrt(arr.size))
+    return mean, sem
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean.
+
+    dfb distributions are heavily right-skewed (many zeros, a long tail of
+    bad instances), so a normal-approximation interval would be misleading;
+    the percentile bootstrap needs no distributional assumption.
+
+    Args:
+        values: the sample.
+        confidence: interval mass (default 95%).
+        resamples: bootstrap resamples.
+        rng: generator (fresh default_rng if omitted — pass one for
+            reproducible reports).
+
+    Returns:
+        ``(low, high)`` bounds for the mean.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if arr.size == 1:
+        return float(arr[0]), float(arr[0])
+    rng = rng if rng is not None else np.random.default_rng()
+    idx = rng.integers(0, arr.size, size=(resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(low), float(high)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number summary plus mean/SEM."""
+
+    count: int
+    mean: float
+    sem: float
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f}±{self.sem:.2f} "
+            f"min={self.minimum:.2f} q25={self.q25:.2f} med={self.median:.2f} "
+            f"q75={self.q75:.2f} max={self.maximum:.2f}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Five-number summary with mean and SEM."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    mean, sem = mean_and_sem(arr)
+    q25, median, q75 = np.quantile(arr, [0.25, 0.5, 0.75])
+    return Summary(
+        count=int(arr.size),
+        mean=mean,
+        sem=sem,
+        minimum=float(arr.min()),
+        q25=float(q25),
+        median=float(median),
+        q75=float(q75),
+        maximum=float(arr.max()),
+    )

@@ -1,0 +1,22 @@
+"""Core algorithms: availability analytics, heuristics, offline toolkit."""
+
+from .expectation import (
+    expected_completion_slots,
+    expected_next_up,
+    p_no_down_approx,
+    p_no_down_exact,
+    p_plus,
+    success_probability,
+)
+from .markov import MarkovAvailabilityModel, paper_random_model
+
+__all__ = [
+    "MarkovAvailabilityModel",
+    "paper_random_model",
+    "p_plus",
+    "expected_next_up",
+    "expected_completion_slots",
+    "success_probability",
+    "p_no_down_exact",
+    "p_no_down_approx",
+]

@@ -1,0 +1,280 @@
+"""Closed-form availability expectations (paper Section 5 and 6.3.3).
+
+This module implements the paper's analytic core:
+
+* **Lemma 1** — :func:`p_plus`: knowing :math:`P_q` is UP now, the
+  probability that it is UP again at some later slot without visiting DOWN
+  in between:
+
+  .. math:: P_+ = P_{u,u} + \\frac{P_{u,r} P_{r,u}}{1 - P_{r,r}}.
+
+* **Theorem 2** — :func:`expected_completion_slots`: the conditional
+  expectation :math:`E(W)` of the number of slots needed to accumulate
+  ``W`` UP slots, conditioned on never entering DOWN before completion:
+
+  .. math::
+     E(W) = W + (W-1) \\; \\frac{P_{u,r} P_{r,u}}{1 - P_{r,r}} \\;
+            \\frac{1}{P_{u,u}(1 - P_{r,r}) + P_{u,r} P_{r,u}}.
+
+* **Section 6.3.3** — :func:`p_no_down_exact` (the matrix-power form of
+  :math:`P_{UD}(k)`) and :func:`p_no_down_approx` (the paper's rank-1
+  approximation that forgets the state after the first transition).
+
+All formulas are also provided as Monte-Carlo estimators
+(:func:`simulate_completion_slots`, :func:`simulate_p_plus`) so the closed
+forms can be *verified* statistically in the test suite rather than merely
+transcribed.
+
+Edge cases (fixed here, asserted in tests):
+
+* ``W = 1``: the workload finishes in the current slot, so
+  :math:`E(1) = 1` and the success probability is 1 (the processor is
+  already UP).  Both closed forms honour this.
+* A chain that can never leave RECLAIMED (:math:`P_{r,r} = 1`) makes the
+  geometric series in Lemma 1 degenerate: any excursion to RECLAIMED is
+  absorbing, so :math:`P_+ = P_{u,u}` and the expected extra wait is 0
+  (conditioned on success, the processor never visited RECLAIMED).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .._validation import require_positive_int
+from ..types import ProcState
+from .markov import MarkovAvailabilityModel
+
+__all__ = [
+    "p_plus",
+    "expected_next_up",
+    "expected_completion_slots",
+    "success_probability",
+    "p_no_down_exact",
+    "p_no_down_approx",
+    "simulate_completion_slots",
+    "simulate_p_plus",
+    "simulate_p_no_down",
+]
+
+
+def p_plus(model: MarkovAvailabilityModel) -> float:
+    """Lemma 1: probability of another UP slot before any DOWN slot.
+
+    Conditioned on being UP at slot :math:`t_1`, this is the probability
+    that some :math:`t_2 > t_1` has the processor UP with no DOWN slot in
+    :math:`(t_1, t_2)`.  The excursion through RECLAIMED contributes the
+    geometric sum :math:`P_{u,r} \\sum_{t \\ge 0} P_{r,r}^t P_{r,u}`.
+    """
+    if model.p_rr >= 1.0:
+        # RECLAIMED is absorbing: the only way to be UP again is to stay UP.
+        return model.p_uu
+    return model.p_uu + model.p_ur * model.p_ru / (1.0 - model.p_rr)
+
+
+def expected_next_up(model: MarkovAvailabilityModel) -> float:
+    """:math:`E(up)`: expected slots until the next UP slot, given success.
+
+    This is the intermediate quantity in the proof of Theorem 2: the
+    expected inter-UP gap conditioned on reaching UP again without crashing.
+    With :math:`z = P_{u,r} P_{r,u} / (P_{u,u} (1 - P_{r,r}))`,
+
+    .. math:: E(up) = 1 + \\frac{z}{(1 - P_{r,r})(1 + z)}.
+    """
+    if model.p_rr >= 1.0:
+        return 1.0
+    if model.p_uu == 0.0:
+        # Every successful continuation goes through RECLAIMED.  Conditioned
+        # on success the RECLAIMED sojourn is geometric with ratio P_rr:
+        # E(up) = 2 + P_rr / (1 - P_rr) · 1 = 1 + 1/(1 - P_rr).
+        return 1.0 + 1.0 / (1.0 - model.p_rr)
+    z = model.p_ur * model.p_ru / (model.p_uu * (1.0 - model.p_rr))
+    return 1.0 + z / ((1.0 - model.p_rr) * (1.0 + z))
+
+
+def expected_completion_slots(model: MarkovAvailabilityModel, workload: int) -> float:
+    """Theorem 2: :math:`E(W)` for a workload of ``workload`` UP slots.
+
+    Conditioned on the processor being UP now and completing the workload
+    without entering DOWN, this is the expected number of wall-clock slots
+    from the current slot to the completing slot, inclusive:
+    :math:`E(W) = 1 + (W - 1) E(up)`.
+
+    Args:
+        model: the processor's availability chain.
+        workload: number of UP slots the work requires (:math:`W \\ge 1`).
+
+    Returns:
+        The conditional expectation, a float ``>= workload``.
+    """
+    w = require_positive_int(workload, "workload")
+    return 1.0 + (w - 1) * expected_next_up(model)
+
+
+def success_probability(model: MarkovAvailabilityModel, workload: int) -> float:
+    """Probability of completing ``workload`` UP slots before any DOWN slot.
+
+    The paper notes this is :math:`(P_+)^{W-1}` — the LW heuristic's
+    ranking quantity (with the estimated completion time as exponent).
+    """
+    w = require_positive_int(workload, "workload")
+    return p_plus(model) ** (w - 1)
+
+
+# --------------------------------------------------------------------------- #
+# P_UD — probability of not going DOWN during k slots (Section 6.3.3).
+# --------------------------------------------------------------------------- #
+def p_no_down_exact(model: MarkovAvailabilityModel, k: int) -> float:
+    """Exact :math:`P_{UD}(k)`: no DOWN slot in the next ``k - 1`` steps.
+
+    Starting UP, this is the total mass of the length-``k`` paths that never
+    touch DOWN, computed with the sub-stochastic UP/RECLAIMED block:
+
+    .. math::
+       P_{UD}(k) = [1\\; 0] \\; \\begin{pmatrix} P_{u,u} & P_{u,r} \\\\
+                   P_{r,u} & P_{r,r} \\end{pmatrix}^{k-1}
+                   \\begin{pmatrix} 1 \\\\ 1 \\end{pmatrix}.
+
+    ``k = 1`` means "no constraint" (the processor is UP now), giving 1.
+
+    Note: the paper prints the bracketing vectors the other way around
+    (:math:`[1\\,1] M^{k-1} [1\\,0]^T`), which with its row-stochastic
+    block is the transposed quantity — for ``k = 2`` it would give
+    :math:`P_{u,u} + P_{r,u}` instead of the correct
+    :math:`P_{u,u} + P_{u,r} = 1 - P_{u,d}`.  Monte-Carlo simulation (see
+    the test suite) confirms the orientation implemented here; the paper's
+    own rank-1 approximation also starts from :math:`1 - P_{u,d}`.
+    """
+    k = require_positive_int(k, "k")
+    if k == 1:
+        return 1.0
+    block = np.array(
+        [[model.p_uu, model.p_ur], [model.p_ru, model.p_rr]], dtype=float
+    )
+    start = np.array([1.0, 0.0])
+    powered = start @ np.linalg.matrix_power(block, k - 1)
+    return float(powered.sum())
+
+
+def p_no_down_approx(model: MarkovAvailabilityModel, k: float) -> float:
+    """The paper's rank-1 approximation of :math:`P_{UD}(k)` (Section 6.3.3).
+
+    After the first transition the chain state is forgotten and each
+    subsequent step survives with the stationary-weighted average escape
+    probability:
+
+    .. math::
+       P_{UD}(k) \\approx (1 - P_{u,d})
+       \\left(1 - \\frac{P_{u,d}\\pi_u + P_{r,d}\\pi_r}{\\pi_u + \\pi_r}
+       \\right)^{k-2}.
+
+    Unlike the exact form this accepts a *real-valued* ``k``, because the
+    UD heuristic plugs in the (fractional) expectation
+    :math:`E(CT(P_q, n_q + 1))` from Theorem 2.  Values of ``k`` below 2
+    clamp the exponent at 0, matching the paper's convention that the first
+    transition is the only constrained one for tiny workloads.
+    """
+    k = float(k)
+    if k < 1.0:
+        raise ValueError(f"k must be >= 1, got {k}")
+    pi_u, pi_r = model.pi_u, model.pi_r
+    if pi_u + pi_r <= 0.0:
+        # Degenerate chain that is almost surely DOWN; survival after the
+        # first step is still (1 - p_ud), later steps are certain death.
+        return 0.0 if k > 2 else 1.0 - model.p_ud
+    avg_down = (model.p_ud * pi_u + model.p_rd * pi_r) / (pi_u + pi_r)
+    exponent = max(k - 2.0, 0.0)
+    return (1.0 - model.p_ud) * (1.0 - avg_down) ** exponent
+
+
+# --------------------------------------------------------------------------- #
+# Monte-Carlo estimators used to validate the closed forms.
+# --------------------------------------------------------------------------- #
+def simulate_completion_slots(
+    model: MarkovAvailabilityModel,
+    workload: int,
+    rng: np.random.Generator,
+    samples: int = 10_000,
+    max_slots: Optional[int] = None,
+) -> Tuple[float, float]:
+    """Monte-Carlo estimate of (success probability, E[slots | success]).
+
+    Runs ``samples`` independent walks starting UP; each walk accumulates
+    UP slots until ``workload`` of them have occurred (success) or the chain
+    hits DOWN (failure).  Returns the empirical success probability and the
+    mean completion time among successes (``nan`` if none succeeded).
+
+    ``max_slots`` guards against chains where RECLAIMED is effectively
+    absorbing; walks exceeding it are counted as failures.
+    """
+    w = require_positive_int(workload, "workload")
+    samples = require_positive_int(samples, "samples")
+    if max_slots is None:
+        max_slots = max(1000, 200 * w)
+    successes = 0
+    total_slots = 0.0
+    for _ in range(samples):
+        remaining = w - 1  # the current slot is the first UP slot
+        slots = 1
+        state = int(ProcState.UP)
+        failed = False
+        while remaining > 0:
+            state = model.step(state, rng)
+            slots += 1
+            if state == int(ProcState.DOWN) or slots > max_slots:
+                failed = True
+                break
+            if state == int(ProcState.UP):
+                remaining -= 1
+        if not failed:
+            successes += 1
+            total_slots += slots
+    p_success = successes / samples
+    mean_slots = total_slots / successes if successes else float("nan")
+    return p_success, mean_slots
+
+
+def simulate_p_plus(
+    model: MarkovAvailabilityModel,
+    rng: np.random.Generator,
+    samples: int = 10_000,
+    max_slots: int = 100_000,
+) -> float:
+    """Monte-Carlo estimate of Lemma 1's :math:`P_+`."""
+    samples = require_positive_int(samples, "samples")
+    hits = 0
+    for _ in range(samples):
+        state = int(ProcState.UP)
+        for _ in range(max_slots):
+            state = model.step(state, rng)
+            if state == int(ProcState.UP):
+                hits += 1
+                break
+            if state == int(ProcState.DOWN):
+                break
+        # Walks that exhaust max_slots in RECLAIMED count as failures, a
+        # negligible bias for the chains we test (p_rr <= 0.99).
+    return hits / samples
+
+
+def simulate_p_no_down(
+    model: MarkovAvailabilityModel,
+    k: int,
+    rng: np.random.Generator,
+    samples: int = 10_000,
+) -> float:
+    """Monte-Carlo estimate of the exact :math:`P_{UD}(k)`."""
+    k = require_positive_int(k, "k")
+    samples = require_positive_int(samples, "samples")
+    survived = 0
+    for _ in range(samples):
+        state = int(ProcState.UP)
+        ok = True
+        for _ in range(k - 1):
+            state = model.step(state, rng)
+            if state == int(ProcState.DOWN):
+                ok = False
+                break
+        survived += ok
+    return survived / samples

@@ -1,0 +1,362 @@
+"""Scheduler interface: the contract between the simulator and heuristics.
+
+At each scheduling round the master builds a :class:`SchedulingContext`
+containing, for every processor, a :class:`ProcessorView` snapshot: its
+current state, its believed Markov chain, its speed, whether it holds the
+program, and the paper's ``Delay(q)`` estimate.  The scheduler then *places*
+a batch of task instances — the ``m - m'`` remaining (unpinned) tasks of the
+current iteration, or a batch of replicas — onto UP processors.
+
+All of the paper's heuristics share the same outer structure (Section 6.1:
+"All heuristics assign tasks to processors one-by-one, until m tasks are
+assigned"), so :class:`GreedyScheduler` and the random schedulers only
+implement a per-task *selection rule*; the one-by-one loop, the per-round
+``n_q`` bookkeeping and the ``n_active`` counter used by the
+contention-corrected variants live here.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...types import ProcState
+from ..markov import MarkovAvailabilityModel
+
+__all__ = [
+    "ProcessorView",
+    "SchedulingContext",
+    "Scheduler",
+    "GreedyScheduler",
+    "completion_time_estimate",
+]
+
+
+@dataclass
+class ProcessorView:
+    """Immutable-by-convention snapshot of one processor for one round.
+
+    Attributes:
+        index: processor index.
+        speed_w: :math:`w_q`, UP slots per task.
+        state: current ground-truth state (the master knows states via the
+            heartbeat assumption, Section 3.2).
+        belief: the Markov chain the scheduler believes governs this
+            processor (``None`` only in contexts where no Markov-informed
+            heuristic is in use).
+        has_program: True when the worker currently holds the full program.
+        delay: the paper's ``Delay(q)`` — slots before the worker finishes
+            its already-pinned activities, under the stay-UP/no-contention
+            simplification (Section 6.3.1).  Includes remaining program
+            transfer time for workers that still need (part of) the program.
+        pinned_count: number of task instances already pinned to the worker
+            (used to seed the ``n_active`` counter).
+        prog_remaining: program transfer slots still needed (0 when the
+            worker holds the program).
+        pinned_pipeline: per pinned instance, in service order, a tuple
+            ``(data_remaining, compute_remaining, computing)``.  The paper's
+            heuristics only consume the aggregate ``delay``; the detailed
+            pipeline feeds extensions such as the clairvoyant baseline.
+    """
+
+    index: int
+    speed_w: int
+    state: ProcState
+    belief: Optional[MarkovAvailabilityModel]
+    has_program: bool
+    delay: int
+    pinned_count: int
+    prog_remaining: int = 0
+    pinned_pipeline: tuple = ()
+
+    @property
+    def is_up(self) -> bool:
+        """True when the processor can currently be assigned work."""
+        return self.state == ProcState.UP
+
+
+@dataclass
+class SchedulingContext:
+    """Everything a heuristic may look at during one scheduling round.
+
+    Attributes:
+        slot: current time slot.
+        t_prog: program transfer length (slots).
+        t_data: task input transfer length (slots).
+        ncom: master channel budget (``None`` = unbounded).
+        processors: snapshot of all processors (indexable by processor
+            index — the list is ordered).
+        remaining_tasks: ``m - m'`` — tasks of the current iteration whose
+            work has not begun anywhere.
+        rng: RNG stream reserved for scheduler randomness (the random
+            heuristic family), distinct from availability sampling streams.
+    """
+
+    slot: int
+    t_prog: int
+    t_data: int
+    ncom: Optional[int]
+    processors: List[ProcessorView]
+    remaining_tasks: int
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    def up_processors(self) -> List[ProcessorView]:
+        """Views of the processors currently UP, ascending index."""
+        return [view for view in self.processors if view.is_up]
+
+
+def completion_time_estimate(
+    view: ProcessorView,
+    nq: int,
+    t_data: int,
+    *,
+    contention_factor: int = 1,
+) -> float:
+    """The paper's ``CT(P_q, n_q)`` estimate (Equations 1 and 2).
+
+    Equation 1 (``contention_factor == 1``):
+
+    .. math::
+       CT(P_q, n_q) = Delay(q) + T_{data}
+                      + \\max(n_q - 1, 0)\\,\\max(T_{data}, w_q) + w_q
+
+    Equation 2 replaces :math:`T_{data}` by
+    :math:`\\lceil n_{active} / n_{com} \\rceil T_{data}` — the caller passes
+    that ceiling as ``contention_factor``.
+
+    Args:
+        view: the processor snapshot (provides ``Delay(q)`` and ``w_q``).
+        nq: number of tasks assigned to this processor *in this round*,
+            including the candidate one (the paper evaluates
+            ``CT(P_q, n_q + 1)``; callers pass the incremented value).
+        t_data: the uncorrected data transfer time.
+        contention_factor: ``ceil(n_active / n_com)`` for Equation 2.
+
+    Returns:
+        The estimated completion-time in slots (float to allow its use as
+        the workload of Theorem 2's expectation).
+    """
+    if nq < 1:
+        raise ValueError(f"nq must be >= 1 when estimating a placement, got {nq}")
+    eff_t_data = contention_factor * t_data
+    return (
+        view.delay
+        + eff_t_data
+        + max(nq - 1, 0) * max(eff_t_data, view.speed_w)
+        + view.speed_w
+    )
+
+
+class Scheduler(abc.ABC):
+    """Base class for all scheduling heuristics.
+
+    Subclasses implement :meth:`select`, choosing one processor for one
+    task given the per-round load picture.  The shared :meth:`place` loop
+    then realises the paper's one-by-one assignment protocol.
+
+    Schedulers may be stateful across rounds (the passive baseline is), but
+    all paper heuristics are round-stateless.
+    """
+
+    #: Registry name; subclasses set this (e.g. ``"emct*"``).
+    name: str = "scheduler"
+
+    def place(
+        self,
+        ctx: SchedulingContext,
+        n_tasks: int,
+        allowed: Optional[Sequence[int]] = None,
+    ) -> List[Optional[int]]:
+        """Assign ``n_tasks`` task instances to processors, one by one.
+
+        Args:
+            ctx: the scheduling context.
+            n_tasks: how many instances to place.
+            allowed: optional subset of processor indices that may be used
+                (the master restricts replica placement to idle workers).
+                Defaults to all UP processors.
+
+        Returns:
+            A list of length ``n_tasks`` with the chosen processor index
+            per instance, or ``None`` for instances that could not be
+            placed (no eligible processor).
+        """
+        candidates = self._candidates(ctx, allowed)
+        placements: List[Optional[int]] = []
+        nq: Dict[int, int] = {view.index: 0 for view in candidates}
+        n_active = sum(1 for view in candidates if view.pinned_count > 0)
+        for _ in range(n_tasks):
+            if not candidates:
+                placements.append(None)
+                continue
+            choice = self.select(ctx, candidates, nq, n_active)
+            if choice is None:
+                placements.append(None)
+                continue
+            if nq[choice] == 0:
+                view = next(v for v in candidates if v.index == choice)
+                if view.pinned_count == 0:
+                    n_active += 1
+            nq[choice] += 1
+            placements.append(choice)
+        return placements
+
+    def _candidates(
+        self, ctx: SchedulingContext, allowed: Optional[Sequence[int]]
+    ) -> List[ProcessorView]:
+        ups = ctx.up_processors()
+        if allowed is None:
+            return ups
+        allowed_set = set(allowed)
+        return [view for view in ups if view.index in allowed_set]
+
+    @abc.abstractmethod
+    def select(
+        self,
+        ctx: SchedulingContext,
+        candidates: List[ProcessorView],
+        nq: Dict[int, int],
+        n_active: int,
+    ) -> Optional[int]:
+        """Choose the processor for the next task.
+
+        Args:
+            ctx: the scheduling context.
+            candidates: UP processors eligible for this placement batch.
+            nq: tasks assigned per processor so far *in this round* (keyed
+                by processor index; counts exclude pinned work, which is
+                captured by ``Delay``).
+            n_active: the paper's ``n_active`` counter — processors that
+                have (or just received) work, used by the Equation 2
+                contention correction.
+
+        Returns:
+            The chosen processor index, or ``None`` to leave the task
+            unassigned this round.
+        """
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class GreedyScheduler(Scheduler):
+    """Shared skeleton for score-based greedy heuristics (MCT/LW/UD family).
+
+    Subclasses implement :meth:`score`; the candidate minimising (or
+    maximising, per :attr:`maximize`) the score wins.  Ties break toward
+    the lower processor index, matching the deterministic tie-break used
+    throughout the package.
+    """
+
+    #: Whether higher scores are better (LW/UD maximise probabilities).
+    maximize: bool = False
+
+    #: Whether Equation 2's contention factor replaces ``t_data``.
+    use_contention_factor: bool = False
+
+    def contention_factor(self, ctx: SchedulingContext, n_active: int) -> int:
+        """``ceil(n_active / ncom)`` when enabled and bounded, else 1."""
+        if not self.use_contention_factor or ctx.ncom is None:
+            return 1
+        return max(1, -(-n_active // ctx.ncom))
+
+    @abc.abstractmethod
+    def score(
+        self,
+        ctx: SchedulingContext,
+        view: ProcessorView,
+        nq_plus_one: int,
+        contention_factor: int,
+    ) -> float:
+        """Score of placing the next task on ``view``."""
+
+    def select(
+        self,
+        ctx: SchedulingContext,
+        candidates: List[ProcessorView],
+        nq: Dict[int, int],
+        n_active: int,
+    ) -> Optional[int]:
+        # n_active counts this candidate placement as active, matching the
+        # paper's "incremented when a task is assigned to a newly enrolled
+        # processor": the transfer we are costing will itself be active.
+        best_index: Optional[int] = None
+        best_score = 0.0
+        for view in candidates:
+            value = self._speculative_score(ctx, view, nq[view.index], n_active)
+            if best_index is None:
+                best_index, best_score = view.index, value
+            elif self.maximize and value > best_score:
+                best_index, best_score = view.index, value
+            elif not self.maximize and value < best_score:
+                best_index, best_score = view.index, value
+        return best_index
+
+    def _speculative_score(
+        self, ctx: SchedulingContext, view: ProcessorView, nq_view: int, n_active: int
+    ) -> float:
+        speculative_active = n_active
+        if nq_view == 0 and view.pinned_count == 0:
+            speculative_active += 1
+        factor = self.contention_factor(ctx, speculative_active)
+        return self.score(ctx, view, nq_view + 1, factor)
+
+    def place(
+        self,
+        ctx: SchedulingContext,
+        n_tasks: int,
+        allowed: Optional[Sequence[int]] = None,
+    ) -> List[Optional[int]]:
+        """Greedy placement via a lazy-revalidation heap.
+
+        Produces exactly the same assignments as the generic one-by-one
+        loop (same scores, same lowest-index tie-break) but evaluates the
+        score function ~``p + n_tasks`` times per round instead of
+        ``p × n_tasks``.  Correctness of the lazy heap relies on scores
+        being monotone in both ``n_q`` and ``n_active`` (``CT`` grows with
+        both, so minimised scores only grow stale-upward and maximised
+        probabilities only grow stale-downward); a popped entry is
+        re-scored and re-pushed if it no longer matches.
+        """
+        candidates = self._candidates(ctx, allowed)
+        placements: List[Optional[int]] = []
+        if not candidates:
+            return [None] * n_tasks
+        nq: Dict[int, int] = {view.index: 0 for view in candidates}
+        n_active = sum(1 for view in candidates if view.pinned_count > 0)
+        sign = -1.0 if self.maximize else 1.0
+        heap = [
+            (
+                sign * self._speculative_score(ctx, view, 0, n_active),
+                view.index,
+                view,
+            )
+            for view in candidates
+        ]
+        heapq.heapify(heap)
+        for _ in range(n_tasks):
+            while True:
+                key, index, view = heap[0]
+                current = sign * self._speculative_score(
+                    ctx, view, nq[index], n_active
+                )
+                if current == key:
+                    break
+                heapq.heapreplace(heap, (current, index, view))
+            placements.append(index)
+            if nq[index] == 0 and view.pinned_count == 0:
+                n_active += 1
+            nq[index] += 1
+            heapq.heapreplace(
+                heap,
+                (
+                    sign * self._speculative_score(ctx, view, nq[index], n_active),
+                    index,
+                    view,
+                ),
+            )
+        return placements

@@ -1,0 +1,147 @@
+"""The random heuristic family (paper Section 6.2).
+
+``Random`` picks uniformly among UP processors.  ``Random1``–``Random4``
+weight the pick by a reliability signal derived from the processor's Markov
+belief:
+
+1. **Random1 — Long time UP**: weight :math:`P^{(q)}_{u,u}` — favours
+   processors that stay UP for long stretches.
+2. **Random2 — Likely to work more**: weight :math:`P^{(q)}_+` (Lemma 1) —
+   favours processors likely to be UP again before crashing.
+3. **Random3 — Often UP**: weight :math:`\\pi^{(q)}_u` — favours processors
+   with a large steady-state UP fraction.
+4. **Random4 — Rarely DOWN**: weight :math:`1 - \\pi^{(q)}_d` — penalises
+   processors that are often DOWN.
+
+Each variant also exists with the weight divided by :math:`w_q`
+(suffix ``w``: ``Random1w`` … ``Random4w``), folding speed into the
+reliability signal.  The paper finds the ``w`` variants uniformly better
+(Table 2), which our reproduction confirms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..expectation import p_plus
+from ..markov import MarkovAvailabilityModel
+from .base import ProcessorView, Scheduler, SchedulingContext
+
+__all__ = [
+    "RandomScheduler",
+    "WeightedRandomScheduler",
+    "make_random_variant",
+    "RANDOM_WEIGHTS",
+]
+
+
+def _require_belief(view: ProcessorView) -> MarkovAvailabilityModel:
+    if view.belief is None:
+        raise ValueError(
+            f"processor {view.index} has no Markov belief; the weighted random "
+            "heuristics need one (use Processor.from_markov or pass belief=...)"
+        )
+    return view.belief
+
+
+#: The paper's four reliability weights, keyed by variant number.
+RANDOM_WEIGHTS: Dict[int, Callable[[ProcessorView], float]] = {
+    1: lambda view: _require_belief(view).p_uu,
+    2: lambda view: p_plus(_require_belief(view)),
+    3: lambda view: _require_belief(view).pi_u,
+    4: lambda view: 1.0 - _require_belief(view).pi_d,
+}
+
+
+class RandomScheduler(Scheduler):
+    """``Random``: uniform choice among UP processors."""
+
+    name = "random"
+
+    def select(
+        self,
+        ctx: SchedulingContext,
+        candidates: List[ProcessorView],
+        nq: Dict[int, int],
+        n_active: int,
+    ) -> Optional[int]:
+        if not candidates:
+            return None
+        pick = int(ctx.rng.integers(len(candidates)))
+        return candidates[pick].index
+
+
+class WeightedRandomScheduler(Scheduler):
+    """``RandomX``/``RandomXw``: reliability-weighted random choice.
+
+    Args:
+        weight_fn: maps a processor view to a non-negative weight.
+        divide_by_speed: the ``w`` suffix — divide the weight by
+            :math:`w_q` to also favour fast processors.
+        name: registry name.
+    """
+
+    def __init__(
+        self,
+        weight_fn: Callable[[ProcessorView], float],
+        *,
+        divide_by_speed: bool = False,
+        name: str = "random-weighted",
+    ):
+        self._weight_fn = weight_fn
+        self._divide_by_speed = divide_by_speed
+        self.name = name
+
+    def weight(self, view: ProcessorView) -> float:
+        """The (possibly speed-normalised) sampling weight for ``view``."""
+        value = float(self._weight_fn(view))
+        if value < 0:
+            raise ValueError(
+                f"weight function returned negative weight {value} for "
+                f"processor {view.index}"
+            )
+        if self._divide_by_speed:
+            value /= view.speed_w
+        return value
+
+    def select(
+        self,
+        ctx: SchedulingContext,
+        candidates: List[ProcessorView],
+        nq: Dict[int, int],
+        n_active: int,
+    ) -> Optional[int]:
+        if not candidates:
+            return None
+        weights = np.array([self.weight(view) for view in candidates], dtype=float)
+        total = weights.sum()
+        if total <= 0.0:
+            # All weights vanished (e.g. every candidate believed hopeless);
+            # degrade gracefully to a uniform pick rather than stalling.
+            pick = int(ctx.rng.integers(len(candidates)))
+            return candidates[pick].index
+        probabilities = weights / total
+        pick = int(
+            np.searchsorted(np.cumsum(probabilities), ctx.rng.random(), side="right")
+        )
+        pick = min(pick, len(candidates) - 1)  # guard against fp rounding
+        return candidates[pick].index
+
+
+def make_random_variant(variant: int, weighted_by_speed: bool) -> Scheduler:
+    """Factory for ``Random1``..``Random4`` and their ``w`` variants.
+
+    Args:
+        variant: 1–4, selecting the paper's weight definition.
+        weighted_by_speed: True for the ``w`` suffix.
+    """
+    if variant not in RANDOM_WEIGHTS:
+        raise ValueError(f"variant must be 1..4, got {variant}")
+    suffix = "w" if weighted_by_speed else ""
+    return WeightedRandomScheduler(
+        RANDOM_WEIGHTS[variant],
+        divide_by_speed=weighted_by_speed,
+        name=f"random{variant}{suffix}",
+    )

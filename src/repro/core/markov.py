@@ -1,0 +1,336 @@
+"""The 3-state Markov availability model (paper Section 5).
+
+Each volatile processor :math:`P_q` is described by a recurrent aperiodic
+Markov chain over the states UP, RECLAIMED, DOWN, defined by the nine
+transition probabilities :math:`P^{(q)}_{i,j}` with
+:math:`i, j \\in \\{u, r, d\\}`:  :math:`P^{(q)}_{i,j}` is the probability
+that the processor moves from state *i* at slot *t* to state *j* at slot
+*t+1* (time-homogeneous).  The chain has a limit distribution
+:math:`(\\pi_u, \\pi_r, \\pi_d)` which several heuristics use as a
+reliability signal (``Random3``, ``Random4``, ``UD``).
+
+This module provides:
+
+* :class:`MarkovAvailabilityModel` — validated transition matrix, stationary
+  distribution, single-step and whole-trace sampling;
+* :func:`paper_random_model` — the exact random instantiation used by the
+  paper's evaluation (Section 7): each self-loop probability
+  :math:`P_{x,x}` drawn uniformly in ``[0.90, 0.99]`` and the two outgoing
+  probabilities set to :math:`(1 - P_{x,x})/2` each.
+
+Trace sampling is vectorised over time via inverse-CDF lookups on a
+pre-computed cumulative transition matrix, so generating the long traces
+needed by the experiment harness stays cheap in pure Python/numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .._validation import require_positive_int
+from ..types import ProcState
+
+__all__ = [
+    "MarkovAvailabilityModel",
+    "paper_random_model",
+    "stationary_distribution",
+]
+
+_STATES = (ProcState.UP, ProcState.RECLAIMED, ProcState.DOWN)
+
+
+def stationary_distribution(matrix: np.ndarray) -> np.ndarray:
+    """The stationary distribution of a row-stochastic matrix.
+
+    Solves :math:`\\pi M = \\pi` with :math:`\\sum_i \\pi_i = 1` via the
+    standard replace-one-equation linear system.  For the recurrent aperiodic
+    chains the paper assumes, the solution is unique and strictly positive.
+
+    Args:
+        matrix: an ``(n, n)`` row-stochastic matrix.
+
+    Returns:
+        A length-``n`` probability vector.
+
+    Raises:
+        ValueError: if the matrix is not square/stochastic or the chain is
+            reducible in a way that leaves the system singular.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"transition matrix must be square, got shape {matrix.shape}")
+    n = matrix.shape[0]
+    if np.any(matrix < -1e-12) or np.any(matrix > 1 + 1e-12):
+        raise ValueError("transition probabilities must lie in [0, 1]")
+    row_sums = matrix.sum(axis=1)
+    if not np.allclose(row_sums, 1.0, atol=1e-9):
+        raise ValueError(f"transition matrix rows must sum to 1, got sums {row_sums}")
+    # pi (M - I) = 0  plus normalisation; transpose to a standard Ax = b.
+    a = (matrix.T - np.eye(n)).copy()
+    a[-1, :] = 1.0
+    b = np.zeros(n)
+    b[-1] = 1.0
+    try:
+        pi = np.linalg.solve(a, b)
+    except np.linalg.LinAlgError as exc:
+        raise ValueError(
+            "stationary distribution is not unique (chain appears reducible)"
+        ) from exc
+    if np.any(pi < -1e-9):
+        raise ValueError("stationary distribution has negative entries; chain invalid")
+    pi = np.clip(pi, 0.0, None)
+    return pi / pi.sum()
+
+
+@dataclass(frozen=True)
+class MarkovAvailabilityModel:
+    """A single processor's 3-state availability chain.
+
+    The transition matrix is indexed by :class:`~repro.types.ProcState`
+    (UP = 0, RECLAIMED = 1, DOWN = 2), i.e. ``matrix[0, 1]`` is
+    :math:`P_{u,r}`.
+
+    Attributes:
+        matrix: the ``(3, 3)`` row-stochastic transition matrix.
+
+    The constructor validates stochasticity; derived quantities (stationary
+    distribution, cumulative rows for sampling) are computed lazily and
+    cached — the object is otherwise immutable so it can be shared freely
+    between heuristics and the trace generator.
+    """
+
+    matrix: np.ndarray
+    _pi: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+    _cum: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        m = np.asarray(self.matrix, dtype=float)
+        if m.shape != (3, 3):
+            raise ValueError(f"availability matrix must be 3x3, got shape {m.shape}")
+        if np.any(m < -1e-12) or np.any(m > 1 + 1e-12):
+            raise ValueError("transition probabilities must lie in [0, 1]")
+        if not np.allclose(m.sum(axis=1), 1.0, atol=1e-9):
+            raise ValueError(
+                f"transition matrix rows must sum to 1, got {m.sum(axis=1)}"
+            )
+        m = np.clip(m, 0.0, 1.0)
+        m = m / m.sum(axis=1, keepdims=True)
+        m.setflags(write=False)
+        object.__setattr__(self, "matrix", m)
+        object.__setattr__(self, "_pi", None)
+        object.__setattr__(self, "_cum", None)
+
+    # ------------------------------------------------------------------ #
+    # Named accessors mirroring the paper's notation.                     #
+    # ------------------------------------------------------------------ #
+    def p(self, src: ProcState, dst: ProcState) -> float:
+        """Transition probability :math:`P_{src,dst}`."""
+        return float(self.matrix[int(src), int(dst)])
+
+    @property
+    def p_uu(self) -> float:
+        """:math:`P_{u,u}` — probability of remaining UP."""
+        return float(self.matrix[0, 0])
+
+    @property
+    def p_ur(self) -> float:
+        """:math:`P_{u,r}` — UP → RECLAIMED."""
+        return float(self.matrix[0, 1])
+
+    @property
+    def p_ud(self) -> float:
+        """:math:`P_{u,d}` — UP → DOWN."""
+        return float(self.matrix[0, 2])
+
+    @property
+    def p_ru(self) -> float:
+        """:math:`P_{r,u}` — RECLAIMED → UP."""
+        return float(self.matrix[1, 0])
+
+    @property
+    def p_rr(self) -> float:
+        """:math:`P_{r,r}` — probability of remaining RECLAIMED."""
+        return float(self.matrix[1, 1])
+
+    @property
+    def p_rd(self) -> float:
+        """:math:`P_{r,d}` — RECLAIMED → DOWN."""
+        return float(self.matrix[1, 2])
+
+    @property
+    def p_du(self) -> float:
+        """:math:`P_{d,u}` — DOWN → UP (repair)."""
+        return float(self.matrix[2, 0])
+
+    @property
+    def p_dr(self) -> float:
+        """:math:`P_{d,r}` — DOWN → RECLAIMED."""
+        return float(self.matrix[2, 1])
+
+    @property
+    def p_dd(self) -> float:
+        """:math:`P_{d,d}` — probability of remaining DOWN."""
+        return float(self.matrix[2, 2])
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities.                                                  #
+    # ------------------------------------------------------------------ #
+    @property
+    def stationary(self) -> np.ndarray:
+        """The limit distribution :math:`(\\pi_u, \\pi_r, \\pi_d)`."""
+        if self._pi is None:
+            pi = stationary_distribution(self.matrix)
+            pi.setflags(write=False)
+            object.__setattr__(self, "_pi", pi)
+        return self._pi
+
+    @property
+    def pi_u(self) -> float:
+        """Steady-state fraction of time UP."""
+        return float(self.stationary[0])
+
+    @property
+    def pi_r(self) -> float:
+        """Steady-state fraction of time RECLAIMED."""
+        return float(self.stationary[1])
+
+    @property
+    def pi_d(self) -> float:
+        """Steady-state fraction of time DOWN."""
+        return float(self.stationary[2])
+
+    @property
+    def _cumulative(self) -> np.ndarray:
+        if self._cum is None:
+            cum = np.cumsum(self.matrix, axis=1)
+            cum[:, -1] = 1.0  # guard against rounding
+            cum.setflags(write=False)
+            object.__setattr__(self, "_cum", cum)
+        return self._cum
+
+    # ------------------------------------------------------------------ #
+    # Sampling.                                                            #
+    # ------------------------------------------------------------------ #
+    def step(self, state: int, rng: np.random.Generator) -> int:
+        """Sample the next state from ``state``."""
+        u = rng.random()
+        row = self._cumulative[int(state)]
+        return int(np.searchsorted(row, u, side="right"))
+
+    def sample_trace(
+        self,
+        length: int,
+        rng: np.random.Generator,
+        initial: Optional[int] = None,
+    ) -> np.ndarray:
+        """Sample an availability trace of ``length`` slots.
+
+        Args:
+            length: number of slots to generate.
+            rng: the generator to draw from.
+            initial: state at slot 0.  ``None`` samples the initial state
+                from the stationary distribution, which is what the
+                experiment harness uses so that runs start "mid-life" rather
+                than artificially all-UP.
+
+        Returns:
+            A ``uint8`` array of :class:`~repro.types.ProcState` values.
+        """
+        length = require_positive_int(length, "length")
+        trace = np.empty(length, dtype=np.uint8)
+        if initial is None:
+            initial = int(
+                np.searchsorted(np.cumsum(self.stationary), rng.random(), side="right")
+            )
+        if initial not in (0, 1, 2):
+            raise ValueError(f"initial state must be 0, 1 or 2, got {initial}")
+        trace[0] = initial
+        if length == 1:
+            return trace
+        # Vectorised inverse-CDF walk: pre-draw all uniforms, then walk the
+        # chain with one searchsorted per slot on the cached cumulative rows.
+        uniforms = rng.random(length - 1)
+        cum = self._cumulative
+        state = initial
+        for t in range(1, length):
+            row = cum[state]
+            u = uniforms[t - 1]
+            state = 0 if u < row[0] else (1 if u < row[1] else 2)
+            trace[t] = state
+        return trace
+
+    def extend_trace(
+        self, trace: np.ndarray, extra: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Append ``extra`` freshly sampled slots to an existing trace."""
+        extra = require_positive_int(extra, "extra")
+        tail = self.sample_trace(extra + 1, rng, initial=int(trace[-1]))
+        return np.concatenate([trace, tail[1:]])
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers.                                                #
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_probabilities(
+        cls,
+        *,
+        p_uu: float,
+        p_ur: float,
+        p_ud: float,
+        p_ru: float,
+        p_rr: float,
+        p_rd: float,
+        p_du: float,
+        p_dr: float,
+        p_dd: float,
+    ) -> "MarkovAvailabilityModel":
+        """Build a model from the nine named probabilities of the paper."""
+        return cls(
+            np.array(
+                [
+                    [p_uu, p_ur, p_ud],
+                    [p_ru, p_rr, p_rd],
+                    [p_du, p_dr, p_dd],
+                ]
+            )
+        )
+
+    @classmethod
+    def from_self_loops(
+        cls, p_uu: float, p_rr: float, p_dd: float
+    ) -> "MarkovAvailabilityModel":
+        """The paper's symmetric construction (Section 7).
+
+        Sets :math:`P_{x,y} = (1 - P_{x,x}) / 2` for each :math:`y \\ne x`.
+        """
+        def row(self_loop: float, position: int) -> list[float]:
+            off = 0.5 * (1.0 - self_loop)
+            r = [off, off, off]
+            r[position] = self_loop
+            return r
+
+        return cls(np.array([row(p_uu, 0), row(p_rr, 1), row(p_dd, 2)]))
+
+
+def paper_random_model(rng: np.random.Generator) -> MarkovAvailabilityModel:
+    """Sample one processor's chain exactly as in the paper's evaluation.
+
+    Section 7: *"We uniformly pick a random value between 0.90 and 0.99 for
+    each* :math:`P^{(q)}_{x,x}` *value (for x = u, r, d).  We then set*
+    :math:`P^{(q)}_{x,y} = 0.5 (1 - P^{(q)}_{x,x})` *for* :math:`x \\ne y`."
+    """
+    p_uu, p_rr, p_dd = rng.uniform(0.90, 0.99, size=3)
+    return MarkovAvailabilityModel.from_self_loops(p_uu, p_rr, p_dd)
+
+
+def empirical_state_frequencies(trace: Sequence[int]) -> np.ndarray:
+    """Fraction of slots spent in each state — used by validation tests."""
+    trace = np.asarray(trace)
+    counts = np.bincount(trace.astype(np.int64), minlength=3)[:3]
+    total = counts.sum()
+    if total == 0:
+        raise ValueError("trace is empty")
+    return counts / total

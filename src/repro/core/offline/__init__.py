@@ -1,0 +1,38 @@
+"""Offline complexity toolkit (paper Section 4)."""
+
+from .counterexample import analyze as analyze_counterexample
+from .counterexample import extended_counterexample, paper_counterexample
+from .exact import ExactSolverResult, exact_offline_makespan
+from .instance import OfflineInstance, eliminate_down_states
+from .mct import OfflineMctResult, offline_mct, pipeline_completion_slot
+from .sat_reduction import (
+    PAPER_FIGURE1_FORMULA,
+    Sat3Instance,
+    assignment_from_schedule,
+    brute_force_sat,
+    reduction_instance,
+    render_gadget,
+    schedule_from_assignment,
+    verify_schedule,
+)
+
+__all__ = [
+    "OfflineInstance",
+    "eliminate_down_states",
+    "offline_mct",
+    "OfflineMctResult",
+    "pipeline_completion_slot",
+    "exact_offline_makespan",
+    "ExactSolverResult",
+    "Sat3Instance",
+    "PAPER_FIGURE1_FORMULA",
+    "reduction_instance",
+    "schedule_from_assignment",
+    "assignment_from_schedule",
+    "verify_schedule",
+    "render_gadget",
+    "brute_force_sat",
+    "paper_counterexample",
+    "extended_counterexample",
+    "analyze_counterexample",
+]

@@ -1,0 +1,261 @@
+"""Exact offline solver (small instances) — breadth-first over slot states.
+
+The Off-Line problem is NP-hard (Theorem 1), so no polynomial exact solver
+exists unless P = NP.  For *small* instances, however, the optimal makespan
+can be found by breadth-first search over the joint pipeline state, one
+slot at a time: BFS layers correspond to slots, so the first layer in which
+any state has all ``m`` tasks done yields the optimal makespan.
+
+The state of one processor is ``(prog_rem, buffered, comp_rem)``:
+
+* ``prog_rem`` — program transfer slots still needed;
+* ``buffered`` — data slots still needed by the prefetched task
+  (``None`` = no task buffered, ``0`` = buffered and complete);
+* ``comp_rem`` — compute slots remaining on the current task
+  (``0`` = idle).
+
+The global state adds ``pool`` (tasks not yet begun anywhere) and ``done``.
+Each slot the solver enumerates every subset of at most ``ncom``
+transfer-eligible UP processors — including *proper* subsets, because
+deliberately idling the channel can be optimal (the paper's Section 4
+worked example waits one slot before serving the better processor, and
+this solver reproduces that makespan of 9).
+
+Semantics match the online simulator and
+:func:`~repro.core.offline.mct.pipeline_completion_slot`: compute advances
+before transfers within a slot, so a computation starts the slot after its
+data completed; transfers and compute only progress on UP slots; prefetch
+is bounded to one task beyond the one computing.
+
+Optional ``allow_abandon`` transitions return a buffered or in-compute task
+to the pool (losing its data/progress) — the "un-enrol" freedom of the
+model.  They enlarge the search space and are off by default; no test
+instance in this repository needs them to reach the optimum, but the switch
+lets users check that for their own instances.
+
+Complexity is exponential in ``p`` and the pipeline depths — intended for
+``p <= 4``, ``m <= 4``-scale instances (tests, the counterexample, random
+cross-validation against MCT under ``ncom = ∞``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from ...types import ProcState
+from .instance import OfflineInstance
+
+__all__ = ["exact_offline_makespan", "ExactSolverResult"]
+
+ProcPipeline = Tuple[int, Optional[int], int]  # (prog_rem, buffered, comp_rem)
+GlobalState = Tuple[int, int, Tuple[ProcPipeline, ...]]  # (pool, done, procs)
+
+
+@dataclass(frozen=True)
+class ExactSolverResult:
+    """Outcome of the exact search.
+
+    Attributes:
+        makespan: optimal number of slots to complete ``m`` tasks, or
+            ``None`` if infeasible within the explored horizon.
+        explored_states: total states expanded (effort indicator).
+        horizon: the slot limit that was searched.
+    """
+
+    makespan: Optional[int]
+    explored_states: int
+    horizon: int
+
+
+def _compute_phase(
+    pool: int, done: int, procs: List[ProcPipeline], up: List[bool], speeds, t_data: int
+) -> Tuple[int, int, List[ProcPipeline]]:
+    """Advance every processor's compute timeline by one slot."""
+    new_procs: List[ProcPipeline] = []
+    for q, (prog_rem, buffered, comp_rem) in enumerate(procs):
+        if not up[q]:
+            new_procs.append((prog_rem, buffered, comp_rem))
+            continue
+        if comp_rem > 0:
+            comp_rem -= 1
+            if comp_rem == 0:
+                done += 1
+        elif prog_rem == 0:
+            if t_data == 0:
+                if pool > 0:
+                    pool -= 1
+                    comp_rem = speeds[q] - 1
+                    if comp_rem == 0:
+                        done += 1
+            elif buffered == 0:
+                buffered = None
+                comp_rem = speeds[q] - 1
+                if comp_rem == 0:
+                    done += 1
+        new_procs.append((prog_rem, buffered, comp_rem))
+    return pool, done, new_procs
+
+
+def _transfer_eligible(
+    pool: int, procs: List[ProcPipeline], up: List[bool], t_data: int
+) -> List[int]:
+    """Processors that could usefully receive one slot of service now."""
+    eligible = []
+    for q, (prog_rem, buffered, _comp) in enumerate(procs):
+        if not up[q]:
+            continue
+        if prog_rem > 0:
+            eligible.append(q)
+        elif t_data > 0:
+            if buffered is not None and buffered > 0:
+                eligible.append(q)
+            elif buffered is None and pool > 0:
+                eligible.append(q)
+    return eligible
+
+
+def _apply_transfers(
+    pool: int, procs: List[ProcPipeline], served: Iterable[int], t_data: int
+) -> Tuple[int, Tuple[ProcPipeline, ...]]:
+    new_procs = list(procs)
+    for q in served:
+        prog_rem, buffered, comp_rem = new_procs[q]
+        if prog_rem > 0:
+            prog_rem -= 1
+        elif buffered is not None and buffered > 0:
+            buffered -= 1
+        else:  # open a new data transfer
+            pool -= 1
+            buffered = t_data - 1
+        new_procs[q] = (prog_rem, buffered, comp_rem)
+    return pool, tuple(new_procs)
+
+
+def _abandon_variants(
+    state: GlobalState,
+) -> List[GlobalState]:
+    """States reachable by returning buffered / computing tasks to the pool."""
+    pool, done, procs = state
+    variants: List[GlobalState] = [state]
+    for q, (prog_rem, buffered, comp_rem) in enumerate(procs):
+        extended: List[GlobalState] = []
+        for v_pool, v_done, v_procs in variants:
+            extended.append((v_pool, v_done, v_procs))
+            vp = list(v_procs)
+            if vp[q][1] is not None:
+                vp2 = list(vp)
+                vp2[q] = (vp[q][0], None, vp[q][2])
+                extended.append((v_pool + 1, v_done, tuple(vp2)))
+            if vp[q][2] > 0:
+                vp3 = list(vp)
+                vp3[q] = (vp[q][0], vp[q][1], 0)
+                extended.append((v_pool + 1, v_done, tuple(vp3)))
+            if vp[q][1] is not None and vp[q][2] > 0:
+                vp4 = list(vp)
+                vp4[q] = (vp[q][0], None, 0)
+                extended.append((v_pool + 2, v_done, tuple(vp4)))
+        variants = extended
+    return list(dict.fromkeys(variants))
+
+
+def exact_offline_makespan(
+    instance: OfflineInstance,
+    *,
+    max_slots: Optional[int] = None,
+    allow_abandon: bool = False,
+    state_limit: int = 2_000_000,
+) -> ExactSolverResult:
+    """Optimal makespan of an offline instance by exhaustive slot BFS.
+
+    Args:
+        instance: the instance to solve (DOWN states are handled: a DOWN
+            slot freezes the processor *and* wipes its pipeline, matching
+            the online model).
+        max_slots: horizon to search (default: the trace length — states
+            beyond it are RECLAIMED and nothing further can complete).
+        allow_abandon: also branch on returning started tasks to the pool.
+        state_limit: abort with :class:`MemoryError` beyond this many
+            states in one BFS layer (guard against oversized instances).
+
+    Returns:
+        :class:`ExactSolverResult` with the optimal makespan (slots), or
+        ``None`` if the instance cannot finish within the horizon.
+    """
+    horizon = max_slots if max_slots is not None else instance.horizon
+    t_data = instance.t_data
+    speeds = instance.speeds
+    p = instance.p
+    ncom = instance.ncom if instance.ncom is not None else p
+
+    initial: GlobalState = (
+        instance.m,
+        0,
+        tuple((instance.t_prog, None, 0) for _ in range(p)),
+    )
+    frontier: FrozenSet[GlobalState] = frozenset([initial])
+    explored = 0
+
+    for slot in range(horizon):
+        up = [instance.state(q, slot) == ProcState.UP for q in range(p)]
+        down = [instance.state(q, slot) == ProcState.DOWN for q in range(p)]
+        next_frontier: set[GlobalState] = set()
+        for state in frontier:
+            explored += 1
+            pool, done, procs = state
+            # DOWN wipes pipelines; originals return to the pool.
+            if any(down):
+                procs = list(procs)
+                for q in range(p):
+                    if not down[q]:
+                        continue
+                    prog_rem, buffered, comp_rem = procs[q]
+                    if buffered is not None:
+                        pool += 1
+                    if comp_rem > 0:
+                        pool += 1
+                    procs[q] = (instance.t_prog, None, 0)
+                procs = tuple(procs)
+
+            candidates = (
+                _abandon_variants((pool, done, procs))
+                if allow_abandon
+                else [(pool, done, procs)]
+            )
+            for c_pool, c_done, c_procs in candidates:
+                n_pool, n_done, n_procs = _compute_phase(
+                    c_pool, c_done, list(c_procs), up, speeds, t_data
+                )
+                if n_done >= instance.m:
+                    return ExactSolverResult(
+                        makespan=slot + 1, explored_states=explored, horizon=horizon
+                    )
+                eligible = _transfer_eligible(n_pool, n_procs, up, t_data)
+                limit = min(ncom, len(eligible))
+                for size in range(limit + 1):
+                    for served in combinations(eligible, size):
+                        # Guard: opening several new data transfers must not
+                        # overdraw the pool.
+                        new_opens = sum(
+                            1
+                            for q in served
+                            if n_procs[q][0] == 0
+                            and (n_procs[q][1] is None)
+                        )
+                        if new_opens > n_pool:
+                            continue
+                        s_pool, s_procs = _apply_transfers(
+                            n_pool, n_procs, served, t_data
+                        )
+                        next_frontier.add((s_pool, n_done, s_procs))
+        if len(next_frontier) > state_limit:
+            raise MemoryError(
+                f"exact solver frontier exceeded {state_limit} states at slot "
+                f"{slot}; instance too large for exhaustive search"
+            )
+        if not next_frontier:
+            break
+        frontier = frozenset(next_frontier)
+
+    return ExactSolverResult(makespan=None, explored_states=explored, horizon=horizon)

@@ -1,0 +1,182 @@
+"""Offline problem instances (paper Section 4).
+
+In the offline setting the availability vectors :math:`S_q` are known in
+advance.  :class:`OfflineInstance` packages everything the Off-Line problem
+needs: the trace matrix, per-processor speeds, transfer lengths, the
+channel budget and the task count of the single iteration to complete.
+
+The module also implements the paper's DOWN-state elimination (top of
+Section 4): any instance can be rewritten into an equivalent one whose
+traces only use UP and RECLAIMED, by splitting each processor at its first
+DOWN slot into a "before" processor (RECLAIMED from the crash onwards) and
+an "after" processor (RECLAIMED until the crash, then mirroring the rest of
+the trace).  Repeating per DOWN occurrence multiplies the processor count
+by at most the trace length — a polynomial blow-up, as the paper notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..._validation import require_nonnegative_int, require_positive_int
+from ...types import ProcState, states_from_codes
+
+__all__ = ["OfflineInstance", "eliminate_down_states"]
+
+
+@dataclass(frozen=True)
+class OfflineInstance:
+    """One instance of the Off-Line problem.
+
+    Attributes:
+        traces: ``(p, N)`` uint8 matrix of :class:`~repro.types.ProcState`
+            values — ``traces[q, t]`` is :math:`S_q[t]` (0-indexed slots).
+        t_prog: program transfer length, slots.
+        t_data: per-task data transfer length, slots.
+        speeds: per-processor :math:`w_q` (length ``p``).
+        ncom: master channel budget; ``None`` means unbounded
+            (the polynomial case of Proposition 2).
+        m: number of tasks in the iteration to complete.
+    """
+
+    traces: np.ndarray
+    t_prog: int
+    t_data: int
+    speeds: tuple
+    ncom: Optional[int]
+    m: int
+
+    def __post_init__(self) -> None:
+        traces = np.asarray(self.traces, dtype=np.uint8)
+        if traces.ndim != 2 or traces.shape[0] == 0 or traces.shape[1] == 0:
+            raise ValueError(f"traces must be a non-empty 2-D matrix, got {traces.shape}")
+        if traces.max(initial=0) > 2:
+            raise ValueError("trace entries must be ProcState values (0, 1, 2)")
+        traces.setflags(write=False)
+        object.__setattr__(self, "traces", traces)
+        require_nonnegative_int(self.t_prog, "t_prog")
+        require_nonnegative_int(self.t_data, "t_data")
+        speeds = tuple(int(w) for w in self.speeds)
+        if len(speeds) != traces.shape[0]:
+            raise ValueError(
+                f"speeds has {len(speeds)} entries for {traces.shape[0]} processors"
+            )
+        for w in speeds:
+            require_positive_int(w, "speed")
+        object.__setattr__(self, "speeds", speeds)
+        if self.ncom is not None:
+            require_positive_int(self.ncom, "ncom")
+        require_positive_int(self.m, "m")
+
+    @property
+    def p(self) -> int:
+        """Number of processors."""
+        return int(self.traces.shape[0])
+
+    @property
+    def horizon(self) -> int:
+        """Trace length ``N`` in slots."""
+        return int(self.traces.shape[1])
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when all speeds coincide (the NP-hardness setting)."""
+        return len(set(self.speeds)) == 1
+
+    def state(self, q: int, t: int) -> ProcState:
+        """State of processor ``q`` at slot ``t`` (RECLAIMED past the end).
+
+        Padding with RECLAIMED keeps the DOWN-elimination property: a
+        rewritten instance never re-introduces DOWN.
+        """
+        if t < self.horizon:
+            return ProcState(int(self.traces[q, t]))
+        return ProcState.RECLAIMED
+
+    @classmethod
+    def from_codes(
+        cls,
+        rows: Sequence[str],
+        *,
+        t_prog: int,
+        t_data: int,
+        speeds: Union[int, Sequence[int]],
+        ncom: Optional[int],
+        m: int,
+    ) -> "OfflineInstance":
+        """Build from paper-style ``"uurd..."`` strings (one per processor).
+
+        ``speeds`` may be a single int (homogeneous) or a per-processor
+        sequence.
+        """
+        if not rows:
+            raise ValueError("need at least one trace row")
+        length = len(rows[0])
+        if any(len(row) != length for row in rows):
+            raise ValueError("all trace rows must have equal length")
+        traces = np.vstack([states_from_codes(row) for row in rows])
+        if isinstance(speeds, (int, np.integer)):
+            speeds = [int(speeds)] * len(rows)
+        return cls(
+            traces=traces,
+            t_prog=t_prog,
+            t_data=t_data,
+            speeds=tuple(speeds),
+            ncom=ncom,
+            m=m,
+        )
+
+
+def eliminate_down_states(instance: OfflineInstance) -> OfflineInstance:
+    """Rewrite an instance to use only UP and RECLAIMED states (Section 4).
+
+    Every processor with a DOWN slot at time ``t`` is replaced by two
+    processors: one matching the original before ``t`` and RECLAIMED from
+    ``t`` on, and one RECLAIMED through ``t`` and matching the original
+    after.  The transformation is iterated until no DOWN slot remains.
+
+    The rewritten instance admits exactly the same achievable schedules:
+    work placed on the original before the crash maps to the "before"
+    processor (whose program/data would have been lost at the crash anyway,
+    and a permanently RECLAIMED processor likewise contributes nothing
+    after ``t``), and work after the repair maps to the "after" processor,
+    which must re-receive the program from scratch — just as the crashed
+    processor would.
+
+    Returns:
+        An equivalent instance with no DOWN slots, at most ``p × N``
+        processors, and the same ``m``/transfer/channel parameters.  Speeds
+        are duplicated alongside their processors.
+    """
+    rows: List[np.ndarray] = [instance.traces[q].copy() for q in range(instance.p)]
+    speeds: List[int] = list(instance.speeds)
+
+    changed = True
+    while changed:
+        changed = False
+        for q in range(len(rows)):
+            down_slots = np.nonzero(rows[q] == int(ProcState.DOWN))[0]
+            if down_slots.size == 0:
+                continue
+            t = int(down_slots[0])
+            before = rows[q].copy()
+            before[t:] = int(ProcState.RECLAIMED)
+            after = rows[q].copy()
+            after[: t + 1] = int(ProcState.RECLAIMED)
+            rows[q] = before
+            rows.append(after)
+            speeds.append(speeds[q])
+            changed = True
+            break  # restart scan: `after` may still contain DOWN slots
+
+    return OfflineInstance(
+        traces=np.vstack(rows),
+        t_prog=instance.t_prog,
+        t_data=instance.t_data,
+        speeds=tuple(speeds),
+        ncom=instance.ncom,
+        m=instance.m,
+    )

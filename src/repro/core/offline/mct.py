@@ -1,0 +1,192 @@
+"""Offline MCT — the polynomial algorithm for ``ncom = ∞`` (Proposition 2).
+
+With an unbounded channel budget the master can serve every worker
+simultaneously, so processors are fully independent: send the program to
+everyone as early as possible, then assign tasks one by one, each to the
+processor that would finish it soonest given the tasks already on its
+queue.  The paper proves this Minimum-Completion-Time greedy is *optimal*
+in that setting (and exhibits a counterexample for ``ncom = 1``; see
+:mod:`repro.core.offline.counterexample`).
+
+The per-processor completion times are computed by
+:func:`pipeline_completion_slot`, an exact walk of the worker pipeline over
+the known availability trace (same semantics as the online simulator:
+program → per-task data → compute, transfer and compute both advance only
+on UP slots, data for the next task overlaps the current computation, a
+computation starts the slot after its data completes, prefetch bounded to
+one task ahead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ...types import ProcState
+from .instance import OfflineInstance
+
+__all__ = ["pipeline_completion_slot", "offline_mct", "OfflineMctResult"]
+
+
+def pipeline_completion_slot(
+    instance: OfflineInstance,
+    q: int,
+    n_tasks: int,
+    *,
+    max_slots: Optional[int] = None,
+) -> Optional[int]:
+    """Slot at which processor ``q`` completes ``n_tasks`` tasks, alone.
+
+    Assumes no channel contention (each worker has its own dedicated
+    bandwidth ``bw``, which is exactly the ``ncom = ∞`` regime).  The walk
+    mirrors the online simulator's slot order: compute first (so a task
+    whose data finished at slot *t* starts computing at *t + 1*), then one
+    slot of transfer service if the worker is UP.  A DOWN slot applies the
+    crash semantics: the program and any partially transferred or computed
+    task are lost, and the in-flight tasks return to the (per-processor)
+    pool.  (The paper's Proposition 2 setting eliminates DOWN states first
+    — Section 4's rewriting — but the walker handles them so it can also
+    cross-validate the online simulator on crashy traces.)
+
+    Args:
+        instance: the offline instance (provides the trace and timings).
+        q: processor index.
+        n_tasks: number of tasks to complete (``0`` returns ``-1``,
+            meaning "already done before slot 0").
+        max_slots: walk limit; defaults to the instance horizon (states
+            beyond the trace are RECLAIMED, so nothing can complete there).
+
+    Returns:
+        The 0-indexed slot of the final task's completion, or ``None`` if
+        ``n_tasks`` cannot complete within the limit.
+    """
+    if n_tasks == 0:
+        return -1
+    if n_tasks < 0:
+        raise ValueError(f"n_tasks must be >= 0, got {n_tasks}")
+    limit = max_slots if max_slots is not None else instance.horizon
+    w = instance.speeds[q]
+    t_prog, t_data = instance.t_prog, instance.t_data
+
+    prog_rem = t_prog
+    buffered: Optional[int] = None  # remaining data slots of the prefetched task
+    comp_rem = 0
+    started = 0  # tasks whose data transfer has begun (or compute, if t_data=0)
+    done = 0
+
+    for slot in range(limit):
+        state = instance.state(q, slot)
+        if state == ProcState.DOWN:
+            # Crash: program and in-flight tasks lost; each `started` task
+            # was counted once (at data-open, or at compute-start when
+            # t_data == 0), so each lost task restores one pool slot.
+            prog_rem = t_prog
+            if buffered is not None:
+                buffered = None
+                started -= 1
+            if comp_rem > 0:
+                comp_rem = 0
+                started -= 1
+            continue
+        if state != ProcState.UP:
+            continue
+        # Compute step.
+        if comp_rem > 0:
+            comp_rem -= 1
+            if comp_rem == 0:
+                done += 1
+                if done >= n_tasks:
+                    return slot
+        elif prog_rem == 0:
+            if t_data == 0:
+                if started < n_tasks:
+                    started += 1
+                    comp_rem = w - 1
+                    if comp_rem == 0:
+                        done += 1
+                        if done >= n_tasks:
+                            return slot
+            elif buffered == 0:
+                buffered = None
+                comp_rem = w - 1
+                if comp_rem == 0:
+                    done += 1
+                    if done >= n_tasks:
+                        return slot
+        # Transfer step (one slot of service; worker-side bandwidth).
+        if prog_rem > 0:
+            prog_rem -= 1
+        elif t_data > 0:
+            if buffered is not None and buffered > 0:
+                buffered -= 1
+            elif buffered is None and started < n_tasks:
+                started += 1
+                buffered = t_data - 1
+    return None
+
+
+@dataclass(frozen=True)
+class OfflineMctResult:
+    """Outcome of the offline MCT greedy.
+
+    Attributes:
+        makespan: slots to complete all ``m`` tasks (``None`` when the
+            instance cannot finish within its horizon even greedily).
+        assignment: tasks per processor, length ``p``.
+        completion_slots: per-processor completion slot of its last task
+            (``-1`` for processors with no tasks).
+    """
+
+    makespan: Optional[int]
+    assignment: tuple
+    completion_slots: tuple
+
+
+def offline_mct(instance: OfflineInstance) -> OfflineMctResult:
+    """Run the MCT greedy of Proposition 2 on an offline instance.
+
+    Tasks are assigned one by one; each goes to the processor that would
+    complete its queue (including the new task) soonest, ties broken toward
+    the lower processor index.  Processors that cannot complete the
+    augmented queue within the horizon are skipped; if no processor can
+    take a task, the instance is infeasible for this greedy and
+    ``makespan`` is ``None``.
+
+    Note this ignores ``instance.ncom`` by design: MCT is only optimal —
+    and only well-defined as stated in the paper — without contention.
+    Comparing its decisions against the exact solver *with* contention is
+    precisely the paper's counterexample.
+    """
+    p = instance.p
+    counts: List[int] = [0] * p
+
+    for _task in range(instance.m):
+        best_q: Optional[int] = None
+        best_slot: Optional[int] = None
+        for q in range(p):
+            finish = pipeline_completion_slot(instance, q, counts[q] + 1)
+            if finish is None:
+                continue
+            if best_slot is None or finish < best_slot:
+                best_q, best_slot = q, finish
+        if best_q is None:
+            return OfflineMctResult(
+                makespan=None,
+                assignment=tuple(counts),
+                completion_slots=tuple(
+                    pipeline_completion_slot(instance, q, counts[q]) or -1
+                    for q in range(p)
+                ),
+            )
+        counts[best_q] += 1
+
+    completion = []
+    for q in range(p):
+        slot = pipeline_completion_slot(instance, q, counts[q])
+        completion.append(slot if slot is not None else -1)
+    makespan = max(completion) + 1 if completion else 0
+    return OfflineMctResult(
+        makespan=makespan,
+        assignment=tuple(counts),
+        completion_slots=tuple(completion),
+    )

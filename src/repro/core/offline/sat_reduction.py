@@ -1,0 +1,336 @@
+"""The 3SAT reduction of Theorem 1, made executable (paper Section 4).
+
+The paper proves Off-Line NP-hard by mapping a 3SAT instance with ``n``
+variables and ``m`` clauses to an Off-Line instance with:
+
+* ``m`` tasks, ``p = 2n`` processors, ``ncom = 1``;
+* ``Tprog = m``, ``Tdata = 0``, ``w = 1``, horizon ``N = m (n + 1)``;
+* availability (1-indexed in the paper; 0-indexed here): during the first
+  ``m`` slots, processor :math:`P_{2i-1}` (the *positive* literal of
+  variable *i*) is UP at slot *j* iff :math:`x_i \\in C_j`, and
+  :math:`P_{2i}` (the *negative* literal) is UP iff
+  :math:`\\bar{x}_i \\in C_j`; the remaining horizon is split into ``n``
+  blocks of ``m`` slots, block *i* having exactly :math:`P_{2i-1}` and
+  :math:`P_{2i}` UP and everyone else RECLAIMED.
+
+A truth assignment picks one literal-processor per variable; the channel
+budget of 1 means at most one processor can absorb program bytes per slot,
+and the construction makes "absorbing a program byte at slot *j*" possible
+exactly when the chosen literal satisfies clause *j*.  The chosen
+processors then finish their program in their block and compute one task
+per remaining slot — all ``m`` tasks complete within ``N`` iff every
+clause was satisfied.
+
+This module constructs the instance (:func:`reduction_instance`), converts
+certificates in both directions (:func:`schedule_from_assignment`,
+:func:`assignment_from_schedule`), verifies schedules against the model
+(:func:`verify_schedule`), and renders the Figure 1 gadget
+(:func:`render_gadget`, reproduced for the exact formula in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...types import ProcState
+from .instance import OfflineInstance
+
+__all__ = [
+    "Sat3Instance",
+    "reduction_instance",
+    "schedule_from_assignment",
+    "assignment_from_schedule",
+    "verify_schedule",
+    "render_gadget",
+    "PAPER_FIGURE1_FORMULA",
+    "brute_force_sat",
+]
+
+Literal = int  # +k means x_k, -k means NOT x_k (1-based variable index)
+Clause = Tuple[Literal, ...]
+
+
+@dataclass(frozen=True)
+class Sat3Instance:
+    """A 3SAT instance: clauses over variables ``1..n_vars``.
+
+    Literals are non-zero ints: ``+k`` for :math:`x_k`, ``-k`` for
+    :math:`\\bar{x}_k`.
+    """
+
+    n_vars: int
+    clauses: Tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        if self.n_vars <= 0:
+            raise ValueError("n_vars must be positive")
+        if not self.clauses:
+            raise ValueError("need at least one clause")
+        mentioned = set()
+        for clause in self.clauses:
+            if not 1 <= len(clause) <= 3:
+                raise ValueError(f"clauses must have 1..3 literals, got {clause}")
+            for lit in clause:
+                if lit == 0 or abs(lit) > self.n_vars:
+                    raise ValueError(f"literal {lit} out of range for n={self.n_vars}")
+                mentioned.add(abs(lit))
+        if mentioned != set(range(1, self.n_vars + 1)):
+            raise ValueError(
+                "every variable must appear in at least one clause "
+                "(the paper's reduction assumes this)"
+            )
+
+    @property
+    def n_clauses(self) -> int:
+        return len(self.clauses)
+
+    def satisfied_by(self, assignment: Sequence[bool]) -> bool:
+        """True when ``assignment`` (0-indexed by variable-1) satisfies all."""
+        if len(assignment) != self.n_vars:
+            raise ValueError("assignment length must equal n_vars")
+        for clause in self.clauses:
+            if not any(
+                assignment[abs(lit) - 1] == (lit > 0) for lit in clause
+            ):
+                return False
+        return True
+
+
+#: The exact formula of the paper's Figure 1:
+#: (x̄1∨x3∨x4)(x1∨x̄2∨x̄3)(x2∨x3∨x̄4)(x1∨x2∨x4)(x̄1∨x̄2∨x̄4)(x̄2∨x3∨x4).
+PAPER_FIGURE1_FORMULA = Sat3Instance(
+    n_vars=4,
+    clauses=(
+        (-1, 3, 4),
+        (1, -2, -3),
+        (2, 3, -4),
+        (1, 2, 4),
+        (-1, -2, -4),
+        (-2, 3, 4),
+    ),
+)
+
+
+def _literal_processor(variable: int, positive: bool) -> int:
+    """0-indexed processor for a literal: ``P_{2i-1}`` / ``P_{2i}`` (paper).
+
+    Variable ``i`` (1-based) maps to processors ``2i-2`` (positive literal)
+    and ``2i-1`` (negative literal) in 0-indexed form.
+    """
+    return 2 * (variable - 1) + (0 if positive else 1)
+
+
+def reduction_instance(sat: Sat3Instance) -> OfflineInstance:
+    """Theorem 1: build the Off-Line instance for a 3SAT instance."""
+    n, m = sat.n_vars, sat.n_clauses
+    p = 2 * n
+    horizon = m * (n + 1)
+    traces = np.full((p, horizon), int(ProcState.RECLAIMED), dtype=np.uint8)
+
+    # Clause window: slots 0..m-1 (paper's 1..m).
+    for j, clause in enumerate(sat.clauses):
+        for lit in clause:
+            q = _literal_processor(abs(lit), lit > 0)
+            traces[q, j] = int(ProcState.UP)
+
+    # Variable blocks: block i (1-based) covers slots m*i .. m*(i+1)-1.
+    for i in range(1, n + 1):
+        for q in (_literal_processor(i, True), _literal_processor(i, False)):
+            traces[q, m * i : m * (i + 1)] = int(ProcState.UP)
+
+    return OfflineInstance(
+        traces=traces,
+        t_prog=m,
+        t_data=0,
+        speeds=tuple([1] * p),
+        ncom=1,
+        m=m,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Schedules for the reduction instance.
+#
+# Because Tdata = 0 and w = 1, a schedule is fully described by the program
+# service: which processor receives one program slot at each time slot.
+# Computation is then automatic (an UP processor holding the full program
+# computes one task per slot while tasks remain).
+# --------------------------------------------------------------------------- #
+Schedule = List[Optional[int]]  # per slot, processor receiving program service
+
+
+def verify_schedule(instance: OfflineInstance, schedule: Schedule) -> Optional[int]:
+    """Check a program-service schedule against the model; return makespan.
+
+    The schedule names at most one processor per slot (``ncom = 1``).  The
+    verifier enforces: service only to UP processors, at most ``Tprog``
+    slots of service accumulate per processor, and computation follows the
+    pipeline semantics (one task per UP slot after the program completed on
+    an earlier slot).  Only valid for ``Tdata = 0`` instances.
+
+    Returns:
+        The completion slot count (makespan) if all ``m`` tasks finish
+        within the horizon, else ``None``.
+
+    Raises:
+        ValueError: if the schedule violates the model.
+    """
+    if instance.t_data != 0:
+        raise ValueError("verify_schedule only supports Tdata = 0 instances")
+    if len(schedule) > instance.horizon:
+        raise ValueError("schedule longer than the instance horizon")
+    prog = [0] * instance.p
+    comp_rem = [0] * instance.p
+    done = 0
+    started = 0
+
+    for slot in range(instance.horizon):
+        # Compute phase (program must have completed on an earlier slot).
+        for q in range(instance.p):
+            if instance.state(q, slot) != ProcState.UP:
+                continue
+            if comp_rem[q] > 0:
+                comp_rem[q] -= 1
+                if comp_rem[q] == 0:
+                    done += 1
+                    if done >= instance.m:
+                        return slot + 1
+            elif prog[q] >= instance.t_prog and started < instance.m:
+                started += 1
+                comp_rem[q] = instance.speeds[q] - 1
+                if comp_rem[q] == 0:
+                    done += 1
+                    if done >= instance.m:
+                        return slot + 1
+        # Transfer phase.
+        q = schedule[slot] if slot < len(schedule) else None
+        if q is not None:
+            if not 0 <= q < instance.p:
+                raise ValueError(f"slot {slot}: unknown processor {q}")
+            if instance.state(q, slot) != ProcState.UP:
+                raise ValueError(
+                    f"slot {slot}: processor {q} served while not UP"
+                )
+            if prog[q] >= instance.t_prog:
+                raise ValueError(
+                    f"slot {slot}: processor {q} served beyond Tprog"
+                )
+            prog[q] += 1
+    return None
+
+
+def schedule_from_assignment(
+    sat: Sat3Instance, assignment: Sequence[bool]
+) -> Schedule:
+    """Forward certificate map: satisfying assignment → valid schedule.
+
+    Follows the proof of Theorem 1: at clause slot *j*, serve the processor
+    of one (arbitrarily chosen) true literal of :math:`C_j`; in block *i*,
+    serve the chosen processor of variable *i* until its program completes,
+    after which it computes.
+
+    Raises:
+        ValueError: if ``assignment`` does not satisfy the formula (the map
+            is only defined on yes-certificates).
+    """
+    if not sat.satisfied_by(assignment):
+        raise ValueError("assignment does not satisfy the formula")
+    n, m = sat.n_vars, sat.n_clauses
+    chosen = [
+        _literal_processor(i + 1, assignment[i]) for i in range(n)
+    ]  # processor p(i) per variable, per the proof
+    schedule: Schedule = [None] * (m * (n + 1))
+
+    # Clause window: one true literal's processor per clause slot.
+    for j, clause in enumerate(sat.clauses):
+        true_lits = [
+            lit for lit in clause if assignment[abs(lit) - 1] == (lit > 0)
+        ]
+        lit = true_lits[0]
+        schedule[j] = _literal_processor(abs(lit), lit > 0)
+
+    # Blocks: finish each chosen processor's program.
+    served = [0] * (2 * n)
+    for j in range(m):
+        if schedule[j] is not None:
+            served[schedule[j]] += 1
+    for i in range(1, n + 1):
+        q = chosen[i - 1]
+        remaining = m - served[q]
+        for offset in range(remaining):
+            schedule[m * i + offset] = q
+    return schedule
+
+
+def assignment_from_schedule(
+    sat: Sat3Instance, schedule: Schedule
+) -> List[bool]:
+    """Backward certificate map: valid schedule → satisfying assignment.
+
+    Follows the converse direction of the proof: for each variable *i*,
+    set :math:`x_i` true iff :math:`P_{2i-1}` (its positive-literal
+    processor) computes at least one task under the schedule; variables
+    whose processors compute nothing default to False (the proof's
+    ``p(i) = 2i`` convention).
+
+    The resulting assignment is guaranteed to satisfy the formula whenever
+    the schedule completes all ``m`` tasks within the horizon (checked).
+    """
+    instance = reduction_instance(sat)
+    if verify_schedule(instance, schedule) is None:
+        raise ValueError("schedule does not complete all tasks within the horizon")
+
+    # Replay to find which processors compute tasks.
+    prog = [0] * instance.p
+    comp_count = [0] * instance.p
+    started = 0
+    for slot in range(instance.horizon):
+        for q in range(instance.p):
+            if instance.state(q, slot) != ProcState.UP:
+                continue
+            if prog[q] >= instance.t_prog and started < instance.m:
+                started += 1
+                comp_count[q] += 1
+        q = schedule[slot] if slot < len(schedule) else None
+        if q is not None:
+            prog[q] += 1
+
+    assignment = []
+    for i in range(1, sat.n_vars + 1):
+        positive = _literal_processor(i, True)
+        assignment.append(comp_count[positive] > 0)
+    return assignment
+
+
+def brute_force_sat(sat: Sat3Instance) -> Optional[List[bool]]:
+    """Exhaustive satisfiability check (for tests; ``n_vars <= ~20``)."""
+    for mask in range(1 << sat.n_vars):
+        assignment = [(mask >> i) & 1 == 1 for i in range(sat.n_vars)]
+        if sat.satisfied_by(assignment):
+            return assignment
+    return None
+
+
+def render_gadget(sat: Sat3Instance) -> str:
+    """ASCII rendering of the Figure 1 availability gadget.
+
+    Rows are literal processors (x1, x̄1, x2, ...), columns the clause
+    window C1..Cm; ``#`` marks UP slots, ``.`` RECLAIMED — visually
+    matching the paper's Figure 1 (which shows only the clause window).
+    """
+    instance = reduction_instance(sat)
+    m = sat.n_clauses
+    header = "      " + " ".join(f"C{j + 1}" for j in range(m))
+    lines = [header]
+    for i in range(1, sat.n_vars + 1):
+        for positive, label in ((True, f"x{i}  "), (False, f"~x{i} ")):
+            q = _literal_processor(i, positive)
+            cells = " ".join(
+                " #" if instance.state(q, j) == ProcState.UP else " ."
+                for j in range(m)
+            )
+            lines.append(f"{label:>5} {cells}")
+    return "\n".join(lines)

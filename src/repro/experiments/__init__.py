@@ -1,0 +1,47 @@
+"""Experiment regenerators for every table and figure of the paper."""
+
+from .deadline_study import (
+    DeadlineStudyResult,
+    render_deadline_study,
+    run_deadline_study,
+)
+from .dfb import DfbAccumulator, dfb_for_instance
+from .figure2 import FIGURE2_HEURISTICS, run_figure2, render_figure2
+from .harness import CampaignConfig, CampaignResult, run_campaign, run_instance
+from .mismatch_study import (
+    MismatchStudyResult,
+    fit_markov_belief,
+    render_mismatch_study,
+    run_mismatch_study,
+)
+from .offline_study import counterexample_study, figure1_study, render_offline_study
+from .table2 import PAPER_TABLE2, render_table2, run_table2
+from .table3 import PAPER_TABLE3, render_table3, run_table3
+
+__all__ = [
+    "run_deadline_study",
+    "render_deadline_study",
+    "DeadlineStudyResult",
+    "run_mismatch_study",
+    "render_mismatch_study",
+    "MismatchStudyResult",
+    "fit_markov_belief",
+    "DfbAccumulator",
+    "dfb_for_instance",
+    "CampaignConfig",
+    "CampaignResult",
+    "run_campaign",
+    "run_instance",
+    "run_table2",
+    "render_table2",
+    "PAPER_TABLE2",
+    "run_table3",
+    "render_table3",
+    "PAPER_TABLE3",
+    "run_figure2",
+    "render_figure2",
+    "FIGURE2_HEURISTICS",
+    "figure1_study",
+    "counterexample_study",
+    "render_offline_study",
+]

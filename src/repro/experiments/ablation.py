@@ -1,0 +1,174 @@
+"""Programmatic ablation studies for the design choices in DESIGN.md §5.
+
+Each ablation runs paired simulations (identical availability samples) and
+reports mean makespans side by side.  The benchmark harness
+(``benchmarks/bench_ablation.py``) wraps these with timing and assertions;
+this module is the reusable implementation plus text rendering, also
+exposed through the CLI (``repro-experiments ablation``).
+
+Ablations:
+
+* ``replication``   — 0 / 1 / 2 extra replicas per task (paper: 2).
+* ``replanning``    — event-driven vs every-slot scheduling rounds.
+* ``ud-exact``      — UD with the paper's rank-1 P_UD vs matrix power.
+* ``contention``    — Eq. 1 vs Eq. 2 (the ``*`` correction) on comm-heavy
+  workloads.
+* ``proactive``     — the dynamic class vs the proactive extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..analysis.plotting import format_table
+from ..core.heuristics.registry import make_scheduler
+from ..sim.master import MasterSimulator, SimulatorOptions
+from ..workload.scenarios import Scenario, ScenarioGenerator
+
+__all__ = ["AblationResult", "ABLATIONS", "run_ablation", "render_ablation"]
+
+
+@dataclass
+class AblationResult:
+    """One ablation's outcome.
+
+    Attributes:
+        name: ablation id.
+        arms: arm label → (mean makespan, mean scheduler rounds).
+        instances: paired instances per arm.
+    """
+
+    name: str
+    arms: Dict[str, Tuple[float, float]]
+    instances: int
+
+
+def _mean_over(
+    scenarios: Sequence[Scenario],
+    trials: int,
+    heuristic: str,
+    options: SimulatorOptions,
+    max_slots: int = 400_000,
+) -> Tuple[float, float, int]:
+    total_makespan = 0.0
+    total_rounds = 0.0
+    count = 0
+    for scenario in scenarios:
+        for trial in range(trials):
+            sim = MasterSimulator(
+                scenario.build_platform(trial),
+                scenario.app,
+                make_scheduler(heuristic),
+                options=options,
+                rng=scenario.scheduler_rng(trial, heuristic),
+            )
+            report = sim.run(max_slots=max_slots)
+            total_makespan += (
+                report.makespan if report.makespan is not None else max_slots
+            )
+            total_rounds += report.scheduler_rounds
+            count += 1
+    return total_makespan / count, total_rounds / count, count
+
+
+def _replication(scenarios, trials) -> AblationResult:
+    arms = {}
+    count = 0
+    for cap in (0, 1, 2):
+        options = SimulatorOptions(replication=cap > 0, max_replicas=max(cap, 0))
+        mean, rounds, count = _mean_over(scenarios, trials, "emct", options)
+        arms[f"{cap} extra replicas"] = (mean, rounds)
+    return AblationResult("replication", arms, count)
+
+
+def _replanning(scenarios, trials) -> AblationResult:
+    arms = {}
+    count = 0
+    for label, every in (("event-driven", False), ("every-slot", True)):
+        options = SimulatorOptions(replan_every_slot=every)
+        mean, rounds, count = _mean_over(scenarios, trials, "emct*", options)
+        arms[label] = (mean, rounds)
+    return AblationResult("replanning", arms, count)
+
+
+def _ud_exact(scenarios, trials) -> AblationResult:
+    arms = {}
+    count = 0
+    for name in ("ud", "ud-exact"):
+        mean, rounds, count = _mean_over(
+            scenarios, trials, name, SimulatorOptions()
+        )
+        arms[name] = (mean, rounds)
+    return AblationResult("ud-exact", arms, count)
+
+
+def _contention(_scenarios, trials) -> AblationResult:
+    # Uses its own contention-prone population (Table 3's ×10 setting).
+    population = ScenarioGenerator(77).contention_prone(10, 3)
+    arms = {}
+    count = 0
+    for name in ("mct", "mct*", "emct", "emct*"):
+        mean, rounds, count = _mean_over(
+            population, trials, name, SimulatorOptions()
+        )
+        arms[name] = (mean, rounds)
+    return AblationResult("contention", arms, count)
+
+
+def _proactive(scenarios, trials) -> AblationResult:
+    arms = {}
+    count = 0
+    for label, proactive in (("dynamic", False), ("proactive", True)):
+        options = SimulatorOptions(proactive=proactive)
+        mean, rounds, count = _mean_over(scenarios, trials, "emct*", options)
+        arms[label] = (mean, rounds)
+    return AblationResult("proactive", arms, count)
+
+
+ABLATIONS = {
+    "replication": _replication,
+    "replanning": _replanning,
+    "ud-exact": _ud_exact,
+    "contention": _contention,
+    "proactive": _proactive,
+}
+
+
+def run_ablation(
+    name: str,
+    *,
+    scenarios: int = 3,
+    trials: int = 2,
+    seed: int = 31,
+    n: int = 10,
+    ncom: int = 5,
+    wmin: int = 5,
+) -> AblationResult:
+    """Run one named ablation on a fresh scenario population.
+
+    Raises:
+        KeyError: for unknown ablation names (message lists valid ones).
+    """
+    try:
+        runner = ABLATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown ablation {name!r}; valid: {', '.join(sorted(ABLATIONS))}"
+        ) from None
+    generator = ScenarioGenerator(seed)
+    population = [generator.scenario(n, ncom, wmin, i) for i in range(scenarios)]
+    return runner(population, trials)
+
+
+def render_ablation(result: AblationResult) -> str:
+    """Text table for one ablation."""
+    rows: List[tuple] = [
+        (arm, round(mean, 1), round(rounds, 1))
+        for arm, (mean, rounds) in result.arms.items()
+    ]
+    return format_table(
+        ["arm", "mean makespan", "mean scheduler rounds"],
+        rows,
+        title=f"ablation: {result.name} ({result.instances} paired instances/arm)",
+    )

@@ -1,0 +1,273 @@
+"""Command-line entry point: ``repro-experiments <command> [options]``.
+
+Commands map one-to-one to the paper's artefacts:
+
+* ``table2`` — average dfb + wins over the evaluation grid;
+* ``table3 --factor {5,10}`` — the contention-prone columns;
+* ``figure2`` — dfb-vs-wmin series (ASCII chart + numbers);
+* ``figure1`` — the NP-completeness gadget and certificate round trip;
+* ``counterexample`` — the Section 4 MCT-vs-optimal worked example;
+* ``demo`` — a single simulation with a readable event trace.
+
+All campaign commands accept ``--scenarios`` and ``--trials`` to scale
+between quick smoke runs and the paper's full protocol (247 × 10).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'Scheduling Parallel "
+            "Iterative Applications on Volatile Resources' (IPDPS 2011)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_campaign_args(p: argparse.ArgumentParser, scenarios_default: int):
+        p.add_argument(
+            "--scenarios",
+            type=int,
+            default=scenarios_default,
+            help=f"scenarios per cell (default {scenarios_default}; paper: 247)",
+        )
+        p.add_argument(
+            "--trials", type=int, default=2, help="trials per scenario (paper: 10)"
+        )
+        p.add_argument("--seed", type=int, default=12061, help="campaign seed")
+        p.add_argument(
+            "--progress", action="store_true", help="print instance progress"
+        )
+
+    t2 = sub.add_parser("table2", help="Table 2: dfb + wins, all 17 heuristics")
+    add_campaign_args(t2, 1)
+    t2.add_argument(
+        "--wmin",
+        type=int,
+        nargs="*",
+        default=None,
+        help="restrict wmin values (default: 1..10)",
+    )
+
+    t3 = sub.add_parser("table3", help="Table 3: contention-prone columns")
+    add_campaign_args(t3, 10)
+    t3.add_argument(
+        "--factor",
+        type=int,
+        choices=(5, 10),
+        required=True,
+        help="communication scaling factor (paper columns: 5 and 10)",
+    )
+
+    f2 = sub.add_parser("figure2", help="Figure 2: dfb vs wmin")
+    add_campaign_args(f2, 1)
+
+    sub.add_parser("figure1", help="Figure 1: NP-completeness gadget")
+    sub.add_parser("counterexample", help="Section 4 worked example")
+
+    t2v = sub.add_parser(
+        "theorem2", help="validate Lemma 1 / Theorem 2 vs Monte Carlo"
+    )
+    t2v.add_argument("--chains", type=int, default=10)
+    t2v.add_argument("--samples", type=int, default=20_000)
+
+    dl = sub.add_parser(
+        "deadline", help="Section 3.4 objective: iterations within N slots"
+    )
+    dl.add_argument("--slots", type=int, default=2000, help="the deadline N")
+    dl.add_argument("--scenarios", type=int, default=4)
+    dl.add_argument("--trials", type=int, default=2)
+    dl.add_argument(
+        "--proactive", action="store_true",
+        help="enable the proactive-termination extension",
+    )
+
+    mm = sub.add_parser(
+        "mismatch", help="Markov beliefs vs Weibull ground truth (§8 future work)"
+    )
+    mm.add_argument("--trials", type=int, default=3)
+    mm.add_argument("--hosts", type=int, default=12)
+
+    ab = sub.add_parser("ablation", help="design-choice ablations (DESIGN.md §5)")
+    ab.add_argument(
+        "name",
+        choices=("replication", "replanning", "ud-exact", "contention",
+                 "proactive"),
+    )
+    ab.add_argument("--scenarios", type=int, default=3)
+    ab.add_argument("--trials", type=int, default=2)
+
+    demo = sub.add_parser("demo", help="one simulation with an event trace")
+    demo.add_argument("--heuristic", default="emct*", help="heuristic name")
+    demo.add_argument("--seed", type=int, default=7, help="demo seed")
+    demo.add_argument("--tasks", type=int, default=8, help="tasks per iteration")
+    demo.add_argument("--iterations", type=int, default=3, help="iterations")
+    return parser
+
+
+def _progress_printer(enabled: bool):
+    if not enabled:
+        return None
+    start = time.time()
+
+    def callback(done: int, key):
+        if done % 25 == 0:
+            rate = done / max(time.time() - start, 1e-9)
+            print(f"  … {done} instances ({rate:.1f}/s), last {key}", file=sys.stderr)
+
+    return callback
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table2":
+        from .table2 import render_table2, run_table2
+
+        kwargs = {}
+        if args.wmin:
+            kwargs["wmin_values"] = tuple(args.wmin)
+        result = run_table2(
+            scenarios_per_cell=args.scenarios,
+            trials=args.trials,
+            seed=args.seed,
+            progress=_progress_printer(args.progress),
+            **kwargs,
+        )
+        print(render_table2(result))
+    elif args.command == "table3":
+        from .table3 import render_table3, run_table3
+
+        result = run_table3(
+            args.factor,
+            scenarios=args.scenarios,
+            trials=args.trials,
+            seed=args.seed,
+            progress=_progress_printer(args.progress),
+        )
+        print(render_table3(result))
+    elif args.command == "figure2":
+        from .figure2 import render_figure2, run_figure2
+
+        result = run_figure2(
+            scenarios_per_cell=args.scenarios,
+            trials=args.trials,
+            seed=args.seed,
+            progress=_progress_printer(args.progress),
+        )
+        print(render_figure2(result))
+    elif args.command == "figure1":
+        from .offline_study import figure1_study
+
+        study = figure1_study()
+        print(study.gadget)
+        print()
+        print(f"satisfying assignment: {study.satisfying_assignment}")
+        print(
+            f"certificate schedule: {study.schedule_makespan} slots "
+            f"(horizon {study.horizon})"
+        )
+        print(f"recovered assignment satisfies: {study.recovered_satisfies}")
+    elif args.command == "counterexample":
+        from .offline_study import counterexample_study
+
+        analysis = counterexample_study()
+        print(f"optimal makespan:       {analysis.optimal_makespan} (paper: 9)")
+        print(f"online MCT makespan:    {analysis.mct_online_makespan}")
+        print(
+            "MCT first-task choice:  "
+            f"P{analysis.mct_first_choice_processor + 1} (paper: P1)"
+        )
+    elif args.command == "theorem2":
+        from .theorem2_study import render_theorem2_study, run_theorem2_study
+
+        result = run_theorem2_study(chains=args.chains, samples=args.samples)
+        print(render_theorem2_study(result))
+    elif args.command == "deadline":
+        from .deadline_study import render_deadline_study, run_deadline_study
+
+        result = run_deadline_study(
+            deadline_slots=args.slots,
+            scenario_count=args.scenarios,
+            trials=args.trials,
+            proactive=args.proactive,
+        )
+        print(render_deadline_study(result))
+    elif args.command == "mismatch":
+        from .mismatch_study import render_mismatch_study, run_mismatch_study
+
+        result = run_mismatch_study(p=args.hosts, trials=args.trials)
+        print(render_mismatch_study(result))
+    elif args.command == "ablation":
+        from .ablation import render_ablation, run_ablation
+
+        result = run_ablation(
+            args.name, scenarios=args.scenarios, trials=args.trials
+        )
+        print(render_ablation(result))
+    elif args.command == "demo":
+        _run_demo(args)
+    return 0
+
+
+def _run_demo(args) -> None:
+    from ..analysis.gantt import render_gantt
+    from ..core.heuristics.registry import make_scheduler
+    from ..core.markov import paper_random_model
+    from ..rng import RngFactory
+    from ..sim.events import EventLog
+    from ..sim.master import MasterSimulator, SimulatorOptions
+    from ..sim.platform import Platform, Processor
+    from ..sim.timeline import TimelineRecorder
+    from ..workload.application import IterativeApplication
+
+    factory = RngFactory(args.seed)
+    processors = [
+        Processor.from_markov(
+            q,
+            int(factory.generator("speed", q).integers(1, 10, endpoint=True)),
+            paper_random_model(factory.generator("chain", q)),
+            factory.generator("avail", q),
+        )
+        for q in range(8)
+    ]
+    app = IterativeApplication(
+        tasks_per_iteration=args.tasks,
+        iterations=args.iterations,
+        t_prog=5,
+        t_data=1,
+    )
+    log = EventLog(enabled=True)
+    platform = Platform(processors, ncom=3)
+    timeline = TimelineRecorder(len(platform))
+    sim = MasterSimulator(
+        platform,
+        app,
+        make_scheduler(args.heuristic, platform=platform),
+        options=SimulatorOptions(audit=True),
+        rng=factory.generator("sched"),
+        log=log,
+        timeline=timeline,
+    )
+    report = sim.run(max_slots=100_000)
+    print(log.render())
+    print()
+    print("schedule (first 100 slots):")
+    print(render_gantt(timeline, width=100))
+    print()
+    print(report.summary())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

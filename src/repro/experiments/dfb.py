@@ -1,0 +1,114 @@
+"""The paper's evaluation metrics: degradation-from-best and win counts.
+
+For each problem instance (scenario × trial), the *degradation from best*
+(dfb) of a heuristic is the percentage relative difference between its
+makespan and the best makespan achieved by any heuristic on that instance:
+
+.. math:: dfb_h = 100 \\cdot \\frac{M_h - \\min_{h'} M_{h'}}{\\min_{h'} M_{h'}}
+
+A dfb of 0 means the heuristic was (tied-)best on the instance.  A *win*
+is counted for every heuristic achieving the instance's best makespan
+(ties count for all, which is why the paper's win counts sum to more than
+the instance count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["dfb_for_instance", "InstanceResult", "DfbAccumulator"]
+
+
+def dfb_for_instance(makespans: Mapping[str, float]) -> Dict[str, float]:
+    """Per-heuristic dfb values for one problem instance.
+
+    Args:
+        makespans: heuristic name → makespan on this instance.
+
+    Returns:
+        heuristic name → dfb percentage (0 for the best heuristic(s)).
+
+    Raises:
+        ValueError: on empty input or non-positive makespans.
+    """
+    if not makespans:
+        raise ValueError("need at least one heuristic's makespan")
+    best = min(makespans.values())
+    if best <= 0:
+        raise ValueError(f"makespans must be positive, got best={best}")
+    return {
+        name: 100.0 * (value - best) / best for name, value in makespans.items()
+    }
+
+
+@dataclass(frozen=True)
+class InstanceResult:
+    """One instance's outcome: makespans and derived dfb values."""
+
+    key: tuple
+    makespans: Dict[str, float]
+    dfb: Dict[str, float]
+
+    @property
+    def winners(self) -> List[str]:
+        """Heuristics achieving the best makespan (possibly several)."""
+        return [name for name, value in self.dfb.items() if value == 0.0]
+
+
+class DfbAccumulator:
+    """Streams instance results into the paper's aggregate statistics.
+
+    The accumulator is what Table 2 / Table 3 / Figure 2 consume: average
+    dfb per heuristic, win counts, and per-dimension (e.g. per-``wmin``)
+    averages for the figure.
+    """
+
+    def __init__(self):
+        self._dfb: Dict[str, List[float]] = {}
+        self._wins: Dict[str, int] = {}
+        self._instances = 0
+
+    def add_instance(self, key: tuple, makespans: Mapping[str, float]) -> InstanceResult:
+        """Record one instance (scenario × trial) worth of makespans."""
+        dfb = dfb_for_instance(makespans)
+        for name, value in dfb.items():
+            self._dfb.setdefault(name, []).append(value)
+            self._wins.setdefault(name, 0)
+            if value == 0.0:
+                self._wins[name] += 1
+        self._instances += 1
+        return InstanceResult(key=key, makespans=dict(makespans), dfb=dfb)
+
+    @property
+    def instance_count(self) -> int:
+        """Instances accumulated so far."""
+        return self._instances
+
+    def heuristics(self) -> List[str]:
+        """Heuristic names seen so far, sorted by average dfb (best first)."""
+        return sorted(self._dfb, key=lambda name: self.average_dfb(name))
+
+    def average_dfb(self, heuristic: str) -> float:
+        """Average dfb of one heuristic over all instances."""
+        values = self._dfb.get(heuristic)
+        if not values:
+            raise KeyError(f"no results recorded for heuristic {heuristic!r}")
+        return float(np.mean(values))
+
+    def dfb_values(self, heuristic: str) -> List[float]:
+        """All recorded dfb values for one heuristic."""
+        return list(self._dfb.get(heuristic, []))
+
+    def wins(self, heuristic: str) -> int:
+        """Win count of one heuristic."""
+        return self._wins.get(heuristic, 0)
+
+    def table(self) -> List[tuple]:
+        """Rows ``(heuristic, average dfb, wins)`` sorted best-first."""
+        return [
+            (name, self.average_dfb(name), self.wins(name))
+            for name in self.heuristics()
+        ]

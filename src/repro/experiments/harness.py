@@ -1,0 +1,148 @@
+"""Experiment harness: run scenario × trial × heuristic campaigns.
+
+The harness realises the paper's evaluation protocol (Section 7): for each
+scenario and trial, every heuristic runs against the *same* availability
+sample (the trial seed drives the Markov transitions; the heuristic's own
+randomness uses a separate stream), the makespan to complete the target
+iterations is recorded, and results stream into a
+:class:`~repro.experiments.dfb.DfbAccumulator`.
+
+Runs that exceed the slot budget (possible only for pathological chains)
+are scored with the budget as their makespan and flagged in the campaign
+report — silently dropping them would bias dfb toward lucky heuristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..core.heuristics.registry import make_scheduler
+from ..sim.master import MasterSimulator, SimulatorOptions
+from ..workload.scenarios import Scenario
+from .dfb import DfbAccumulator
+
+__all__ = ["CampaignConfig", "CampaignResult", "run_campaign", "run_instance"]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Execution parameters for a campaign.
+
+    Attributes:
+        heuristics: registry names to compare.
+        trials: trials per scenario (paper: 10).
+        max_slots: per-run slot budget (safety bound; generous by default).
+        options: simulator options (replication on, audit off — the
+            paper's configuration — unless overridden).
+    """
+
+    heuristics: Sequence[str]
+    trials: int = 10
+    max_slots: int = 500_000
+    options: SimulatorOptions = field(default_factory=SimulatorOptions)
+
+    def __post_init__(self) -> None:
+        if not self.heuristics:
+            raise ValueError("campaign needs at least one heuristic")
+        if self.trials <= 0:
+            raise ValueError(f"trials must be positive, got {self.trials}")
+        if self.max_slots <= 0:
+            raise ValueError(f"max_slots must be positive, got {self.max_slots}")
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated campaign outcome.
+
+    Attributes:
+        accumulator: dfb/wins aggregates over all instances.
+        per_scenario: per-scenario accumulators keyed by scenario key
+            (used by Figure 2's per-``wmin`` averaging).
+        truncated_runs: (scenario key, trial, heuristic) triples whose run
+            hit the slot budget.
+        instances: total problem instances executed.
+        records: raw per-instance makespans, ``(instance key, {heuristic:
+            makespan})`` in execution order — the ground data everything
+            else aggregates, kept so campaigns can be serialised and
+            re-analysed (:mod:`repro.experiments.persistence`).
+    """
+
+    accumulator: DfbAccumulator = field(default_factory=DfbAccumulator)
+    per_scenario: Dict[tuple, DfbAccumulator] = field(default_factory=dict)
+    truncated_runs: List[tuple] = field(default_factory=list)
+    instances: int = 0
+    records: List[tuple] = field(default_factory=list)
+
+
+def run_instance(
+    scenario: Scenario,
+    trial: int,
+    heuristic: str,
+    *,
+    max_slots: int = 500_000,
+    options: Optional[SimulatorOptions] = None,
+) -> float:
+    """Run one (scenario, trial, heuristic) instance; return the makespan.
+
+    Returns ``max_slots`` when the run did not finish within the budget.
+    """
+    platform = scenario.build_platform(trial)
+    scheduler = make_scheduler(heuristic, platform=platform)
+    sim = MasterSimulator(
+        platform,
+        scenario.app,
+        scheduler,
+        options=options or SimulatorOptions(),
+        rng=scenario.scheduler_rng(trial, heuristic),
+    )
+    report = sim.run(max_slots=max_slots)
+    return float(report.makespan if report.makespan is not None else max_slots)
+
+
+def run_campaign(
+    scenarios: Iterable[Scenario],
+    config: CampaignConfig,
+    *,
+    progress: Optional[Callable[[int, tuple], None]] = None,
+) -> CampaignResult:
+    """Run the full campaign.
+
+    Args:
+        scenarios: the scenario population (e.g. from
+            :class:`~repro.workload.scenarios.ScenarioGenerator`).
+        config: execution parameters.
+        progress: optional callback ``(instances_done, instance_key)``
+            invoked after each instance (scenario × trial).
+
+    Returns:
+        The aggregated :class:`CampaignResult`.
+    """
+    result = CampaignResult()
+    for scenario in scenarios:
+        scenario_acc = result.per_scenario.setdefault(
+            scenario.key, DfbAccumulator()
+        )
+        for trial in range(config.trials):
+            makespans: Dict[str, float] = {}
+            for heuristic in config.heuristics:
+                makespan = run_instance(
+                    scenario,
+                    trial,
+                    heuristic,
+                    max_slots=config.max_slots,
+                    options=config.options,
+                )
+                if makespan >= config.max_slots:
+                    result.truncated_runs.append(
+                        (scenario.key, trial, heuristic)
+                    )
+                makespans[heuristic] = makespan
+            instance_key = (*scenario.key, trial)
+            result.accumulator.add_instance(instance_key, makespans)
+            scenario_acc.add_instance(instance_key, makespans)
+            result.records.append((instance_key, dict(makespans)))
+            result.instances += 1
+            if progress is not None:
+                progress(result.instances, instance_key)
+    return result

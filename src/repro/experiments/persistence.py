@@ -1,0 +1,131 @@
+"""Campaign persistence: save and reload instance-level results.
+
+Campaigns are expensive (the paper's full protocol is 296,400 simulation
+runs); their raw outcome — per-instance makespans per heuristic — is tiny.
+This module serialises that ground data to a JSON document so aggregates
+can be recomputed, merged across machines, or re-analysed with different
+metrics without re-simulating.
+
+Format (one document per campaign)::
+
+    {
+      "format": "repro-campaign-v1",
+      "meta": {...},                         # free-form provenance
+      "records": [
+        {"key": [n, ncom, wmin, factor, index, trial],
+         "makespans": {"emct*": 512.0, ...}},
+        ...
+      ]
+    }
+
+Scenario keys are stored as JSON lists and restored as tuples;
+:func:`rebuild_result` reconstructs a full
+:class:`~repro.experiments.harness.CampaignResult` (accumulators included)
+from the records alone.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .dfb import DfbAccumulator
+from .harness import CampaignResult
+
+__all__ = ["save_campaign", "load_records", "rebuild_result", "merge_records"]
+
+FORMAT_TAG = "repro-campaign-v1"
+
+Record = Tuple[tuple, Dict[str, float]]
+
+
+def save_campaign(
+    result: CampaignResult,
+    path: Union[str, Path],
+    *,
+    meta: Optional[dict] = None,
+) -> None:
+    """Serialise a campaign's raw records to ``path``.
+
+    Raises:
+        ValueError: if the result carries no records (e.g. it was rebuilt
+            from aggregates only).
+    """
+    if not result.records:
+        raise ValueError("campaign result has no instance records to save")
+    document = {
+        "format": FORMAT_TAG,
+        "meta": meta or {},
+        "records": [
+            {"key": list(key), "makespans": makespans}
+            for key, makespans in result.records
+        ],
+    }
+    Path(path).write_text(json.dumps(document, indent=1))
+
+
+def load_records(path: Union[str, Path]) -> Tuple[List[Record], dict]:
+    """Load raw records and metadata from a campaign document.
+
+    Raises:
+        ValueError: on format mismatch or malformed records.
+    """
+    document = json.loads(Path(path).read_text())
+    if document.get("format") != FORMAT_TAG:
+        raise ValueError(
+            f"unsupported campaign format {document.get('format')!r}; "
+            f"expected {FORMAT_TAG!r}"
+        )
+    records: List[Record] = []
+    for entry in document["records"]:
+        key = tuple(entry["key"])
+        makespans = {str(k): float(v) for k, v in entry["makespans"].items()}
+        if not makespans:
+            raise ValueError(f"record {key} has no makespans")
+        records.append((key, makespans))
+    return records, dict(document.get("meta", {}))
+
+
+def rebuild_result(records: List[Record]) -> CampaignResult:
+    """Reconstruct a :class:`CampaignResult` from raw records.
+
+    The per-scenario accumulators are keyed by the scenario part of each
+    instance key (everything but the trailing trial index), matching the
+    keys the harness produces.
+    """
+    result = CampaignResult()
+    for key, makespans in records:
+        scenario_key = tuple(key[:-1])
+        scenario_acc = result.per_scenario.setdefault(
+            scenario_key, DfbAccumulator()
+        )
+        result.accumulator.add_instance(key, makespans)
+        scenario_acc.add_instance(key, makespans)
+        result.records.append((key, dict(makespans)))
+        result.instances += 1
+    return result
+
+
+def merge_records(*record_sets: List[Record]) -> List[Record]:
+    """Merge record lists from several (partial) campaigns.
+
+    Instances appearing in several sets must agree exactly — a mismatch
+    means two campaigns simulated "the same" instance differently (seed or
+    code drift) and aggregating them would be meaningless.
+
+    Raises:
+        ValueError: on conflicting duplicate records.
+    """
+    merged: Dict[tuple, Dict[str, float]] = {}
+    for records in record_sets:
+        for key, makespans in records:
+            if key in merged:
+                if merged[key] != makespans:
+                    raise ValueError(
+                        f"conflicting results for instance {key}: "
+                        f"{merged[key]} vs {makespans}"
+                    )
+                continue
+            merged[key] = dict(makespans)
+    return sorted(merged.items())

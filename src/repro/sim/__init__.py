@@ -1,0 +1,45 @@
+"""The volatile master–worker simulator and its substrates."""
+
+from .availability import (
+    AvailabilitySource,
+    MarkovSource,
+    SemiMarkovSource,
+    TraceSource,
+    WeibullSource,
+)
+from .engine import Environment, Event, Interrupt, Process, Timeout
+from .events import EventKind, EventLog, SimEvent
+from .master import MasterSimulator, SimulatorOptions, simulate
+from .metrics import SimulationReport
+from .network import BoundedMultiportNetwork, TransferRequest
+from .platform import Platform, Processor
+from .timeline import Activity, TimelineRecorder
+from .worker import TaskInstance, WorkerRuntime
+
+__all__ = [
+    "MarkovSource",
+    "TraceSource",
+    "SemiMarkovSource",
+    "WeibullSource",
+    "AvailabilitySource",
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "EventLog",
+    "EventKind",
+    "SimEvent",
+    "MasterSimulator",
+    "SimulatorOptions",
+    "simulate",
+    "SimulationReport",
+    "BoundedMultiportNetwork",
+    "TransferRequest",
+    "Platform",
+    "Processor",
+    "TaskInstance",
+    "WorkerRuntime",
+    "TimelineRecorder",
+    "Activity",
+]

@@ -1,0 +1,254 @@
+"""Availability sources: ground-truth state generators for the simulator.
+
+The simulator asks, slot by slot, "what state is processor q in now?".
+That question is answered by an :class:`AvailabilitySource`.  Three families
+are provided:
+
+* :class:`MarkovSource` — samples the paper's 3-state chain lazily, in
+  chunks, so arbitrarily long runs never need a pre-sized trace.
+* :class:`TraceSource` — replays a fixed vector :math:`S_q` (offline
+  instances, regression fixtures, and Failure-Trace-Archive-style traces
+  loaded through :mod:`repro.workload.traces`).
+* :class:`SemiMarkovSource` / :class:`WeibullSource` — non-memoryless
+  generators for the paper's future-work direction (Section 8): state
+  *sojourn times* are drawn from arbitrary distributions instead of the
+  geometric sojourns a Markov chain implies.  These exercise the
+  model-mismatch code path (heuristics still believe a Markov chain).
+
+All sources are deterministic given their RNG/trace, and support random
+access ``state_at(slot)`` with O(1) amortised cost for monotone access
+patterns (the simulator's).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol, Sequence
+
+import numpy as np
+
+from .._validation import require_nonnegative_int, require_positive
+from ..core.markov import MarkovAvailabilityModel
+from ..types import ProcState
+
+__all__ = [
+    "AvailabilitySource",
+    "MarkovSource",
+    "TraceSource",
+    "SemiMarkovSource",
+    "WeibullSource",
+]
+
+
+class AvailabilitySource(Protocol):
+    """Anything that can report a processor's state at a given slot."""
+
+    def state_at(self, slot: int) -> int:
+        """Ground-truth state (as ``int(ProcState)``) at slot ``slot``."""
+        ...
+
+
+class MarkovSource:
+    """Lazily sampled Markov availability (the paper's ground truth).
+
+    The trace is extended in geometric chunks as the simulation advances,
+    so the cost of a run is proportional to its makespan, not to a guessed
+    horizon.
+    """
+
+    _CHUNK = 1024
+
+    def __init__(
+        self,
+        model: MarkovAvailabilityModel,
+        rng: np.random.Generator,
+        *,
+        initial: Optional[int] = None,
+    ):
+        self._model = model
+        self._rng = rng
+        self._trace = model.sample_trace(self._CHUNK, rng, initial=initial)
+
+    @property
+    def model(self) -> MarkovAvailabilityModel:
+        """The generating chain (also the default scheduler belief)."""
+        return self._model
+
+    def state_at(self, slot: int) -> int:
+        # Hot path (called once per processor per slot): no validation.
+        while slot >= len(self._trace):
+            grow = max(self._CHUNK, len(self._trace))  # double each time
+            self._trace = self._model.extend_trace(self._trace, grow, self._rng)
+        return int(self._trace[slot])
+
+    def materialized(self, length: int) -> np.ndarray:
+        """The first ``length`` slots as a concrete array (tests, export)."""
+        self.state_at(length - 1)
+        return self._trace[:length].copy()
+
+
+class TraceSource:
+    """Replays a fixed availability vector :math:`S_q`.
+
+    Slots beyond the end of the trace report ``pad_state`` (DOWN by
+    default, so an exhausted offline trace never silently contributes
+    compute).
+    """
+
+    def __init__(
+        self, trace: Sequence[int], *, pad_state: ProcState = ProcState.DOWN
+    ):
+        arr = np.asarray(trace, dtype=np.uint8)
+        if arr.ndim != 1 or len(arr) == 0:
+            raise ValueError("trace must be a non-empty 1-D sequence")
+        if arr.max(initial=0) > 2:
+            raise ValueError("trace entries must be ProcState values (0, 1, 2)")
+        self._trace = arr
+        self._pad = int(pad_state)
+
+    def __len__(self) -> int:
+        return len(self._trace)
+
+    def state_at(self, slot: int) -> int:
+        # Hot path: bounds implicit (negative slots raise via __getitem__
+        # wraparound being prevented by the 0 <= check below).
+        if 0 <= slot < len(self._trace):
+            return int(self._trace[slot])
+        if slot < 0:
+            raise ValueError(f"slot must be >= 0, got {slot}")
+        return self._pad
+
+
+class SemiMarkovSource:
+    """Sojourn-time-driven availability (non-memoryless future work).
+
+    The process alternates states according to an *embedded* transition
+    matrix over UP/RECLAIMED/DOWN, but the time spent in each visit is drawn
+    from a caller-supplied sojourn sampler per state — e.g. lognormal UP
+    intervals, heavy-tailed DOWN repairs.  With geometric sojourns this
+    reduces exactly to the Markov chain (asserted in tests).
+
+    Args:
+        embedded: a 3×3 matrix of *jump* probabilities; diagonal must be 0
+            (self-transitions are expressed by the sojourn length instead).
+        sojourn_samplers: for each state, a callable ``(rng) -> int`` giving
+            the number of slots spent per visit (must be ≥ 1).
+        rng: generator for both jumps and sojourns.
+        initial: starting state (default UP).
+    """
+
+    _GROW = 1024
+
+    def __init__(
+        self,
+        embedded: np.ndarray,
+        sojourn_samplers: dict[int, Callable[[np.random.Generator], int]],
+        rng: np.random.Generator,
+        *,
+        initial: int = int(ProcState.UP),
+    ):
+        embedded = np.asarray(embedded, dtype=float)
+        if embedded.shape != (3, 3):
+            raise ValueError("embedded matrix must be 3x3")
+        if np.any(np.abs(np.diag(embedded)) > 1e-12):
+            raise ValueError("embedded matrix diagonal must be zero")
+        if not np.allclose(embedded.sum(axis=1), 1.0, atol=1e-9):
+            raise ValueError("embedded matrix rows must sum to 1")
+        for s in (0, 1, 2):
+            if s not in sojourn_samplers:
+                raise ValueError(f"missing sojourn sampler for state {s}")
+        self._embedded = embedded
+        self._samplers = sojourn_samplers
+        self._rng = rng
+        self._state = int(initial)
+        self._trace = np.empty(0, dtype=np.uint8)
+        self._fill_to(self._GROW)
+
+    def _fill_to(self, length: int) -> None:
+        pieces = [self._trace]
+        total = len(self._trace)
+        while total < length:
+            sojourn = int(self._samplers[self._state](self._rng))
+            if sojourn < 1:
+                raise ValueError(
+                    f"sojourn sampler for state {self._state} returned {sojourn}; "
+                    "sojourns must be >= 1 slot"
+                )
+            pieces.append(np.full(sojourn, self._state, dtype=np.uint8))
+            total += sojourn
+            row = self._embedded[self._state]
+            self._state = int(
+                np.searchsorted(np.cumsum(row), self._rng.random(), side="right")
+            )
+        self._trace = np.concatenate(pieces) if len(pieces) > 1 else pieces[0]
+
+    def state_at(self, slot: int) -> int:
+        slot = require_nonnegative_int(slot, "slot")
+        if slot >= len(self._trace):
+            self._fill_to(max(slot + 1, 2 * len(self._trace)))
+        return int(self._trace[slot])
+
+
+class WeibullSource(SemiMarkovSource):
+    """Availability with Weibull-distributed UP intervals.
+
+    Empirical studies cited by the paper ([8, 9, 10]) report that UP
+    interval durations on real desktop grids are well fit by Weibull
+    distributions with shape < 1 (bursty, heavy-tailed).  This source keeps
+    geometric RECLAIMED/DOWN sojourns (parameterised by their mean) but
+    draws UP sojourns from ``Weibull(shape, scale)``, rounded up to ≥ 1
+    slot.  Used for model-mismatch experiments.
+
+    Args:
+        shape: Weibull shape parameter ``k`` (``< 1`` → heavy tail).
+        scale: Weibull scale parameter ``λ`` in slots.
+        mean_reclaimed: mean RECLAIMED sojourn (geometric), slots.
+        mean_down: mean DOWN sojourn (geometric), slots.
+        p_up_to_reclaimed: probability that an ending UP interval goes to
+            RECLAIMED rather than DOWN.
+        rng: generator.
+    """
+
+    def __init__(
+        self,
+        *,
+        shape: float,
+        scale: float,
+        mean_reclaimed: float,
+        mean_down: float,
+        p_up_to_reclaimed: float,
+        rng: np.random.Generator,
+    ):
+        shape = require_positive(shape, "shape")
+        scale = require_positive(scale, "scale")
+        mean_reclaimed = require_positive(mean_reclaimed, "mean_reclaimed")
+        mean_down = require_positive(mean_down, "mean_down")
+        if not 0.0 <= p_up_to_reclaimed <= 1.0:
+            raise ValueError("p_up_to_reclaimed must lie in [0, 1]")
+
+        def up_sojourn(r: np.random.Generator) -> int:
+            return max(1, int(np.ceil(scale * r.weibull(shape))))
+
+        def geometric(mean: float) -> Callable[[np.random.Generator], int]:
+            p = min(1.0, 1.0 / mean)
+
+            def sample(r: np.random.Generator) -> int:
+                return int(r.geometric(p))
+
+            return sample
+
+        embedded = np.array(
+            [
+                [0.0, p_up_to_reclaimed, 1.0 - p_up_to_reclaimed],
+                [0.9, 0.0, 0.1],  # reclaimed mostly returns to UP
+                [1.0, 0.0, 0.0],  # repair always returns to UP
+            ]
+        )
+        super().__init__(
+            embedded,
+            {
+                int(ProcState.UP): up_sojourn,
+                int(ProcState.RECLAIMED): geometric(mean_reclaimed),
+                int(ProcState.DOWN): geometric(mean_down),
+            },
+            rng,
+        )

@@ -1,0 +1,314 @@
+"""A small discrete-event simulation kernel.
+
+The volatile master–worker simulator in :mod:`repro.sim.master` advances in
+*time slots* because the paper's model itself discretises time (Section
+3.2) — every state transition, transfer and compute step happens at slot
+boundaries, so a slot-stepped loop is the faithful realisation.
+
+This module provides the complementary substrate: a classic event-heap
+discrete-event kernel with generator-based processes (SimPy-style), used
+
+* to unit-test event-driven behaviours in isolation,
+* by extension experiments that need sub-slot or continuous-time events
+  (e.g. the Weibull availability study samples sojourns in continuous time
+  before rounding to slots), and
+* as a building block for users who want to model richer platforms on top
+  of this package.
+
+Processes are Python generators that ``yield`` scheduling requests:
+
+* ``yield Timeout(delay)`` — resume after ``delay`` time units;
+* ``yield evt`` where ``evt`` is an :class:`Event` — resume when the event
+  is succeeded, receiving its value;
+* ``yield AllOf([...])`` / ``yield AnyOf([...])`` — barrier / race.
+
+The kernel is deterministic: simultaneous events fire in scheduling order
+(a monotone sequence number breaks time ties).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. yielding an unknown object)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    Attributes:
+        cause: the value passed to :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event starts *pending*; :meth:`succeed` fires it with an optional
+    value, waking every waiting process.  Succeeding twice is an error —
+    one-shot semantics keep causality easy to reason about.
+    """
+
+    __slots__ = ("env", "_value", "_fired", "_callbacks")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self._value: Any = None
+        self._fired = False
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has fired."""
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (None until fired)."""
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event now, scheduling all waiters at the current time."""
+        if self._fired:
+            raise SimulationError("event already fired")
+        self._fired = True
+        self._value = value
+        for cb in self._callbacks:
+            self.env._schedule(self.env.now, cb, self)
+        self._callbacks.clear()
+        return self
+
+    def _wait(self, callback: Callable[["Event"], None]) -> None:
+        if self._fired:
+            self.env._schedule(self.env.now, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float):
+        if delay < 0:
+            raise ValueError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(env)
+        self.delay = delay
+        env._schedule(env.now + delay, self._fire, None)
+
+    def _fire(self, _evt: Optional[Event]) -> None:
+        if not self._fired:
+            self.succeed(self.delay)
+
+
+class AllOf(Event):
+    """Fires when all child events have fired; value = list of values."""
+
+    __slots__ = ("_remaining", "_children")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child._wait(self._on_child)
+
+    def _on_child(self, _evt: Event) -> None:
+        self._remaining -= 1
+        if self._remaining == 0 and not self._fired:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value = (index, value)."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._children = list(events)
+        if not self._children:
+            raise ValueError("AnyOf needs at least one event")
+        for idx, child in enumerate(self._children):
+            child._wait(lambda evt, idx=idx: self._on_child(idx, evt))
+
+    def _on_child(self, idx: int, evt: Event) -> None:
+        if not self._fired:
+            self.succeed((idx, evt.value))
+
+
+class Process(Event):
+    """A running generator-based process.
+
+    The process's event fires (with the generator's return value) when the
+    generator finishes.  :meth:`interrupt` throws :class:`Interrupt` into
+    the generator at the current simulation time.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: str = "process",
+    ):
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name
+        env._schedule(env.now, self._resume, None)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._fired:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        self._waiting_on = None  # the pending wait is abandoned
+        self.env._schedule(self.env.now, self._throw, Interrupt(cause))
+
+    def _throw(self, exc: Interrupt) -> None:
+        if self._fired:
+            return
+        try:
+            target = self._generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        self._await(target)
+
+    def _resume(self, evt: Optional[Event]) -> None:
+        if self._fired:
+            return
+        if evt is not None and evt is not self._waiting_on:
+            return  # stale wakeup from an abandoned wait
+        try:
+            target = self._generator.send(evt.value if evt is not None else None)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        self._await(target)
+
+    def _await(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}; "
+                "processes must yield Event instances"
+            )
+        self._waiting_on = target
+        target._wait(self._resume)
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    seq: int
+    callback: Callable[[Any], None] = field(compare=False)
+    arg: Any = field(compare=False)
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[_QueueEntry] = []
+        self._seq = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    # -- factory helpers ------------------------------------------------ #
+    def event(self) -> Event:
+        """A fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float) -> Timeout:
+        """An event firing ``delay`` from now."""
+        return Timeout(self, delay)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: str = "process"
+    ) -> Process:
+        """Start a generator as a process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Barrier over ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Race over ``events``."""
+        return AnyOf(self, events)
+
+    # -- scheduling core ------------------------------------------------ #
+    def _schedule(
+        self, time: float, callback: Callable[[Any], None], arg: Any
+    ) -> None:
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past ({time} < {self._now})"
+            )
+        heapq.heappush(self._queue, _QueueEntry(time, next(self._seq), callback, arg))
+
+    def step(self) -> None:
+        """Process the next queued callback, advancing the clock."""
+        entry = heapq.heappop(self._queue)
+        self._now = entry.time
+        entry.callback(entry.arg)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue empties or the clock passes ``until``.
+
+        When ``until`` is given, the clock is left at exactly ``until``
+        even if the next event lies beyond it.
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"until ({until}) is before now ({self._now})")
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def run_until_event(self, event: Event, limit: float = float("inf")) -> Any:
+        """Run until ``event`` fires (returning its value) or ``limit``.
+
+        Raises:
+            SimulationError: if the queue drains or the limit passes before
+                the event fires.
+        """
+        while not event.triggered:
+            if not self._queue:
+                raise SimulationError("event queue drained before event fired")
+            if self._queue[0].time > limit:
+                raise SimulationError(f"time limit {limit} reached before event fired")
+            self.step()
+        return event.value

@@ -1,0 +1,99 @@
+"""Structured observability records emitted by the simulator.
+
+The simulator can log a compact, typed event stream (off by default — the
+experiment harness runs with logging disabled for speed).  Events make the
+slot-level behaviour auditable: tests replay tiny scenarios and assert the
+exact sequence; the examples pretty-print them as an execution trace.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["EventKind", "SimEvent", "EventLog"]
+
+
+class EventKind(enum.Enum):
+    """Event taxonomy for the simulation trace."""
+
+    PROC_STATE_CHANGE = "proc_state_change"
+    PROGRAM_TRANSFER_START = "program_transfer_start"
+    PROGRAM_TRANSFER_DONE = "program_transfer_done"
+    DATA_TRANSFER_START = "data_transfer_start"
+    DATA_TRANSFER_DONE = "data_transfer_done"
+    COMPUTE_START = "compute_start"
+    TASK_COMMIT = "task_commit"
+    REPLICA_CANCELLED = "replica_cancelled"
+    INSTANCE_LOST = "instance_lost"
+    ITERATION_DONE = "iteration_done"
+    RUN_DONE = "run_done"
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One structured event.
+
+    Attributes:
+        slot: the slot during which the event happened.
+        kind: the event kind.
+        worker: processor index, where applicable.
+        iteration: iteration index, where applicable.
+        task_id: task index within the iteration, where applicable.
+        replica_id: replica index of the instance, where applicable.
+        detail: free-form extra information (e.g. old/new state).
+    """
+
+    slot: int
+    kind: EventKind
+    worker: Optional[int] = None
+    iteration: Optional[int] = None
+    task_id: Optional[int] = None
+    replica_id: Optional[int] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        parts = [f"[{self.slot:>5}] {self.kind.value}"]
+        if self.worker is not None:
+            parts.append(f"P{self.worker}")
+        if self.iteration is not None:
+            parts.append(f"it{self.iteration}")
+        if self.task_id is not None:
+            tag = f"task{self.task_id}"
+            if self.replica_id:
+                tag += f"/r{self.replica_id}"
+            parts.append(tag)
+        if self.detail:
+            parts.append(self.detail)
+        return " ".join(parts)
+
+
+class EventLog:
+    """An append-only event sink with simple query helpers."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._events: List[SimEvent] = []
+
+    def emit(self, event: SimEvent) -> None:
+        """Record ``event`` if logging is enabled."""
+        if self.enabled:
+            self._events.append(event)
+
+    @property
+    def events(self) -> List[SimEvent]:
+        """All recorded events in emission order."""
+        return list(self._events)
+
+    def of_kind(self, kind: EventKind) -> List[SimEvent]:
+        """Events of one kind, in order."""
+        return [event for event in self._events if event.kind == kind]
+
+    def for_worker(self, worker: int) -> List[SimEvent]:
+        """Events touching one worker, in order."""
+        return [event for event in self._events if event.worker == worker]
+
+    def render(self) -> str:
+        """Human-readable multi-line trace."""
+        return "\n".join(str(event) for event in self._events)

@@ -1,0 +1,700 @@
+"""The volatile master–worker simulator (paper Sections 3 and 6).
+
+:class:`MasterSimulator` executes an :class:`~repro.workload.application.
+IterativeApplication` on a :class:`~repro.sim.platform.Platform` under a
+chosen scheduling heuristic, realising the model of Section 3:
+
+* time advances in slots; processor states are read from each processor's
+  ground-truth availability source;
+* the master's outgoing bandwidth is a hard per-slot budget of ``ncom``
+  channels (:class:`~repro.sim.network.BoundedMultiportNetwork`);
+* workers run the program/data/compute pipeline of
+  :class:`~repro.sim.worker.WorkerRuntime`, suspending while RECLAIMED and
+  losing everything on DOWN;
+* the scheduler re-plans the unpinned remainder of the current iteration at
+  every *event* (state change, transfer completion, commit, crash,
+  iteration boundary) — between events a re-plan would see the same inputs
+  shifted by idle slots, so skipping it changes nothing for the paper's
+  heuristics while keeping runs fast;
+* tasks are replicated (up to :attr:`SimulatorOptions.max_replicas` extra
+  copies) whenever UP processors outnumber uncommitted tasks, originals
+  taking priority (Section 6.1).
+
+**Normative slot order** (also documented in DESIGN.md §3): states & crash
+handling → scheduling round → compute step → transfer step → commit and
+iteration bookkeeping.  Compute precedes transfers so that a task whose
+data finished in slot *t* starts computing in slot *t+1*, matching the
+paper's sequential ``T_prog → T_data → w`` timing (verified against the
+Section 4 worked example, whose optimal makespan of 9 slots this simulator
+reproduces).
+
+Two run modes mirror the paper's two objective formulations:
+
+* :meth:`MasterSimulator.run` — complete a target number of iterations,
+  report the makespan (the evaluation protocol of Section 7);
+* :meth:`MasterSimulator.run_slots` — simulate exactly ``N`` slots, report
+  completed iterations (the Section 3.4 objective).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .._validation import require_nonnegative_int, require_positive_int
+from ..core.heuristics.base import ProcessorView, Scheduler, SchedulingContext
+from ..types import ProcState
+from ..workload.application import IterativeApplication
+from .events import EventKind, EventLog, SimEvent
+from .metrics import SimulationReport
+from .network import BoundedMultiportNetwork, TransferRequest
+from .platform import Platform
+from .worker import TaskInstance, WorkerRuntime, reset_instance
+
+__all__ = ["SimulatorOptions", "MasterSimulator", "simulate"]
+
+
+@dataclass(frozen=True)
+class SimulatorOptions:
+    """Tunables for the simulator.
+
+    Attributes:
+        replication: enable task replication (Section 6.1; the paper's
+            experiments always replicate — disable only for ablations).
+        max_replicas: extra copies per task beyond the original.  The paper
+            uses 2 ("we limit the number of additional replicas of a task
+            to two").
+        replan_every_slot: force a scheduling round every slot instead of
+            on events only (ablation; slower, same results for the paper's
+            heuristics up to Delay-shift ties).
+        proactive: enable the paper's *proactive* heuristic class (Section
+            6.1, described but not evaluated by the authors): during the
+            end-of-iteration regime (UP processors ≥ remaining tasks), a
+            pinned original stalled on a RECLAIMED worker is aggressively
+            terminated — its partial data and computation are discarded,
+            per the un-enrolment rule — and returned to the pool so an UP
+            processor can take it over.
+        audit: run per-slot invariant checks and network auditing.  Cheap
+            enough for tests and examples; the harness disables it.
+        max_slots: hard safety bound on simulated slots.
+    """
+
+    replication: bool = True
+    max_replicas: int = 2
+    replan_every_slot: bool = False
+    proactive: bool = False
+    audit: bool = False
+    max_slots: int = 10_000_000
+
+    def __post_init__(self) -> None:
+        require_nonnegative_int(self.max_replicas, "max_replicas")
+        require_positive_int(self.max_slots, "max_slots")
+
+
+class MasterSimulator:
+    """One application execution on one platform under one heuristic.
+
+    Args:
+        platform: the volatile processors and the channel budget.
+        app: the iterative application.
+        scheduler: the heuristic deciding task placement.
+        options: simulator tunables.
+        rng: RNG stream for scheduler randomness (the random heuristic
+            family); availability randomness lives in the platform's
+            sources and is *not* drawn from this stream, so heuristic
+            choice does not perturb availability (paired comparisons).
+        log: optional event log (a disabled one is created by default).
+        timeline: optional per-slot activity recorder (see
+            :class:`~repro.sim.timeline.TimelineRecorder`); costs one byte
+            row per slot, so enable for debugging/examples only.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        app: IterativeApplication,
+        scheduler: Scheduler,
+        *,
+        options: Optional[SimulatorOptions] = None,
+        rng: Optional[np.random.Generator] = None,
+        log: Optional[EventLog] = None,
+        timeline=None,
+    ):
+        self.platform = platform
+        self.app = app
+        self.scheduler = scheduler
+        self.options = options or SimulatorOptions()
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.log = log if log is not None else EventLog(enabled=False)
+        self.timeline = timeline
+        self.network = BoundedMultiportNetwork(
+            platform.ncom, audit=self.options.audit
+        )
+
+        self.workers: List[WorkerRuntime] = [
+            WorkerRuntime(index=proc.index, speed_w=proc.speed_w, t_prog=app.t_prog)
+            for proc in platform
+        ]
+        self.report = SimulationReport(
+            target_iterations=app.iterations, heuristic_name=scheduler.name
+        )
+
+        # Iteration state.
+        self.iteration = 0
+        self._instances: List[TaskInstance] = []  # live instances, this iteration
+        self._committed: set[int] = set()  # committed task_ids, this iteration
+        self._start_iteration(0)
+
+        self._prev_states: Optional[np.ndarray] = None
+        self._need_replan = True
+
+    # ------------------------------------------------------------------ #
+    # Iteration lifecycle.                                                 #
+    # ------------------------------------------------------------------ #
+    def _start_iteration(self, iteration: int) -> None:
+        self.iteration = iteration
+        self._committed = set()
+        self._instances = [
+            TaskInstance(
+                iteration=iteration,
+                task_id=task_id,
+                replica_id=0,
+                data_needed=self.app.t_data,
+            )
+            for task_id in range(self.app.tasks_per_iteration)
+        ]
+        self._need_replan = True
+
+    def _live_instances_of(self, task_id: int) -> List[TaskInstance]:
+        return [inst for inst in self._instances if inst.task_id == task_id]
+
+    def _uncommitted_task_ids(self) -> List[int]:
+        return [
+            task_id
+            for task_id in range(self.app.tasks_per_iteration)
+            if task_id not in self._committed
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Crash / state handling.                                              #
+    # ------------------------------------------------------------------ #
+    def _handle_states(self, slot: int, states: np.ndarray) -> None:
+        if self._prev_states is not None and not np.array_equal(
+            states, self._prev_states
+        ):
+            # Re-plan only when the UP set changed: transitions among
+            # RECLAIMED/DOWN of unused processors alter neither the
+            # candidate set nor any Delay estimate.
+            if not np.array_equal(
+                states == int(ProcState.UP),
+                self._prev_states == int(ProcState.UP),
+            ):
+                self._need_replan = True
+            if self.log.enabled:
+                for q in range(len(states)):
+                    if states[q] != self._prev_states[q]:
+                        self.log.emit(
+                            SimEvent(
+                                slot,
+                                EventKind.PROC_STATE_CHANGE,
+                                worker=q,
+                                detail=(
+                                    f"{ProcState(int(self._prev_states[q])).code}"
+                                    f"->{ProcState(int(states[q])).code}"
+                                ),
+                            )
+                        )
+        for worker in self.workers:
+            if states[worker.index] != int(ProcState.DOWN):
+                continue
+            if worker.prog_received == 0 and not worker.queue:
+                continue
+            # Account wasted effort before wiping progress.
+            self.report.comm_slots_wasted += worker.prog_received
+            lost = worker.crash()
+            for inst in lost:
+                self.report.comm_slots_wasted += inst.data_received
+                self.report.compute_slots_wasted += inst.compute_done
+                self.report.instances_lost_to_crash += 1
+                if inst.is_replica:
+                    self._destroy_instance(inst)
+                else:
+                    reset_instance(inst)  # original returns to the pool
+                self.log.emit(
+                    SimEvent(
+                        slot,
+                        EventKind.INSTANCE_LOST,
+                        worker=worker.index,
+                        iteration=inst.iteration,
+                        task_id=inst.task_id,
+                        replica_id=inst.replica_id,
+                        detail="crash",
+                    )
+                )
+            self._need_replan = True
+
+    def _destroy_instance(self, inst: TaskInstance) -> None:
+        if inst.worker is not None:
+            self.workers[inst.worker].remove_instance(inst)
+        reset_instance(inst)
+        self._instances = [other for other in self._instances if other is not inst]
+
+    # ------------------------------------------------------------------ #
+    # Scheduling round.                                                    #
+    # ------------------------------------------------------------------ #
+    _STATE_TABLE = (ProcState.UP, ProcState.RECLAIMED, ProcState.DOWN)
+
+    def _build_context(self, slot: int, states: np.ndarray) -> SchedulingContext:
+        views = []
+        state_table = self._STATE_TABLE
+        for proc, worker in zip(self.platform, self.workers):
+            pinned = worker.pinned_instances()
+            views.append(
+                ProcessorView(
+                    index=proc.index,
+                    speed_w=proc.speed_w,
+                    state=state_table[states[proc.index]],
+                    belief=proc.belief,
+                    has_program=worker.has_program,
+                    delay=worker.delay_estimate(self.app.t_data),
+                    pinned_count=len(pinned),
+                    prog_remaining=worker.prog_remaining,
+                    pinned_pipeline=tuple(
+                        (inst.data_remaining, inst.compute_remaining, inst.computing)
+                        for inst in pinned
+                    ),
+                )
+            )
+        remaining = sum(
+            1
+            for inst in self._instances
+            if not inst.is_replica and not inst.pinned
+        )
+        return SchedulingContext(
+            slot=slot,
+            t_prog=self.app.t_prog,
+            t_data=self.app.t_data,
+            ncom=self.platform.ncom,
+            processors=views,
+            remaining_tasks=remaining,
+            rng=self.rng,
+        )
+
+    def _round_is_trivial(self, states: np.ndarray) -> bool:
+        """True when a scheduling round could not change anything.
+
+        A round matters only if there is an unpinned original to (re)place,
+        an unpinned replica to reconsider, or the replication trigger can
+        fire.  Checking this first keeps event-dense runs cheap.
+        """
+        for inst in self._instances:
+            if not inst.pinned:
+                return False  # something to place or reconsider
+        if self.options.proactive and self._proactive_candidates(states):
+            return False
+        if not self.options.replication or self.options.max_replicas == 0:
+            return True
+        n_uncommitted = self.app.tasks_per_iteration - len(self._committed)
+        up = int(np.count_nonzero(states == int(ProcState.UP)))
+        if up <= n_uncommitted:
+            return True  # replication trigger cannot fire
+        idle = any(
+            not self.workers[q].queue
+            for q in range(len(self.workers))
+            if states[q] == int(ProcState.UP)
+        )
+        if not idle:
+            return True
+        max_instances = 1 + self.options.max_replicas
+        counts = {task_id: 0 for task_id in self._uncommitted_task_ids()}
+        for inst in self._instances:
+            if inst.task_id in counts:
+                counts[inst.task_id] += 1
+        return all(count >= max_instances for count in counts.values())
+
+    def _proactive_candidates(self, states: np.ndarray) -> List[TaskInstance]:
+        """Pinned originals worth terminating under the proactive policy.
+
+        Conditions (conservative, to avoid thrashing): the end-of-iteration
+        regime holds (at least as many UP processors as uncommitted tasks),
+        the instance's worker is RECLAIMED, and the instance has not
+        accumulated the majority of its computation (killing a nearly-done
+        task is rarely worth the resent data).
+        """
+        uncommitted = self.app.tasks_per_iteration - len(self._committed)
+        up = int(np.count_nonzero(states == int(ProcState.UP)))
+        if up < uncommitted or up == 0:
+            return []
+        candidates = []
+        for inst in self._instances:
+            if inst.is_replica or not inst.pinned or inst.worker is None:
+                continue
+            if states[inst.worker] != int(ProcState.RECLAIMED):
+                continue
+            if inst.compute_needed and inst.compute_done * 2 > inst.compute_needed:
+                continue
+            candidates.append(inst)
+        return candidates
+
+    def _proactive_round(self, slot: int, states: np.ndarray) -> None:
+        for inst in self._proactive_candidates(states):
+            self.report.comm_slots_wasted += inst.data_received
+            self.report.compute_slots_wasted += inst.compute_done
+            self.workers[inst.worker].remove_instance(inst)
+            reset_instance(inst)  # back to the pool, progress discarded
+            self.log.emit(
+                SimEvent(
+                    slot,
+                    EventKind.INSTANCE_LOST,
+                    worker=None,
+                    iteration=inst.iteration,
+                    task_id=inst.task_id,
+                    replica_id=inst.replica_id,
+                    detail="proactive-termination",
+                )
+            )
+
+    def _scheduling_round(self, slot: int, states: np.ndarray) -> None:
+        if self._round_is_trivial(states):
+            return
+        if self.options.proactive:
+            self._proactive_round(slot, states)
+        self.report.scheduler_rounds += 1
+
+        # Drop unpinned replicas; the replication step below recreates what
+        # is still useful.  (They carry no progress by definition.)
+        for inst in list(self._instances):
+            if inst.is_replica and not inst.pinned:
+                self._destroy_instance(inst)
+
+        # Collect the unpinned originals (planned-on-worker and unplaced).
+        unpinned: List[TaskInstance] = []
+        for inst in self._instances:
+            if inst.is_replica or inst.pinned:
+                continue
+            if inst.worker is not None:
+                self.workers[inst.worker].remove_instance(inst)
+            unpinned.append(inst)
+        unpinned.sort(key=lambda inst: inst.task_id)
+
+        ctx = self._build_context(slot, states)
+        placements = self.scheduler.place(ctx, len(unpinned))
+        for inst, choice in zip(unpinned, placements):
+            self._place(inst, choice, states)
+
+        if self.options.replication and self.options.max_replicas > 0:
+            self._replication_round(ctx, states)
+
+    def _place(
+        self, inst: TaskInstance, choice: Optional[int], states: np.ndarray
+    ) -> None:
+        if choice is None:
+            return
+        if not 0 <= choice < len(self.workers):
+            raise ValueError(
+                f"scheduler {self.scheduler.name!r} placed a task on unknown "
+                f"processor {choice}"
+            )
+        if states[choice] == int(ProcState.DOWN):
+            # Refuse placements on DOWN processors (passive schedulers may
+            # remember stale choices); leave the instance unplaced.
+            return
+        worker = self.workers[choice]
+        inst.worker = choice
+        inst.compute_needed = worker.speed_w
+        worker.queue.append(inst)
+
+    def _replication_round(
+        self, ctx: SchedulingContext, states: np.ndarray
+    ) -> None:
+        uncommitted = self._uncommitted_task_ids()
+        if not uncommitted:
+            return
+        up = [q for q in range(len(states)) if states[q] == int(ProcState.UP)]
+        if len(up) <= len(uncommitted):
+            return  # paper's trigger: more UP processors than remaining tasks
+        idle = [q for q in up if not self.workers[q].queue]
+        if not idle:
+            return
+        max_instances = 1 + self.options.max_replicas
+        # Least-replicated tasks first; ties toward the lowest task id.
+        candidates = sorted(
+            uncommitted,
+            key=lambda task_id: (len(self._live_instances_of(task_id)), task_id),
+        )
+        for task_id in candidates:
+            if not idle:
+                break
+            siblings = self._live_instances_of(task_id)
+            if len(siblings) >= max_instances:
+                continue
+            hosts = {inst.worker for inst in siblings if inst.worker is not None}
+            allowed = [q for q in idle if q not in hosts]
+            if not allowed:
+                continue
+            choice = self.scheduler.place(ctx, 1, allowed=allowed)[0]
+            if choice is None:
+                continue
+            replica_ids = {inst.replica_id for inst in siblings}
+            replica_id = next(
+                rid for rid in range(1, max_instances + 1) if rid not in replica_ids
+            )
+            replica = TaskInstance(
+                iteration=self.iteration,
+                task_id=task_id,
+                replica_id=replica_id,
+                data_needed=self.app.t_data,
+            )
+            self._instances.append(replica)
+            self._place(replica, choice, states)
+            if replica.worker is not None:
+                self.report.replicas_launched += 1
+                idle.remove(choice)
+            else:
+                self._instances.remove(replica)
+
+    # ------------------------------------------------------------------ #
+    # Compute step.                                                        #
+    # ------------------------------------------------------------------ #
+    def _compute_step(self, slot: int, states: np.ndarray) -> None:
+        for worker in self.workers:
+            if states[worker.index] != int(ProcState.UP):
+                continue
+            current = worker.computing_instance
+            if current is None:
+                current = worker.next_compute_target()
+                if current is None:
+                    continue
+                current.computing = True
+                self.log.emit(
+                    SimEvent(
+                        slot,
+                        EventKind.COMPUTE_START,
+                        worker=worker.index,
+                        iteration=current.iteration,
+                        task_id=current.task_id,
+                        replica_id=current.replica_id,
+                    )
+                )
+            current.compute_done += 1
+            self.report.compute_slots_spent += 1
+            if self.timeline is not None:
+                self.timeline.mark_compute(worker.index)
+            if current.compute_complete:
+                self._commit(slot, current)
+
+    def _commit(self, slot: int, inst: TaskInstance) -> None:
+        self._committed.add(inst.task_id)
+        self.report.tasks_committed += 1
+        self._need_replan = True
+        self.log.emit(
+            SimEvent(
+                slot,
+                EventKind.TASK_COMMIT,
+                worker=inst.worker,
+                iteration=inst.iteration,
+                task_id=inst.task_id,
+                replica_id=inst.replica_id,
+            )
+        )
+        # Remove the committed instance and cancel all siblings.
+        for sibling in self._live_instances_of(inst.task_id):
+            if sibling is inst:
+                self._destroy_instance(sibling)
+                continue
+            self.report.comm_slots_wasted += sibling.data_received
+            self.report.compute_slots_wasted += sibling.compute_done
+            if sibling.is_replica:
+                self.report.replicas_cancelled += 1
+            else:
+                self.report.originals_superseded += 1
+            self.log.emit(
+                SimEvent(
+                    slot,
+                    EventKind.REPLICA_CANCELLED,
+                    worker=sibling.worker,
+                    iteration=sibling.iteration,
+                    task_id=sibling.task_id,
+                    replica_id=sibling.replica_id,
+                )
+            )
+            self._destroy_instance(sibling)
+
+    # ------------------------------------------------------------------ #
+    # Transfer step.                                                       #
+    # ------------------------------------------------------------------ #
+    def _transfer_step(self, slot: int, states: np.ndarray) -> None:
+        requests: List[TransferRequest] = []
+        targets: Dict[int, TaskInstance] = {}
+        for worker in self.workers:
+            if states[worker.index] != int(ProcState.UP):
+                continue  # transfers suspend while RECLAIMED / DOWN
+            if worker.wants_program():
+                requests.append(
+                    TransferRequest(
+                        worker=worker.index,
+                        kind="prog",
+                        started=worker.prog_received > 0,
+                        is_replica=False,
+                        key=worker.index,
+                    )
+                )
+                continue
+            target = worker.next_data_target()
+            if target is not None:
+                requests.append(
+                    TransferRequest(
+                        worker=worker.index,
+                        kind="data",
+                        started=target.data_started,
+                        is_replica=target.is_replica,
+                        key=worker.index,
+                    )
+                )
+                targets[worker.index] = target
+
+        for grant in self.network.allocate(slot, requests):
+            worker = self.workers[grant.worker]
+            self.report.comm_slots_spent += 1
+            if self.timeline is not None:
+                self.timeline.mark_transfer(worker.index, grant.kind)
+            if grant.kind == "prog":
+                if worker.prog_received == 0:
+                    self.log.emit(
+                        SimEvent(
+                            slot,
+                            EventKind.PROGRAM_TRANSFER_START,
+                            worker=worker.index,
+                        )
+                    )
+                worker.prog_received += 1
+                if worker.has_program:
+                    self._need_replan = True
+                    self.log.emit(
+                        SimEvent(
+                            slot, EventKind.PROGRAM_TRANSFER_DONE, worker=worker.index
+                        )
+                    )
+            else:
+                inst = targets[grant.worker]
+                if not inst.data_started:
+                    self.log.emit(
+                        SimEvent(
+                            slot,
+                            EventKind.DATA_TRANSFER_START,
+                            worker=worker.index,
+                            iteration=inst.iteration,
+                            task_id=inst.task_id,
+                            replica_id=inst.replica_id,
+                        )
+                    )
+                inst.data_received += 1
+                if inst.data_complete:
+                    # No re-plan: a finished data transfer changes no
+                    # scheduling input (the freed channel/buffer is used by
+                    # the transfer step directly on the next slot).
+                    self.log.emit(
+                        SimEvent(
+                            slot,
+                            EventKind.DATA_TRANSFER_DONE,
+                            worker=worker.index,
+                            iteration=inst.iteration,
+                            task_id=inst.task_id,
+                            replica_id=inst.replica_id,
+                        )
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Main loop.                                                           #
+    # ------------------------------------------------------------------ #
+    def _step(self, slot: int) -> bool:
+        """Simulate one slot; returns True when the whole run finished."""
+        states = self.platform.states_at(slot)
+        if self.timeline is not None:
+            self.timeline.begin_slot(states)
+        self._handle_states(slot, states)
+
+        if self._need_replan or self.options.replan_every_slot:
+            self._need_replan = False
+            self._scheduling_round(slot, states)
+
+        self._compute_step(slot, states)
+        self._transfer_step(slot, states)
+
+        if self.options.audit:
+            for worker in self.workers:
+                worker.check_invariants()
+
+        if len(self._committed) >= self.app.tasks_per_iteration:
+            self.report.iteration_end_slots.append(slot)
+            self.report.completed_iterations += 1
+            self.log.emit(
+                SimEvent(slot, EventKind.ITERATION_DONE, iteration=self.iteration)
+            )
+            if self.report.completed_iterations >= self.app.iterations:
+                self.report.makespan = slot + 1
+                self.log.emit(SimEvent(slot, EventKind.RUN_DONE))
+                return True
+            self._start_iteration(self.iteration + 1)
+
+        self._prev_states = states
+        return False
+
+    def run(self, max_slots: Optional[int] = None) -> SimulationReport:
+        """Run until the target iterations complete (or ``max_slots``).
+
+        Returns:
+            The populated :class:`~repro.sim.metrics.SimulationReport`;
+            ``report.makespan`` is ``None`` if the slot budget ran out.
+        """
+        budget = max_slots if max_slots is not None else self.options.max_slots
+        budget = require_positive_int(budget, "max_slots")
+        for slot in range(budget):
+            finished = self._step(slot)
+            self.report.slots_simulated = slot + 1
+            if finished:
+                break
+        self._finalize()
+        return self.report
+
+    def run_slots(self, n_slots: int) -> SimulationReport:
+        """Simulate exactly ``n_slots`` slots (the Section 3.4 objective).
+
+        Returns:
+            The report; ``completed_iterations`` is the objective value.
+        """
+        n_slots = require_positive_int(n_slots, "n_slots")
+        for slot in range(n_slots):
+            finished = self._step(slot)
+            self.report.slots_simulated = slot + 1
+            if finished:
+                break
+        self._finalize()
+        return self.report
+
+    def _finalize(self) -> None:
+        # Leftover instances at end-of-run are waste.
+        for inst in self._instances:
+            self.report.comm_slots_wasted += inst.data_received
+            self.report.compute_slots_wasted += inst.compute_done
+        if self.options.audit:
+            self.network.verify_invariants()
+
+
+def simulate(
+    platform: Platform,
+    app: IterativeApplication,
+    scheduler: Scheduler,
+    *,
+    options: Optional[SimulatorOptions] = None,
+    rng: Optional[np.random.Generator] = None,
+    log: Optional[EventLog] = None,
+    max_slots: Optional[int] = None,
+) -> SimulationReport:
+    """Convenience one-shot wrapper around :class:`MasterSimulator`."""
+    sim = MasterSimulator(
+        platform, app, scheduler, options=options, rng=rng, log=log
+    )
+    return sim.run(max_slots=max_slots)

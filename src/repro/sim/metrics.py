@@ -1,0 +1,107 @@
+"""Simulation outcome metrics.
+
+:class:`SimulationReport` is the value returned by a simulation run.  The
+paper's evaluation metric is the *makespan* — the number of slots needed to
+complete 10 iterations — but the report also carries the secondary
+quantities the paper discusses qualitatively: wasted work (slots of compute
+lost to crashes and replica cancellations), communication effort, and
+per-iteration completion times, which the examples and ablation benchmarks
+surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["SimulationReport"]
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of one simulation run.
+
+    Attributes:
+        completed_iterations: iterations fully committed before the run
+            ended.
+        target_iterations: the iteration count requested.
+        makespan: slots used to finish ``target_iterations`` (``None`` when
+            the run hit its slot budget first — the off-line objective of
+            maximising iterations within ``N`` slots uses that mode).
+        slots_simulated: total slots actually simulated.
+        iteration_end_slots: slot at which each completed iteration ended.
+        tasks_committed: total task commits (originals and replicas that
+            won their race).
+        replicas_launched: replica instances created.
+        replicas_cancelled: replica instances cancelled after a sibling
+            committed.
+        originals_superseded: original instances cancelled because one of
+            their replicas committed first.
+        instances_lost_to_crash: instances destroyed by DOWN transitions.
+        compute_slots_spent: total UP slots spent computing (all instances).
+        compute_slots_wasted: compute slots spent on instances that never
+            committed (crashes + cancelled replicas + end-of-run leftovers).
+        comm_slots_spent: channel-slots spent on transfers.
+        comm_slots_wasted: channel-slots spent on transfers whose instance
+            never committed, plus lost program transfers.
+        scheduler_rounds: number of scheduling rounds executed.
+        heuristic_name: the scheduler's registry name (provenance).
+    """
+
+    completed_iterations: int = 0
+    target_iterations: int = 0
+    makespan: Optional[int] = None
+    slots_simulated: int = 0
+    iteration_end_slots: List[int] = field(default_factory=list)
+    tasks_committed: int = 0
+    replicas_launched: int = 0
+    replicas_cancelled: int = 0
+    originals_superseded: int = 0
+    instances_lost_to_crash: int = 0
+    compute_slots_spent: int = 0
+    compute_slots_wasted: int = 0
+    comm_slots_spent: int = 0
+    comm_slots_wasted: int = 0
+    scheduler_rounds: int = 0
+    heuristic_name: str = ""
+
+    @property
+    def finished(self) -> bool:
+        """True when the target iteration count was reached."""
+        return self.completed_iterations >= self.target_iterations
+
+    @property
+    def iteration_durations(self) -> List[int]:
+        """Slots per completed iteration (first iteration counts from 0)."""
+        durations: List[int] = []
+        previous = -1
+        for end in self.iteration_end_slots:
+            durations.append(end - previous)
+            previous = end
+        return durations
+
+    @property
+    def waste_fraction(self) -> float:
+        """Fraction of compute slots that produced no committed result."""
+        if self.compute_slots_spent == 0:
+            return 0.0
+        return self.compute_slots_wasted / self.compute_slots_spent
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        head = (
+            f"{self.heuristic_name or 'run'}: "
+            f"{self.completed_iterations}/{self.target_iterations} iterations"
+        )
+        if self.makespan is not None:
+            head += f", makespan {self.makespan} slots"
+        else:
+            head += f" within {self.slots_simulated} slots"
+        return (
+            f"{head}; {self.tasks_committed} commits, "
+            f"{self.replicas_launched} replicas "
+            f"({self.replicas_cancelled} cancelled), "
+            f"{self.instances_lost_to_crash} lost to crashes, "
+            f"waste {self.waste_fraction:.1%} of {self.compute_slots_spent} "
+            f"compute slots, {self.comm_slots_spent} comm slots"
+        )

@@ -1,0 +1,159 @@
+"""Platform model: volatile processors behind an always-UP master.
+
+The paper's platform (Section 3.2) is ``p`` processors
+:math:`P_1, \\dots, P_p`, each needing :math:`w_q` UP slots per task, whose
+availability is an (a priori unknown) state vector over
+UP / RECLAIMED / DOWN.  The master is always UP and always knows every
+processor's current state (heartbeat assumption).
+
+:class:`Processor` couples the static description (speed, Markov chain used
+by the *heuristics* as their belief model) with the dynamic availability
+source used by the *simulator* (a state provider, usually a sampled trace).
+Keeping the belief model and the ground-truth generator as two distinct
+attributes makes model-mismatch experiments possible: heuristics can be
+handed a Markov belief while the ground truth comes from, say, a Weibull
+trace (see :mod:`repro.sim.availability`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from .._validation import require_positive_int
+from ..core.markov import MarkovAvailabilityModel
+from ..types import ProcState
+from .availability import AvailabilitySource, MarkovSource, TraceSource
+
+__all__ = ["Processor", "Platform"]
+
+
+@dataclass
+class Processor:
+    """One volatile worker processor.
+
+    Attributes:
+        index: position in the platform (0-based; the paper's :math:`P_q`
+            is ``platform.processors[q-1]``).
+        speed_w: :math:`w_q`, UP slots required to compute one task.
+        availability: the ground-truth state source driving the simulation.
+        belief: the Markov chain the scheduler *believes* describes this
+            processor.  For the paper's experiments this is exactly the
+            chain that generated the trace; model-mismatch studies pass a
+            different one.  ``None`` for purely offline instances.
+    """
+
+    index: int
+    speed_w: int
+    availability: AvailabilitySource
+    belief: Optional[MarkovAvailabilityModel] = None
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.speed_w, "speed_w")
+        if self.index < 0:
+            raise ValueError(f"index must be >= 0, got {self.index}")
+
+    def state_at(self, slot: int) -> ProcState:
+        """Ground-truth state at ``slot`` (generates lazily if needed)."""
+        return ProcState(self.availability.state_at(slot))
+
+    @classmethod
+    def from_markov(
+        cls,
+        index: int,
+        speed_w: int,
+        model: MarkovAvailabilityModel,
+        rng: np.random.Generator,
+        *,
+        initial: Optional[int] = None,
+    ) -> "Processor":
+        """A processor whose truth *and* belief are the same Markov chain."""
+        return cls(
+            index=index,
+            speed_w=speed_w,
+            availability=MarkovSource(model, rng, initial=initial),
+            belief=model,
+        )
+
+    @classmethod
+    def from_trace(
+        cls,
+        index: int,
+        speed_w: int,
+        trace: Sequence[int],
+        *,
+        belief: Optional[MarkovAvailabilityModel] = None,
+        pad_state: ProcState = ProcState.DOWN,
+    ) -> "Processor":
+        """A processor replaying a fixed trace (offline instances, tests)."""
+        return cls(
+            index=index,
+            speed_w=speed_w,
+            availability=TraceSource(trace, pad_state=pad_state),
+            belief=belief,
+        )
+
+
+@dataclass
+class Platform:
+    """A collection of processors plus the master's bandwidth constraint.
+
+    Attributes:
+        processors: the worker processors.
+        ncom: maximum number of simultaneous master communications
+            (:math:`n_{com} = BW / bw`, Section 3.2).  ``None`` means
+            unbounded (the polynomial offline case of Proposition 2).
+    """
+
+    processors: list[Processor]
+    ncom: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.processors:
+            raise ValueError("platform needs at least one processor")
+        seen = set()
+        for proc in self.processors:
+            if proc.index in seen:
+                raise ValueError(f"duplicate processor index {proc.index}")
+            seen.add(proc.index)
+        if sorted(seen) != list(range(len(self.processors))):
+            raise ValueError("processor indices must be 0..p-1 without gaps")
+        if self.ncom is not None:
+            require_positive_int(self.ncom, "ncom")
+
+    def __len__(self) -> int:
+        return len(self.processors)
+
+    def __iter__(self) -> Iterator[Processor]:
+        return iter(self.processors)
+
+    def __getitem__(self, index: int) -> Processor:
+        return self.processors[index]
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when all :math:`w_q` are equal (paper Section 3.2)."""
+        speeds = {proc.speed_w for proc in self.processors}
+        return len(speeds) == 1
+
+    def states_at(self, slot: int) -> np.ndarray:
+        """Vector of ground-truth states at ``slot`` (uint8).
+
+        Hot path: reads the raw availability sources directly rather than
+        going through the :class:`~repro.types.ProcState` wrapper.
+        """
+        return np.fromiter(
+            (proc.availability.state_at(slot) for proc in self.processors),
+            dtype=np.uint8,
+            count=len(self.processors),
+        )
+
+    def up_indices_at(self, slot: int) -> list[int]:
+        """Indices of processors UP at ``slot``, ascending."""
+        return [
+            proc.index
+            for proc in self.processors
+            if proc.state_at(slot) == ProcState.UP
+        ]

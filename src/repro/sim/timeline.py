@@ -1,0 +1,125 @@
+"""Per-slot activity timelines: what every worker did, every slot.
+
+The event log (:mod:`repro.sim.events`) captures *transitions*; the
+timeline recorder captures *occupancy* — for each worker and slot, its
+availability state and the activity the simulator gave it.  Together they
+make a run fully inspectable; the Gantt renderer in
+:mod:`repro.analysis.gantt` turns the matrix into the kind of schedule
+picture scheduling papers reason about.
+
+Activities (one code per worker-slot):
+
+====  =========================================================
+code  meaning
+====  =========================================================
+``#``  computing a task
+``=``  receiving task input data
+``p``  receiving the application program
+``.``  UP but idle
+``r``  RECLAIMED (frozen)
+``X``  DOWN
+====  =========================================================
+
+The recorder costs one row of bytes per slot; enable it for debugging and
+examples, not for large campaigns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..types import ProcState
+
+__all__ = ["Activity", "TimelineRecorder"]
+
+
+class Activity:
+    """Byte codes stored in the timeline matrix."""
+
+    COMPUTE = ord("#")
+    DATA = ord("=")
+    PROGRAM = ord("p")
+    IDLE = ord(".")
+    RECLAIMED = ord("r")
+    DOWN = ord("X")
+
+
+class TimelineRecorder:
+    """Records a ``(slots, workers)`` activity matrix during a run.
+
+    The master calls :meth:`begin_slot`, then :meth:`mark_compute` /
+    :meth:`mark_transfer` as it grants work.  Workers not marked during a
+    slot keep the availability-derived default (idle / reclaimed / down).
+    """
+
+    def __init__(self, n_workers: int):
+        if n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {n_workers}")
+        self.n_workers = n_workers
+        self._rows: List[np.ndarray] = []
+        self._current: Optional[np.ndarray] = None
+
+    def begin_slot(self, states: np.ndarray) -> None:
+        """Open a new slot row, pre-filled from availability states."""
+        row = np.empty(self.n_workers, dtype=np.uint8)
+        for q in range(self.n_workers):
+            state = int(states[q])
+            if state == int(ProcState.UP):
+                row[q] = Activity.IDLE
+            elif state == int(ProcState.RECLAIMED):
+                row[q] = Activity.RECLAIMED
+            else:
+                row[q] = Activity.DOWN
+        self._rows.append(row)
+        self._current = row
+
+    def mark_compute(self, worker: int) -> None:
+        """Record one slot of computation on ``worker``."""
+        self._mark(worker, Activity.COMPUTE)
+
+    def mark_transfer(self, worker: int, kind: str) -> None:
+        """Record one slot of channel service (``"prog"`` or ``"data"``).
+
+        Computation takes display precedence over the overlapped data
+        prefetch (both can happen in the same slot; the Gantt shows the
+        CPU's view, and transfer totals remain available in the report).
+        """
+        code = Activity.PROGRAM if kind == "prog" else Activity.DATA
+        if self._current is None:
+            raise RuntimeError("mark_transfer before begin_slot")
+        if self._current[worker] != Activity.COMPUTE:
+            self._current[worker] = code
+
+    def _mark(self, worker: int, code: int) -> None:
+        if self._current is None:
+            raise RuntimeError("mark before begin_slot")
+        self._current[worker] = code
+
+    @property
+    def slots_recorded(self) -> int:
+        """Number of slot rows captured so far."""
+        return len(self._rows)
+
+    def matrix(self) -> np.ndarray:
+        """The ``(slots, workers)`` activity matrix (uint8 char codes)."""
+        if not self._rows:
+            return np.empty((0, self.n_workers), dtype=np.uint8)
+        return np.vstack(self._rows)
+
+    def worker_row(self, worker: int) -> str:
+        """One worker's activity string across all recorded slots."""
+        if not 0 <= worker < self.n_workers:
+            raise IndexError(f"worker {worker} out of range")
+        return "".join(chr(c) for c in self.matrix()[:, worker])
+
+    def busy_fraction(self, worker: int) -> float:
+        """Fraction of recorded slots the worker computed or transferred."""
+        row = self.matrix()[:, worker]
+        if row.size == 0:
+            return 0.0
+        busy = np.isin(
+            row, [Activity.COMPUTE, Activity.DATA, Activity.PROGRAM]
+        ).sum()
+        return float(busy) / row.size

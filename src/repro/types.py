@@ -1,0 +1,105 @@
+"""Shared types for the volatile-resource scheduling reproduction.
+
+This module defines the small vocabulary shared across the whole package:
+the three processor states of the paper's model (Section 3.2), the state
+encoding used by availability traces, and a handful of type aliases.
+
+The paper encodes processor availability as a vector ``S_q`` whose entry
+``S_q[t]`` is one of ``u`` (UP), ``r`` (RECLAIMED) or ``d`` (DOWN).  We mirror
+that encoding both as an :class:`enum.IntEnum` (for fast numpy storage) and
+as the single-character codes used throughout the paper (for readable test
+fixtures and trace files).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "ProcState",
+    "STATE_CODES",
+    "CODE_TO_STATE",
+    "states_from_codes",
+    "codes_from_states",
+    "StateTrace",
+    "Slot",
+]
+
+#: A discrete time-slot index (the paper discretises time, Section 3.2).
+Slot = int
+
+#: A per-processor availability trace: one state per time slot.
+StateTrace = np.ndarray
+
+
+class ProcState(enum.IntEnum):
+    """The three availability states of a volatile processor.
+
+    The integer values are chosen so that traces can be stored as compact
+    ``uint8`` numpy arrays and compared vectorially.
+
+    * :attr:`UP` — available for computation and communication.
+    * :attr:`RECLAIMED` — temporarily preempted by its owner; ongoing work is
+      suspended and resumes untouched when the processor returns to UP.
+    * :attr:`DOWN` — crashed; the application program, any task data, and any
+      partially computed results on the processor are lost.
+    """
+
+    UP = 0
+    RECLAIMED = 1
+    DOWN = 2
+
+    @property
+    def code(self) -> str:
+        """The paper's single-character code for this state (u/r/d)."""
+        return STATE_CODES[self]
+
+    @classmethod
+    def from_code(cls, code: str) -> "ProcState":
+        """Parse the paper's single-character code (``u``/``r``/``d``).
+
+        Raises:
+            ValueError: if ``code`` is not one of ``u``, ``r``, ``d``.
+        """
+        try:
+            return CODE_TO_STATE[code]
+        except KeyError:
+            raise ValueError(
+                f"unknown processor state code {code!r}; expected one of 'u', 'r', 'd'"
+            ) from None
+
+
+#: Mapping from state to the paper's character code.
+STATE_CODES = {
+    ProcState.UP: "u",
+    ProcState.RECLAIMED: "r",
+    ProcState.DOWN: "d",
+}
+
+#: Mapping from the paper's character code to state.
+CODE_TO_STATE = {code: state for state, code in STATE_CODES.items()}
+
+
+def states_from_codes(codes: Union[str, Sequence[str]]) -> np.ndarray:
+    """Convert a string like ``"uurd"`` into a ``uint8`` state trace.
+
+    Accepts either a single string (each character one slot) or a sequence
+    of single-character strings.  This is the format used by the paper for
+    availability vectors, e.g. ``S1 = [u, u, u, u, u, u, r, r, r]``.
+
+    >>> states_from_codes("urd")
+    array([0, 1, 2], dtype=uint8)
+    """
+    return np.array([ProcState.from_code(c) for c in codes], dtype=np.uint8)
+
+
+def codes_from_states(states: Sequence[int]) -> str:
+    """Convert a state trace back into the compact ``urd`` string form.
+
+    >>> codes_from_states([0, 1, 2])
+    'urd'
+    """
+    return "".join(STATE_CODES[ProcState(int(s))] for s in states)

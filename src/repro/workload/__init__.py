@@ -1,0 +1,5 @@
+"""Application model, scenario generation, and availability traces."""
+
+from .application import IterativeApplication
+
+__all__ = ["IterativeApplication"]

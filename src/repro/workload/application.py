@@ -1,0 +1,94 @@
+"""The iterative master–worker application model (paper Section 3.1).
+
+An application is a sequence of iterations; each iteration is the execution
+of ``tasks_per_iteration`` same-size independent tasks with a barrier at the
+end.  Each task consumes input data of ``Vdata`` bytes sent by the master;
+before computing anything a worker must hold the application program of
+``Vprog`` bytes.  With the bounded multi-port model, each worker
+communication runs at the fixed bandwidth ``bw``, so transfer *times* are
+
+.. math:: T_{prog} = V_{prog} / bw, \\qquad T_{data} = V_{data} / bw,
+
+both integer numbers of slots (the paper assumes the discretisation makes
+them integral).  The simulator and heuristics only ever consume
+``t_prog``/``t_data``, so :class:`IterativeApplication` lets you specify
+either bytes + bandwidth or slot counts directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import require_nonnegative_int, require_positive_int
+
+__all__ = ["IterativeApplication"]
+
+
+@dataclass(frozen=True)
+class IterativeApplication:
+    """An iterative application described in time-slot units.
+
+    Attributes:
+        tasks_per_iteration: the number ``m`` of independent same-size tasks
+            per iteration.
+        iterations: the number of iterations to complete (the paper's
+            evaluation fixes this to 10 and measures makespan).
+        t_prog: slots needed to transfer the program to one worker
+            (:math:`T_{prog} = V_{prog}/bw`).
+        t_data: slots needed to transfer one task's input data
+            (:math:`T_{data} = V_{data}/bw`).  ``0`` is allowed (the 3SAT
+            reduction of Theorem 1 uses ``Tdata = 0``).
+    """
+
+    tasks_per_iteration: int
+    iterations: int
+    t_prog: int
+    t_data: int
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.tasks_per_iteration, "tasks_per_iteration")
+        require_positive_int(self.iterations, "iterations")
+        require_nonnegative_int(self.t_prog, "t_prog")
+        require_nonnegative_int(self.t_data, "t_data")
+
+    @classmethod
+    def from_volumes(
+        cls,
+        *,
+        tasks_per_iteration: int,
+        iterations: int,
+        v_prog: float,
+        v_data: float,
+        bw: float,
+    ) -> "IterativeApplication":
+        """Build from byte volumes and the per-worker bandwidth ``bw``.
+
+        Transfer times are rounded up to whole slots (a partial slot of
+        communication still occupies a channel for that slot).
+        """
+        if bw <= 0:
+            raise ValueError(f"bw must be positive, got {bw}")
+        if v_prog < 0 or v_data < 0:
+            raise ValueError("volumes must be non-negative")
+        t_prog = int(-(-v_prog // bw))  # ceil division for floats
+        t_data = int(-(-v_data // bw))
+        return cls(
+            tasks_per_iteration=tasks_per_iteration,
+            iterations=iterations,
+            t_prog=t_prog,
+            t_data=t_data,
+        )
+
+    @property
+    def total_tasks(self) -> int:
+        """Total committed tasks needed across the whole run."""
+        return self.tasks_per_iteration * self.iterations
+
+    def communication_to_computation_ratio(self, w: int) -> float:
+        """``t_data / w`` for a worker of speed ``w`` — the paper's CCR.
+
+        Section 7 calibrates ``Tdata = wmin`` so the fastest processor has a
+        ratio of 1; this helper is used by scenario validation and docs.
+        """
+        w = require_positive_int(w, "w")
+        return self.t_data / w

@@ -1,0 +1,224 @@
+"""Experimental scenario generation (paper Section 7).
+
+The paper's evaluation protocol:
+
+* ``p = 20`` processors; each processor's chain drawn by
+  :func:`~repro.core.markov.paper_random_model` (self-loops uniform in
+  ``[0.90, 0.99]``, symmetric off-diagonals);
+* speeds :math:`w_q` uniform in ``[wmin, 10 · wmin]`` (integers);
+* ``Tdata = wmin`` (the fastest possible processor has a
+  communication-to-computation ratio of 1), ``Tprog = 5 · wmin``;
+* a scenario cell is a triple ``(n, ncom, wmin)`` with
+  ``n ∈ {5, 10, 20, 40}``, ``ncom ∈ {5, 10, 20}``, ``wmin ∈ 1..10``;
+* 247 random scenarios per cell, 10 trials per scenario (the trial varies
+  only the seed driving the Markov state transitions), 10 iterations per
+  run.
+
+The *contention-prone* variant (Table 3) fixes ``n = 20``, ``ncom = 5``,
+``wmin = 1`` and scales the communication times by a factor ``f``:
+``Tdata = f · wmin``, ``Tprog = 5 f · wmin`` (``f = 5`` and ``f = 10``).
+
+A :class:`Scenario` is the *static* description (chains, speeds,
+application); :meth:`Scenario.build_platform` instantiates the stochastic
+ground truth for one trial.  Availability randomness is derived from
+``(scenario key, trial)`` only — never from the heuristic — so the same
+trial presents the identical availability sample to every heuristic
+(paired comparison, as the dfb metric requires).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from .._validation import require_positive_int
+from ..core.markov import MarkovAvailabilityModel, paper_random_model
+from ..rng import RngFactory
+from ..sim.platform import Platform, Processor
+from .application import IterativeApplication
+
+__all__ = [
+    "PAPER_N_VALUES",
+    "PAPER_NCOM_VALUES",
+    "PAPER_WMIN_VALUES",
+    "Scenario",
+    "ScenarioGenerator",
+]
+
+#: Parameter grid of the paper's Table 1.
+PAPER_N_VALUES: Tuple[int, ...] = (5, 10, 20, 40)
+PAPER_NCOM_VALUES: Tuple[int, ...] = (5, 10, 20)
+PAPER_WMIN_VALUES: Tuple[int, ...] = tuple(range(1, 11))
+
+#: Paper constants.
+PAPER_P = 20
+PAPER_ITERATIONS = 10
+PAPER_SCENARIOS_PER_CELL = 247
+PAPER_TRIALS = 10
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One random experimental scenario (chains + speeds + application).
+
+    Attributes:
+        key: provenance tuple identifying the scenario (cell parameters
+            and scenario index) — also the RNG derivation key.
+        models: one Markov chain per processor.
+        speeds: one :math:`w_q` per processor.
+        ncom: the master channel budget.
+        app: the iterative application (m tasks, 10 iterations, timings).
+        root_seed: entropy of the generating factory (provenance).
+    """
+
+    key: tuple
+    models: Tuple[MarkovAvailabilityModel, ...]
+    speeds: Tuple[int, ...]
+    ncom: int
+    app: IterativeApplication
+    root_seed: object = None
+
+    @property
+    def p(self) -> int:
+        """Number of processors."""
+        return len(self.models)
+
+    def build_platform(self, trial: int) -> Platform:
+        """Instantiate the ground-truth platform for one trial.
+
+        The availability sample depends only on ``(root_seed, key, trial,
+        processor)`` — identical across heuristics, fresh across trials.
+        """
+        factory = RngFactory(self.root_seed)
+        processors = [
+            Processor.from_markov(
+                q,
+                self.speeds[q],
+                self.models[q],
+                factory.generator("avail", *self.key, trial, q),
+            )
+            for q in range(self.p)
+        ]
+        return Platform(processors, ncom=self.ncom)
+
+    def scheduler_rng(self, trial: int, heuristic: str):
+        """RNG stream for a heuristic's internal randomness in one trial.
+
+        Derived per heuristic so that random heuristics don't perturb each
+        other, while the availability sample stays shared.
+        """
+        return RngFactory(self.root_seed).generator(
+            "sched", *self.key, trial, heuristic
+        )
+
+
+class ScenarioGenerator:
+    """Generates the paper's scenario population deterministically.
+
+    Args:
+        root_seed: seed for the whole experiment campaign.
+        p: processors per scenario (paper: 20).
+        iterations: iterations per run (paper: 10).
+    """
+
+    def __init__(
+        self,
+        root_seed=12061,
+        *,
+        p: int = PAPER_P,
+        iterations: int = PAPER_ITERATIONS,
+    ):
+        self._factory = RngFactory(root_seed)
+        self._root_seed = root_seed
+        self.p = require_positive_int(p, "p")
+        self.iterations = require_positive_int(iterations, "iterations")
+
+    def scenario(
+        self,
+        n: int,
+        ncom: int,
+        wmin: int,
+        index: int,
+        *,
+        comm_factor: int = 1,
+    ) -> Scenario:
+        """The ``index``-th random scenario of cell ``(n, ncom, wmin)``.
+
+        Args:
+            n: tasks per iteration.
+            ncom: channel budget.
+            wmin: the speed-scale parameter; ``w_q ~ U{wmin..10·wmin}``,
+                ``Tdata = comm_factor · wmin``,
+                ``Tprog = 5 · comm_factor · wmin``.
+            index: scenario index within the cell (0-based).
+            comm_factor: Table 3's communication scaling (1, 5, or 10).
+        """
+        n = require_positive_int(n, "n")
+        ncom = require_positive_int(ncom, "ncom")
+        wmin = require_positive_int(wmin, "wmin")
+        comm_factor = require_positive_int(comm_factor, "comm_factor")
+        key = (n, ncom, wmin, comm_factor, index)
+        rng = self._factory.generator("scenario", *key)
+        models = tuple(paper_random_model(rng) for _ in range(self.p))
+        speeds = tuple(
+            int(rng.integers(wmin, 10 * wmin, endpoint=True)) for _ in range(self.p)
+        )
+        app = IterativeApplication(
+            tasks_per_iteration=n,
+            iterations=self.iterations,
+            t_prog=5 * comm_factor * wmin,
+            t_data=comm_factor * wmin,
+        )
+        return Scenario(
+            key=key,
+            models=models,
+            speeds=speeds,
+            ncom=ncom,
+            app=app,
+            root_seed=self._root_seed,
+        )
+
+    def cell(
+        self,
+        n: int,
+        ncom: int,
+        wmin: int,
+        count: int,
+        *,
+        comm_factor: int = 1,
+    ) -> List[Scenario]:
+        """``count`` scenarios of one cell (paper: 247)."""
+        return [
+            self.scenario(n, ncom, wmin, index, comm_factor=comm_factor)
+            for index in range(count)
+        ]
+
+    def grid(
+        self,
+        scenarios_per_cell: int,
+        *,
+        n_values: Optional[Tuple[int, ...]] = None,
+        ncom_values: Optional[Tuple[int, ...]] = None,
+        wmin_values: Optional[Tuple[int, ...]] = None,
+    ) -> Iterator[Scenario]:
+        """Iterate scenarios over the full (or a restricted) parameter grid.
+
+        Defaults to the paper's Table 1 grid.  The paper's full campaign is
+        ``grid(247)`` with 10 trials each: 296,400 problem instances.
+        """
+        for n in n_values or PAPER_N_VALUES:
+            for ncom in ncom_values or PAPER_NCOM_VALUES:
+                for wmin in wmin_values or PAPER_WMIN_VALUES:
+                    for index in range(scenarios_per_cell):
+                        yield self.scenario(n, ncom, wmin, index)
+
+    def contention_prone(
+        self, comm_factor: int, count: int
+    ) -> List[Scenario]:
+        """Table 3 scenarios: ``n=20, ncom=5, wmin=1``, comm scaled.
+
+        Args:
+            comm_factor: 5 (Table 3 left) or 10 (Table 3 right).
+            count: scenarios (paper: 100).
+        """
+        return self.cell(20, 5, 1, count, comm_factor=comm_factor)

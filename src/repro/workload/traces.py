@@ -1,0 +1,187 @@
+"""Availability-trace serialisation and a synthetic trace archive.
+
+The paper's future-work section points to the Failure Trace Archive (FTA)
+as a source of real host availability.  The FTA distributes per-host
+*event lists*: ordered ``(state, start, end)`` intervals.  Offline we
+cannot ship FTA data, so this module provides (a) the interval-list format
+itself — load/save plus conversion to/from flat slot traces — and (b) a
+synthetic archive generator producing FTA-shaped data from any availability
+source, so the trace-replay code path (:class:`repro.sim.availability.
+TraceSource`) is exercised end to end exactly as it would be with real
+archives.
+
+File format (one trace set per JSON document)::
+
+    {
+      "format": "repro-trace-v1",
+      "slot_seconds": 60.0,            # documentation only
+      "hosts": [
+        {"name": "host-0", "intervals": [["u", 120], ["r", 30], ...]},
+        ...
+      ]
+    }
+
+Interval durations are in slots; states use the paper's ``u``/``r``/``d``
+codes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from .._validation import require_positive_int
+from ..types import CODE_TO_STATE, STATE_CODES, ProcState
+
+__all__ = [
+    "HostTrace",
+    "TraceArchive",
+    "intervals_from_states",
+    "states_from_intervals",
+    "synthesize_archive",
+]
+
+FORMAT_TAG = "repro-trace-v1"
+
+Interval = Tuple[str, int]  # (state code, duration in slots)
+
+
+def intervals_from_states(states: Sequence[int]) -> List[Interval]:
+    """Run-length encode a flat slot trace into FTA-style intervals.
+
+    >>> intervals_from_states([0, 0, 1, 2, 2, 2])
+    [('u', 2), ('r', 1), ('d', 3)]
+    """
+    states = np.asarray(states)
+    if states.ndim != 1 or len(states) == 0:
+        raise ValueError("states must be a non-empty 1-D sequence")
+    intervals: List[Interval] = []
+    current = int(states[0])
+    run = 1
+    for value in states[1:]:
+        value = int(value)
+        if value == current:
+            run += 1
+        else:
+            intervals.append((STATE_CODES[ProcState(current)], run))
+            current, run = value, 1
+    intervals.append((STATE_CODES[ProcState(current)], run))
+    return intervals
+
+
+def states_from_intervals(intervals: Sequence[Interval]) -> np.ndarray:
+    """Expand FTA-style intervals back into a flat slot trace."""
+    if not intervals:
+        raise ValueError("intervals must be non-empty")
+    pieces = []
+    for code, duration in intervals:
+        duration = require_positive_int(duration, "interval duration")
+        state = CODE_TO_STATE.get(code)
+        if state is None:
+            raise ValueError(f"unknown state code {code!r}")
+        pieces.append(np.full(duration, int(state), dtype=np.uint8))
+    return np.concatenate(pieces)
+
+
+@dataclass(frozen=True)
+class HostTrace:
+    """One host's availability as an interval list."""
+
+    name: str
+    intervals: Tuple[Interval, ...]
+
+    @property
+    def total_slots(self) -> int:
+        """Trace length in slots."""
+        return sum(duration for _code, duration in self.intervals)
+
+    def to_states(self) -> np.ndarray:
+        """Flat slot trace (uint8 :class:`~repro.types.ProcState`)."""
+        return states_from_intervals(self.intervals)
+
+    def availability_fraction(self) -> float:
+        """Fraction of slots spent UP."""
+        up = sum(d for code, d in self.intervals if code == "u")
+        return up / self.total_slots
+
+
+@dataclass
+class TraceArchive:
+    """A set of host traces, FTA-shaped.
+
+    Attributes:
+        hosts: the host traces.
+        slot_seconds: documentation-only wall-clock length of one slot.
+    """
+
+    hosts: List[HostTrace] = field(default_factory=list)
+    slot_seconds: float = 60.0
+
+    def __len__(self) -> int:
+        return len(self.hosts)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Serialise to the JSON document format."""
+        document = {
+            "format": FORMAT_TAG,
+            "slot_seconds": self.slot_seconds,
+            "hosts": [
+                {"name": host.name, "intervals": [list(iv) for iv in host.intervals]}
+                for host in self.hosts
+            ],
+        }
+        Path(path).write_text(json.dumps(document, indent=1))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TraceArchive":
+        """Load a previously saved archive.
+
+        Raises:
+            ValueError: on format-tag mismatch or malformed intervals.
+        """
+        document = json.loads(Path(path).read_text())
+        if document.get("format") != FORMAT_TAG:
+            raise ValueError(
+                f"unsupported trace file format {document.get('format')!r}; "
+                f"expected {FORMAT_TAG!r}"
+            )
+        hosts = []
+        for entry in document["hosts"]:
+            intervals = tuple((str(code), int(dur)) for code, dur in entry["intervals"])
+            for code, dur in intervals:
+                if code not in CODE_TO_STATE:
+                    raise ValueError(f"unknown state code {code!r} in {entry['name']}")
+                if dur <= 0:
+                    raise ValueError(f"non-positive duration in {entry['name']}")
+            hosts.append(HostTrace(name=str(entry["name"]), intervals=intervals))
+        return cls(hosts=hosts, slot_seconds=float(document.get("slot_seconds", 60.0)))
+
+
+def synthesize_archive(
+    sources,
+    length: int,
+    *,
+    names: Sequence[str] | None = None,
+    slot_seconds: float = 60.0,
+) -> TraceArchive:
+    """Materialise availability sources into an FTA-shaped archive.
+
+    Args:
+        sources: availability sources (anything with ``state_at``).
+        length: slots to materialise per host.
+        names: optional host names (default ``host-<i>``).
+        slot_seconds: documentation-only slot length.
+    """
+    length = require_positive_int(length, "length")
+    hosts = []
+    for i, source in enumerate(sources):
+        states = np.array(
+            [source.state_at(t) for t in range(length)], dtype=np.uint8
+        )
+        name = names[i] if names is not None else f"host-{i}"
+        hosts.append(HostTrace(name=name, intervals=tuple(intervals_from_states(states))))
+    return TraceArchive(hosts=hosts, slot_seconds=slot_seconds)

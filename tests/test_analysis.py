@@ -1,0 +1,122 @@
+"""Tests for the statistics and plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plotting import ascii_plot, format_table
+from repro.analysis.stats import bootstrap_ci, mean_and_sem, summarize
+
+
+class TestStats:
+    def test_mean_and_sem(self):
+        mean, sem = mean_and_sem([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert sem == pytest.approx(1.0 / np.sqrt(3))
+
+    def test_singleton_sem_zero(self):
+        assert mean_and_sem([5.0]) == (5.0, 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_and_sem([])
+
+    def test_bootstrap_ci_contains_mean_for_tight_sample(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(10.0, 0.1, size=200)
+        low, high = bootstrap_ci(sample, rng=np.random.default_rng(1))
+        assert low < 10.0 < high
+        assert high - low < 0.1
+
+    def test_bootstrap_singleton(self):
+        assert bootstrap_ci([4.0]) == (4.0, 4.0)
+
+    def test_bootstrap_bad_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    def test_bootstrap_empty(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == pytest.approx(2.5)
+        assert "n=4" in str(summary)
+
+    def test_summarize_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestAsciiPlot:
+    def test_contains_series_markers_and_legend(self):
+        chart = ascii_plot(
+            {"mct": [1, 2, 3], "emct": [3, 2, 1]},
+            [1, 2, 3],
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "legend:" in chart
+        assert "o=mct" in chart
+        assert "x=emct" in chart
+
+    def test_axis_labels(self):
+        chart = ascii_plot({"s": [0, 1]}, [0, 1], x_label="wmin",
+                           y_label="dfb")
+        assert "wmin" in chart
+        assert "dfb" in chart
+
+    def test_handles_nan_points(self):
+        chart = ascii_plot({"s": [1.0, float("nan"), 3.0]}, [1, 2, 3])
+        assert "legend:" in chart
+
+    def test_flat_series(self):
+        chart = ascii_plot({"s": [2.0, 2.0]}, [0, 1])
+        assert "legend:" in chart
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ValueError):
+            ascii_plot({}, [1])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="points"):
+            ascii_plot({"s": [1, 2]}, [1, 2, 3])
+
+    def test_rejects_all_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            ascii_plot({"s": [float("nan")]}, [1])
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        table = format_table(
+            ["name", "value"],
+            [("alpha", 1.5), ("b", 22.25)],
+            title="T",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "1.50" in table
+        assert "22.25" in table
+
+    def test_numeric_right_alignment(self):
+        table = format_table(["h"], [(5,), (123,)])
+        lines = table.splitlines()
+        assert lines[-1].startswith("123")
+        assert lines[-2].endswith("  5") or lines[-2].strip() == "5"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_empty_rows_ok(self):
+        table = format_table(["a"], [])
+        assert "a" in table

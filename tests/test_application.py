@@ -1,0 +1,78 @@
+"""Tests for the application model."""
+
+import pytest
+
+from repro.workload.application import IterativeApplication
+
+
+class TestValidation:
+    def test_valid_construction(self):
+        app = IterativeApplication(
+            tasks_per_iteration=10, iterations=10, t_prog=5, t_data=1
+        )
+        assert app.total_tasks == 100
+
+    def test_zero_t_data_allowed(self):
+        app = IterativeApplication(
+            tasks_per_iteration=1, iterations=1, t_prog=5, t_data=0
+        )
+        assert app.t_data == 0
+
+    @pytest.mark.parametrize("field,value", [
+        ("tasks_per_iteration", 0),
+        ("iterations", 0),
+        ("t_prog", -1),
+        ("t_data", -2),
+    ])
+    def test_rejects_bad_values(self, field, value):
+        kwargs = dict(tasks_per_iteration=1, iterations=1, t_prog=1, t_data=1)
+        kwargs[field] = value
+        with pytest.raises((ValueError, TypeError)):
+            IterativeApplication(**kwargs)
+
+
+class TestFromVolumes:
+    def test_exact_division(self):
+        app = IterativeApplication.from_volumes(
+            tasks_per_iteration=2, iterations=3, v_prog=100.0, v_data=20.0,
+            bw=10.0,
+        )
+        assert app.t_prog == 10
+        assert app.t_data == 2
+
+    def test_rounds_up_partial_slots(self):
+        app = IterativeApplication.from_volumes(
+            tasks_per_iteration=1, iterations=1, v_prog=101.0, v_data=19.0,
+            bw=10.0,
+        )
+        assert app.t_prog == 11
+        assert app.t_data == 2
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError, match="bw"):
+            IterativeApplication.from_volumes(
+                tasks_per_iteration=1, iterations=1, v_prog=1, v_data=1, bw=0,
+            )
+
+    def test_rejects_negative_volume(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            IterativeApplication.from_volumes(
+                tasks_per_iteration=1, iterations=1, v_prog=-1, v_data=1, bw=1,
+            )
+
+
+class TestCcr:
+    def test_paper_calibration(self):
+        # Section 7: Tdata = wmin means the fastest processor has CCR 1.
+        app = IterativeApplication(
+            tasks_per_iteration=5, iterations=10, t_prog=5, t_data=1
+        )
+        assert app.communication_to_computation_ratio(1) == pytest.approx(1.0)
+        assert app.communication_to_computation_ratio(10) == pytest.approx(0.1)
+
+    def test_rejects_zero_speed(self):
+        app = IterativeApplication(
+            tasks_per_iteration=1, iterations=1, t_prog=1, t_data=1
+        )
+        with pytest.raises(ValueError):
+            app.communication_to_computation_ratio(0)

@@ -1,0 +1,211 @@
+"""Tests for the availability sources (Markov, trace replay, semi-Markov)."""
+
+import numpy as np
+import pytest
+
+from repro.core.markov import MarkovAvailabilityModel
+from repro.sim.availability import (
+    MarkovSource,
+    SemiMarkovSource,
+    TraceSource,
+    WeibullSource,
+)
+from repro.types import ProcState
+
+
+def chain(p_uu=0.9, p_rr=0.85, p_dd=0.9):
+    return MarkovAvailabilityModel.from_self_loops(p_uu, p_rr, p_dd)
+
+
+class TestMarkovSource:
+    def test_deterministic_given_seed(self):
+        model = chain()
+        a = MarkovSource(model, np.random.default_rng(5))
+        b = MarkovSource(model, np.random.default_rng(5))
+        assert [a.state_at(t) for t in range(3000)] == [
+            b.state_at(t) for t in range(3000)
+        ]
+
+    def test_lazy_growth_beyond_chunk(self):
+        source = MarkovSource(chain(), np.random.default_rng(0))
+        value = source.state_at(10_000)  # far past the initial chunk
+        assert value in (0, 1, 2)
+
+    def test_growth_preserves_history(self):
+        source = MarkovSource(chain(), np.random.default_rng(1))
+        early = [source.state_at(t) for t in range(100)]
+        source.state_at(50_000)
+        assert [source.state_at(t) for t in range(100)] == early
+
+    def test_initial_state_honoured(self):
+        source = MarkovSource(chain(), np.random.default_rng(2), initial=2)
+        assert source.state_at(0) == 2
+
+    def test_materialized(self):
+        source = MarkovSource(chain(), np.random.default_rng(3))
+        arr = source.materialized(64)
+        assert arr.shape == (64,)
+        assert all(source.state_at(t) == arr[t] for t in range(64))
+
+    def test_model_exposed(self):
+        model = chain()
+        assert MarkovSource(model, np.random.default_rng(0)).model is model
+
+
+class TestTraceSource:
+    def test_replay(self):
+        source = TraceSource([0, 1, 2, 0])
+        assert [source.state_at(t) for t in range(4)] == [0, 1, 2, 0]
+
+    def test_pads_down_by_default(self):
+        source = TraceSource([0, 0])
+        assert source.state_at(2) == int(ProcState.DOWN)
+        assert source.state_at(999) == int(ProcState.DOWN)
+
+    def test_custom_pad(self):
+        source = TraceSource([0], pad_state=ProcState.RECLAIMED)
+        assert source.state_at(5) == int(ProcState.RECLAIMED)
+
+    def test_len(self):
+        assert len(TraceSource([0, 1, 2])) == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TraceSource([])
+
+    def test_rejects_bad_states(self):
+        with pytest.raises(ValueError):
+            TraceSource([0, 5])
+
+    def test_rejects_negative_slot(self):
+        with pytest.raises(ValueError):
+            TraceSource([0]).state_at(-1)
+
+
+class TestSemiMarkovSource:
+    @staticmethod
+    def _geometric(p):
+        def sample(rng):
+            return int(rng.geometric(p))
+
+        return sample
+
+    def _embedded(self):
+        return np.array(
+            [
+                [0.0, 0.6, 0.4],
+                [0.8, 0.0, 0.2],
+                [1.0, 0.0, 0.0],
+            ]
+        )
+
+    def test_states_valid(self):
+        source = SemiMarkovSource(
+            self._embedded(),
+            {s: self._geometric(0.2) for s in (0, 1, 2)},
+            np.random.default_rng(0),
+        )
+        assert all(source.state_at(t) in (0, 1, 2) for t in range(5000))
+
+    def test_deterministic(self):
+        def build(seed):
+            return SemiMarkovSource(
+                self._embedded(),
+                {s: self._geometric(0.3) for s in (0, 1, 2)},
+                np.random.default_rng(seed),
+            )
+
+        a, b = build(9), build(9)
+        assert [a.state_at(t) for t in range(2000)] == [
+            b.state_at(t) for t in range(2000)
+        ]
+
+    def test_geometric_sojourns_reduce_to_markov_statistics(self):
+        # With geometric sojourns the process is a Markov chain; its
+        # long-run UP fraction must match the equivalent chain's pi_u.
+        model = chain(0.9, 0.8, 0.7)
+        # Equivalent semi-Markov: jump matrix = conditional transitions,
+        # sojourn at state x geometric with success 1 - p_xx.
+        embedded = model.matrix.copy()
+        np.fill_diagonal(embedded, 0.0)
+        embedded = embedded / embedded.sum(axis=1, keepdims=True)
+        samplers = {
+            0: self._geometric(1 - model.p_uu),
+            1: self._geometric(1 - model.p_rr),
+            2: self._geometric(1 - model.p_dd),
+        }
+        source = SemiMarkovSource(embedded, samplers, np.random.default_rng(4))
+        states = np.array([source.state_at(t) for t in range(150_000)])
+        freq = np.bincount(states, minlength=3) / len(states)
+        assert np.allclose(freq, model.stationary, atol=0.02)
+
+    def test_rejects_nonzero_diagonal(self):
+        bad = np.array([[0.5, 0.25, 0.25], [0.8, 0.0, 0.2], [1.0, 0.0, 0.0]])
+        with pytest.raises(ValueError, match="diagonal"):
+            SemiMarkovSource(
+                bad, {s: self._geometric(0.5) for s in (0, 1, 2)},
+                np.random.default_rng(0),
+            )
+
+    def test_rejects_missing_sampler(self):
+        with pytest.raises(ValueError, match="missing sojourn sampler"):
+            SemiMarkovSource(
+                self._embedded(), {0: self._geometric(0.5)},
+                np.random.default_rng(0),
+            )
+
+    def test_rejects_zero_sojourn(self):
+        source_samplers = {s: (lambda rng: 0) for s in (0, 1, 2)}
+        with pytest.raises(ValueError, match="sojourns must be >= 1"):
+            SemiMarkovSource(
+                self._embedded(), source_samplers, np.random.default_rng(0)
+            )
+
+
+class TestWeibullSource:
+    def test_states_valid_and_all_three_reachable(self):
+        source = WeibullSource(
+            shape=0.7,
+            scale=30.0,
+            mean_reclaimed=10.0,
+            mean_down=20.0,
+            p_up_to_reclaimed=0.7,
+            rng=np.random.default_rng(0),
+        )
+        states = {source.state_at(t) for t in range(30_000)}
+        assert states == {0, 1, 2}
+
+    def test_heavy_tail_shape_gives_longer_up_runs_on_average(self):
+        def mean_up_run(shape, seed):
+            source = WeibullSource(
+                shape=shape,
+                scale=20.0,
+                mean_reclaimed=5.0,
+                mean_down=5.0,
+                p_up_to_reclaimed=0.5,
+                rng=np.random.default_rng(seed),
+            )
+            states = [source.state_at(t) for t in range(40_000)]
+            runs, current = [], 0
+            for s in states:
+                if s == 0:
+                    current += 1
+                elif current:
+                    runs.append(current)
+                    current = 0
+            return np.mean(runs)
+
+        # Same scale: smaller shape -> larger mean (Gamma(1 + 1/k) grows).
+        assert mean_up_run(0.5, 1) > mean_up_run(2.0, 1)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            WeibullSource(
+                shape=-1, scale=1, mean_reclaimed=1, mean_down=1,
+                p_up_to_reclaimed=0.5, rng=np.random.default_rng(0),
+            )
+        with pytest.raises(ValueError):
+            WeibullSource(
+                shape=1, scale=1, mean_reclaimed=1, mean_down=1,
+                p_up_to_reclaimed=1.5, rng=np.random.default_rng(0),
+            )

@@ -1,0 +1,83 @@
+"""Tests for the dfb metric and its accumulator."""
+
+import pytest
+
+from repro.experiments.dfb import DfbAccumulator, dfb_for_instance
+
+
+class TestDfbForInstance:
+    def test_best_gets_zero(self):
+        dfb = dfb_for_instance({"a": 100, "b": 150})
+        assert dfb["a"] == 0.0
+        assert dfb["b"] == pytest.approx(50.0)
+
+    def test_ties_all_zero(self):
+        dfb = dfb_for_instance({"a": 80, "b": 80, "c": 80})
+        assert all(v == 0.0 for v in dfb.values())
+
+    def test_percentage_definition(self):
+        dfb = dfb_for_instance({"a": 200, "b": 230})
+        assert dfb["b"] == pytest.approx(15.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            dfb_for_instance({})
+
+    def test_rejects_nonpositive_makespan(self):
+        with pytest.raises(ValueError):
+            dfb_for_instance({"a": 0})
+
+
+class TestAccumulator:
+    def test_average_and_wins(self):
+        acc = DfbAccumulator()
+        acc.add_instance(("i1",), {"a": 100, "b": 110})
+        acc.add_instance(("i2",), {"a": 120, "b": 100})
+        assert acc.instance_count == 2
+        assert acc.average_dfb("a") == pytest.approx(10.0)  # (0 + 20)/2
+        assert acc.average_dfb("b") == pytest.approx(5.0)   # (10 + 0)/2
+        assert acc.wins("a") == 1
+        assert acc.wins("b") == 1
+
+    def test_tie_counts_win_for_all(self):
+        acc = DfbAccumulator()
+        acc.add_instance(("i",), {"a": 100, "b": 100})
+        assert acc.wins("a") == 1
+        assert acc.wins("b") == 1
+
+    def test_heuristics_sorted_best_first(self):
+        acc = DfbAccumulator()
+        acc.add_instance(("i",), {"bad": 300, "good": 100, "mid": 200})
+        assert acc.heuristics() == ["good", "mid", "bad"]
+
+    def test_table_rows(self):
+        acc = DfbAccumulator()
+        acc.add_instance(("i",), {"a": 100, "b": 150})
+        rows = acc.table()
+        assert rows[0] == ("a", 0.0, 1)
+        assert rows[1][0] == "b"
+        assert rows[1][1] == pytest.approx(50.0)
+
+    def test_winners_property(self):
+        acc = DfbAccumulator()
+        result = acc.add_instance(("i",), {"a": 100, "b": 150, "c": 100})
+        assert sorted(result.winners) == ["a", "c"]
+
+    def test_unknown_heuristic_raises(self):
+        acc = DfbAccumulator()
+        with pytest.raises(KeyError):
+            acc.average_dfb("nope")
+
+    def test_dfb_values_list(self):
+        acc = DfbAccumulator()
+        acc.add_instance(("i1",), {"a": 100, "b": 110})
+        acc.add_instance(("i2",), {"a": 100, "b": 120})
+        assert acc.dfb_values("b") == pytest.approx([10.0, 20.0])
+        assert acc.dfb_values("missing") == []
+
+    def test_every_instance_has_a_winner(self):
+        acc = DfbAccumulator()
+        for i in range(10):
+            acc.add_instance((i,), {"a": 100 + i, "b": 105, "c": 103})
+        total_wins = acc.wins("a") + acc.wins("b") + acc.wins("c")
+        assert total_wins >= acc.instance_count

@@ -1,0 +1,269 @@
+"""Tests for the generic discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestTimeouts:
+    def test_clock_advances(self):
+        env = Environment()
+        env.timeout(5.0)
+        env.run()
+        assert env.now == 5.0
+
+    def test_run_until_clamps_clock(self):
+        env = Environment()
+        env.timeout(10.0)
+        env.run(until=3.0)
+        assert env.now == 3.0
+
+    def test_run_until_past_queue_end(self):
+        env = Environment()
+        env.timeout(1.0)
+        env.run(until=100.0)
+        assert env.now == 100.0
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_run_until_in_past_rejected(self):
+        env = Environment(initial_time=5.0)
+        with pytest.raises(ValueError):
+            env.run(until=1.0)
+
+
+class TestEvents:
+    def test_succeed_carries_value(self):
+        env = Environment()
+        evt = env.event()
+        evt.succeed("payload")
+        assert evt.triggered
+        assert evt.value == "payload"
+
+    def test_double_succeed_rejected(self):
+        env = Environment()
+        evt = env.event()
+        evt.succeed()
+        with pytest.raises(SimulationError, match="already fired"):
+            evt.succeed()
+
+    def test_process_waits_for_event(self):
+        env = Environment()
+        evt = env.event()
+        log = []
+
+        def waiter():
+            value = yield evt
+            log.append((env.now, value))
+
+        def firer():
+            yield env.timeout(4.0)
+            evt.succeed("go")
+
+        env.process(waiter())
+        env.process(firer())
+        env.run()
+        assert log == [(4.0, "go")]
+
+
+class TestProcesses:
+    def test_sequential_timeouts(self):
+        env = Environment()
+        times = []
+
+        def proc():
+            yield env.timeout(1.0)
+            times.append(env.now)
+            yield env.timeout(2.5)
+            times.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert times == [1.0, 3.5]
+
+    def test_return_value_becomes_event_value(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+            return 42
+
+        p = env.process(proc())
+        env.run()
+        assert p.triggered
+        assert p.value == 42
+
+    def test_waiting_on_another_process(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(3.0)
+            return "done"
+
+        def parent():
+            result = yield env.process(child())
+            return (env.now, result)
+
+        p = env.process(parent())
+        env.run()
+        assert p.value == (3.0, "done")
+
+    def test_yielding_non_event_raises(self):
+        env = Environment()
+
+        def bad():
+            yield 5
+
+        env.process(bad())
+        with pytest.raises(SimulationError, match="must yield Event"):
+            env.run()
+
+    def test_deterministic_tie_order(self):
+        env = Environment()
+        order = []
+
+        def proc(tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            env.process(proc(tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_process(self):
+        env = Environment()
+        caught = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as exc:
+                caught.append((env.now, exc.cause))
+
+        def breaker(target):
+            yield env.timeout(2.0)
+            target.interrupt("wake up")
+
+        target = env.process(sleeper())
+        env.process(breaker(target))
+        env.run()
+        assert caught == [(2.0, "wake up")]
+
+    def test_interrupting_finished_process_rejected(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(0.0)
+
+        p = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError, match="finished"):
+            p.interrupt()
+
+    def test_abandoned_wait_does_not_resume(self):
+        # After an interrupt, the original timeout must not wake the
+        # process a second time.
+        env = Environment()
+        wakeups = []
+
+        def sleeper():
+            try:
+                yield env.timeout(5.0)
+                wakeups.append("timeout")
+            except Interrupt:
+                wakeups.append("interrupt")
+                yield env.timeout(10.0)
+                wakeups.append("second")
+
+        def breaker(target):
+            yield env.timeout(1.0)
+            target.interrupt()
+
+        target = env.process(sleeper())
+        env.process(breaker(target))
+        env.run()
+        assert wakeups == ["interrupt", "second"]
+        assert env.now == 11.0
+
+
+class TestCombinators:
+    def test_all_of_barrier(self):
+        env = Environment()
+
+        def proc():
+            results = yield AllOf(env, [env.timeout(1.0), env.timeout(5.0)])
+            return (env.now, results)
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == (5.0, [1.0, 5.0])
+
+    def test_all_of_empty_fires_immediately(self):
+        env = Environment()
+        barrier = env.all_of([])
+        assert barrier.triggered
+
+    def test_any_of_race(self):
+        env = Environment()
+
+        def proc():
+            winner = yield AnyOf(env, [env.timeout(9.0), env.timeout(2.0)])
+            return (env.now, winner)
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == (2.0, (1, 2.0))
+
+    def test_any_of_empty_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.any_of([])
+
+
+class TestRunUntilEvent:
+    def test_returns_value(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(2.0)
+            return "finished"
+
+        p = env.process(proc())
+        assert env.run_until_event(p) == "finished"
+
+    def test_drained_queue_raises(self):
+        env = Environment()
+        pending = env.event()
+        env.timeout(1.0)
+        with pytest.raises(SimulationError, match="drained"):
+            env.run_until_event(pending)
+
+    def test_limit_raises(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(50.0)
+
+        p = env.process(proc())
+        with pytest.raises(SimulationError, match="limit"):
+            env.run_until_event(p, limit=10.0)
+
+    def test_schedule_into_past_rejected(self):
+        env = Environment()
+        env.timeout(1.0)
+        env.run()
+        with pytest.raises(SimulationError, match="past"):
+            env._schedule(0.0, lambda _: None, None)

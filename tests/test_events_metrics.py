@@ -1,0 +1,76 @@
+"""Tests for the event log and the simulation report."""
+
+from repro.sim.events import EventKind, EventLog, SimEvent
+from repro.sim.metrics import SimulationReport
+
+
+class TestEventLog:
+    def test_disabled_log_records_nothing(self):
+        log = EventLog(enabled=False)
+        log.emit(SimEvent(0, EventKind.TASK_COMMIT))
+        assert log.events == []
+
+    def test_enabled_log_records_in_order(self):
+        log = EventLog()
+        log.emit(SimEvent(0, EventKind.COMPUTE_START, worker=1))
+        log.emit(SimEvent(1, EventKind.TASK_COMMIT, worker=1))
+        assert [e.kind for e in log.events] == [
+            EventKind.COMPUTE_START, EventKind.TASK_COMMIT,
+        ]
+
+    def test_of_kind_and_for_worker(self):
+        log = EventLog()
+        log.emit(SimEvent(0, EventKind.COMPUTE_START, worker=1))
+        log.emit(SimEvent(1, EventKind.COMPUTE_START, worker=2))
+        log.emit(SimEvent(2, EventKind.TASK_COMMIT, worker=1))
+        assert len(log.of_kind(EventKind.COMPUTE_START)) == 2
+        assert len(log.for_worker(1)) == 2
+
+    def test_str_rendering(self):
+        event = SimEvent(
+            12, EventKind.TASK_COMMIT, worker=3, iteration=1, task_id=4,
+            replica_id=2, detail="note",
+        )
+        text = str(event)
+        assert "task_commit" in text
+        assert "P3" in text
+        assert "task4/r2" in text
+        assert "note" in text
+
+    def test_render_multiline(self):
+        log = EventLog()
+        log.emit(SimEvent(0, EventKind.RUN_DONE))
+        log.emit(SimEvent(1, EventKind.RUN_DONE))
+        assert len(log.render().splitlines()) == 2
+
+
+class TestSimulationReport:
+    def test_finished_flag(self):
+        report = SimulationReport(completed_iterations=2, target_iterations=2)
+        assert report.finished
+        report2 = SimulationReport(completed_iterations=1, target_iterations=2)
+        assert not report2.finished
+
+    def test_iteration_durations(self):
+        report = SimulationReport(iteration_end_slots=[4, 6, 11])
+        assert report.iteration_durations == [5, 2, 5]
+
+    def test_waste_fraction(self):
+        report = SimulationReport(
+            compute_slots_spent=10, compute_slots_wasted=3
+        )
+        assert report.waste_fraction == 0.3
+
+    def test_waste_fraction_zero_denominator(self):
+        assert SimulationReport().waste_fraction == 0.0
+
+    def test_summary_with_and_without_makespan(self):
+        done = SimulationReport(
+            completed_iterations=10, target_iterations=10, makespan=120,
+            heuristic_name="emct",
+        )
+        assert "makespan 120" in done.summary()
+        partial = SimulationReport(
+            completed_iterations=3, target_iterations=10, slots_simulated=99
+        )
+        assert "within 99 slots" in partial.summary()

@@ -1,0 +1,79 @@
+"""Smoke tests: the example scripts must run end to end.
+
+Each example is executed as a subprocess (the way a user would run it);
+the slower campaign examples are exercised at their smallest scale.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 600) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    return result.stdout
+
+
+def test_examples_directory_complete():
+    names = {path.name for path in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "desktop_grid_campaign.py",
+        "trace_replay.py",
+        "offline_complexity_tour.py",
+        "contention_study.py",
+        "deadline_and_proactive.py",
+    } <= names
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", "7")
+    assert "heuristic comparison" in out
+    assert "emct*" in out
+    assert "dfb" in out
+
+
+def test_offline_complexity_tour():
+    out = run_example("offline_complexity_tour.py")
+    assert "Theorem 1" in out
+    assert "10/10" in out            # Proposition 2 cross-validation
+    assert "exact optimal makespan:  9" in out
+
+
+@pytest.mark.slow
+def test_desktop_grid_campaign():
+    out = run_example("desktop_grid_campaign.py", "1", timeout=1200)
+    assert "mini Table 2" in out
+    assert "legend:" in out
+
+
+@pytest.mark.slow
+def test_trace_replay():
+    out = run_example("trace_replay.py", timeout=1200)
+    assert "markov ground truth" in out
+    assert "weibull ground truth" in out
+
+
+@pytest.mark.slow
+def test_contention_study():
+    out = run_example("contention_study.py", "1", timeout=1800)
+    assert "communication ×10" in out
+
+
+@pytest.mark.slow
+def test_deadline_and_proactive():
+    out = run_example("deadline_and_proactive.py", timeout=1800)
+    assert "Deadline objective" in out
+    assert "proactive" in out

@@ -1,0 +1,183 @@
+"""Tests for the extensions beyond the paper: proactive class, deadline
+study, model-mismatch study."""
+
+import numpy as np
+import pytest
+
+from repro.core.heuristics.mct import MctScheduler
+from repro.experiments.deadline_study import (
+    render_deadline_study,
+    run_deadline_study,
+)
+from repro.experiments.mismatch_study import (
+    fit_markov_belief,
+    render_mismatch_study,
+    run_mismatch_study,
+)
+from repro.sim.events import EventKind, EventLog
+from repro.sim.master import MasterSimulator, SimulatorOptions
+from repro.sim.platform import Platform, Processor
+from repro.types import states_from_codes
+from repro.workload.application import IterativeApplication
+
+
+def trace_platform(codes_list, speeds, ncom=2):
+    processors = [
+        Processor.from_trace(q, speeds[q], states_from_codes(codes))
+        for q, codes in enumerate(codes_list)
+    ]
+    return Platform(processors, ncom=ncom)
+
+
+class TestProactive:
+    def _stalled_setup(self):
+        # P0 fast, UP just long enough to pin the task then RECLAIMED
+        # forever; P1 slower but always UP.  Replication is disabled so the
+        # only rescue is proactive termination.
+        platform = trace_platform(["uu" + "r" * 60, "u" * 62], [1, 4], ncom=2)
+        app = IterativeApplication(
+            tasks_per_iteration=1, iterations=1, t_prog=1, t_data=1
+        )
+        return platform, app
+
+    def test_without_proactive_stalls(self):
+        platform, app = self._stalled_setup()
+        sim = MasterSimulator(
+            platform, app, MctScheduler(),
+            options=SimulatorOptions(replication=False, proactive=False,
+                                     audit=True),
+        )
+        assert sim.run(max_slots=62).makespan is None
+
+    def test_proactive_rescues_the_iteration(self):
+        platform, app = self._stalled_setup()
+        log = EventLog()
+        sim = MasterSimulator(
+            platform, app, MctScheduler(),
+            options=SimulatorOptions(replication=False, proactive=True,
+                                     audit=True),
+            log=log,
+        )
+        report = sim.run(max_slots=62)
+        assert report.makespan is not None
+        terminations = [
+            e for e in log.of_kind(EventKind.INSTANCE_LOST)
+            if e.detail == "proactive-termination"
+        ]
+        assert terminations
+
+    def test_proactive_spares_nearly_done_tasks(self):
+        # w=10 task with >50% compute done on a briefly reclaimed worker
+        # must NOT be killed.
+        platform = trace_platform(
+            ["u" * 9 + "rr" + "u" * 30, "u" * 41], [10, 10], ncom=2
+        )
+        app = IterativeApplication(
+            tasks_per_iteration=1, iterations=1, t_prog=1, t_data=1
+        )
+        log = EventLog()
+        sim = MasterSimulator(
+            platform, app, MctScheduler(),
+            options=SimulatorOptions(replication=False, proactive=True,
+                                     audit=True),
+            log=log,
+        )
+        report = sim.run(max_slots=60)
+        assert report.makespan is not None
+        terminations = [
+            e for e in log.of_kind(EventKind.INSTANCE_LOST)
+            if e.detail == "proactive-termination"
+        ]
+        # Compute starts at slot 3 (prog 0, data 1); by the RECLAIMED
+        # window (slots 9-10) it has 6-7 of 10 slots done -> spared.
+        assert not terminations
+
+    def test_proactive_never_fires_mid_iteration_glut(self):
+        # More uncommitted tasks than UP processors: not the end-game
+        # regime, so no terminations even with stalled workers.
+        platform = trace_platform(["ur" + "u" * 30, "u" * 32], [2, 2], ncom=2)
+        app = IterativeApplication(
+            tasks_per_iteration=6, iterations=1, t_prog=1, t_data=1
+        )
+        log = EventLog()
+        sim = MasterSimulator(
+            platform, app, MctScheduler(),
+            options=SimulatorOptions(replication=False, proactive=True,
+                                     audit=True),
+            log=log,
+        )
+        sim.run(max_slots=100)
+        early = [
+            e for e in log.of_kind(EventKind.INSTANCE_LOST)
+            if e.detail == "proactive-termination" and e.slot <= 1
+        ]
+        assert not early
+
+
+class TestDeadlineStudy:
+    def test_runs_and_ranks(self):
+        result = run_deadline_study(
+            deadline_slots=500,
+            heuristics=("emct*", "random"),
+            scenario_count=2,
+            trials=1,
+        )
+        rows = result.rows()
+        assert len(rows) == 2
+        assert all(mean >= 0 for _name, mean, _wins in rows)
+        text = render_deadline_study(result)
+        assert "Deadline objective" in text
+        assert "500 slots" in text
+
+    def test_instance_alignment(self):
+        result = run_deadline_study(
+            deadline_slots=300,
+            heuristics=("mct", "random"),
+            scenario_count=1,
+            trials=2,
+        )
+        lengths = {
+            len(v) for v in result.iterations_by_heuristic.values()
+        }
+        assert lengths == {result.instances}
+
+    def test_proactive_flag_accepted(self):
+        result = run_deadline_study(
+            deadline_slots=300,
+            heuristics=("mct",),
+            scenario_count=1,
+            trials=1,
+            proactive=True,
+        )
+        assert result.instances == 1
+
+
+class TestFitMarkovBelief:
+    def test_recovers_transition_structure(self):
+        from repro.core.markov import MarkovAvailabilityModel
+
+        model = MarkovAvailabilityModel.from_self_loops(0.9, 0.8, 0.7)
+        trace = model.sample_trace(200_000, np.random.default_rng(0), initial=0)
+        fitted = fit_markov_belief(trace)
+        assert np.allclose(fitted.matrix, model.matrix, atol=0.02)
+
+    def test_smoothing_keeps_chain_recurrent(self):
+        fitted = fit_markov_belief([0] * 100)  # only UP ever observed
+        assert fitted.p_ud > 0
+        assert fitted.stationary is not None
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ValueError):
+            fit_markov_belief([0])
+
+
+class TestMismatchStudy:
+    def test_quick_study(self):
+        result = run_mismatch_study(
+            heuristics=("mct", "random"), p=4, trials=1,
+        )
+        assert set(result.accumulators) == {"markov", "weibull"}
+        assert result.instances_per_kind == 1
+        text = render_mismatch_study(result)
+        assert "markov truth" in text
+        assert "weibull truth" in text

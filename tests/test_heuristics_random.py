@@ -1,0 +1,144 @@
+"""Tests for the random heuristic family (Section 6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.expectation import p_plus
+from repro.core.heuristics.base import ProcessorView, SchedulingContext
+from repro.core.heuristics.random_based import (
+    RANDOM_WEIGHTS,
+    RandomScheduler,
+    WeightedRandomScheduler,
+    make_random_variant,
+)
+from repro.core.markov import MarkovAvailabilityModel
+from repro.types import ProcState
+
+
+def view(index, *, speed=2, state=ProcState.UP, p_uu=0.95, p_rr=0.9, p_dd=0.9,
+         belief=None, delay=0, pinned=0):
+    model = belief or MarkovAvailabilityModel.from_self_loops(p_uu, p_rr, p_dd)
+    return ProcessorView(
+        index=index, speed_w=speed, state=state, belief=model,
+        has_program=False, delay=delay, pinned_count=pinned,
+    )
+
+
+def context(views, seed=0, t_data=1, ncom=5):
+    return SchedulingContext(
+        slot=0, t_prog=5, t_data=t_data, ncom=ncom, processors=views,
+        remaining_tasks=1, rng=np.random.default_rng(seed),
+    )
+
+
+class TestRandomScheduler:
+    def test_only_up_processors_chosen(self):
+        views = [
+            view(0, state=ProcState.DOWN),
+            view(1, state=ProcState.UP),
+            view(2, state=ProcState.RECLAIMED),
+        ]
+        sched = RandomScheduler()
+        for seed in range(20):
+            placements = sched.place(context(views, seed), 5)
+            assert all(p == 1 for p in placements)
+
+    def test_no_up_processors_yields_none(self):
+        views = [view(0, state=ProcState.DOWN)]
+        assert RandomScheduler().place(context(views), 3) == [None, None, None]
+
+    def test_roughly_uniform(self):
+        views = [view(q) for q in range(4)]
+        sched = RandomScheduler()
+        counts = np.zeros(4)
+        placements = sched.place(context(views, seed=7), 8000)
+        for p in placements:
+            counts[p] += 1
+        assert np.allclose(counts / counts.sum(), 0.25, atol=0.03)
+
+    def test_deterministic_given_seed(self):
+        views = [view(q) for q in range(4)]
+        a = RandomScheduler().place(context(views, seed=3), 50)
+        b = RandomScheduler().place(context(views, seed=3), 50)
+        assert a == b
+
+
+class TestPaperWeights:
+    def test_random1_weight_is_p_uu(self):
+        v = view(0, p_uu=0.93)
+        assert RANDOM_WEIGHTS[1](v) == pytest.approx(0.93)
+
+    def test_random2_weight_is_p_plus(self):
+        v = view(0)
+        assert RANDOM_WEIGHTS[2](v) == pytest.approx(p_plus(v.belief))
+
+    def test_random3_weight_is_pi_u(self):
+        v = view(0)
+        assert RANDOM_WEIGHTS[3](v) == pytest.approx(v.belief.pi_u)
+
+    def test_random4_weight_is_one_minus_pi_d(self):
+        v = view(0)
+        assert RANDOM_WEIGHTS[4](v) == pytest.approx(1 - v.belief.pi_d)
+
+    def test_missing_belief_raises(self):
+        v = ProcessorView(
+            index=0, speed_w=1, state=ProcState.UP, belief=None,
+            has_program=False, delay=0, pinned_count=0,
+        )
+        sched = make_random_variant(1, weighted_by_speed=False)
+        with pytest.raises(ValueError, match="no Markov belief"):
+            sched.place(context([v]), 1)
+
+
+class TestWeightedRandomScheduler:
+    def test_heavily_weighted_processor_dominates(self):
+        reliable = view(0, p_uu=0.99)
+        flaky = view(1, p_uu=0.90)
+        sched = WeightedRandomScheduler(
+            lambda v: 1000.0 if v.index == 0 else 1.0, name="test"
+        )
+        placements = sched.place(context([reliable, flaky], seed=5), 500)
+        share0 = placements.count(0) / 500
+        assert share0 > 0.98
+
+    def test_speed_division(self):
+        fast = view(0, speed=1)
+        slow = view(1, speed=10)
+        sched = WeightedRandomScheduler(
+            lambda v: 1.0, divide_by_speed=True, name="w"
+        )
+        placements = sched.place(context([fast, slow], seed=1), 4000)
+        share_fast = placements.count(0) / 4000
+        assert share_fast == pytest.approx(10 / 11, abs=0.03)
+
+    def test_zero_total_weight_falls_back_to_uniform(self):
+        views = [view(0), view(1)]
+        sched = WeightedRandomScheduler(lambda v: 0.0, name="zero")
+        placements = sched.place(context(views, seed=2), 200)
+        assert set(placements) == {0, 1}
+
+    def test_negative_weight_rejected(self):
+        sched = WeightedRandomScheduler(lambda v: -1.0, name="neg")
+        with pytest.raises(ValueError, match="negative weight"):
+            sched.place(context([view(0)]), 1)
+
+
+class TestVariantFactory:
+    @pytest.mark.parametrize("variant", [1, 2, 3, 4])
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_names(self, variant, weighted):
+        sched = make_random_variant(variant, weighted)
+        suffix = "w" if weighted else ""
+        assert sched.name == f"random{variant}{suffix}"
+
+    def test_rejects_unknown_variant(self):
+        with pytest.raises(ValueError):
+            make_random_variant(5, False)
+
+    def test_w_variant_prefers_fast_processor(self):
+        # Same chain, different speeds: the w variant should favour speed.
+        fast = view(0, speed=1)
+        slow = view(1, speed=9)
+        sched = make_random_variant(1, weighted_by_speed=True)
+        placements = sched.place(context([fast, slow], seed=4), 2000)
+        assert placements.count(0) > placements.count(1) * 3

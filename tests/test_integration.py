@@ -1,0 +1,149 @@
+"""Integration tests: full runs across the heuristic registry.
+
+These exercise the whole stack — scenario generation, trace sampling,
+every heuristic, the simulator with auditing — on fixed seeds, and check
+the cross-cutting behaviours the unit tests cannot see.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.heuristics.registry import (
+    HEURISTIC_FACTORIES,
+    PAPER_HEURISTICS,
+    make_scheduler,
+)
+from repro.core.markov import MarkovAvailabilityModel
+from repro.sim.availability import WeibullSource
+from repro.sim.master import MasterSimulator, SimulatorOptions
+from repro.sim.platform import Platform, Processor
+from repro.workload.application import IterativeApplication
+from repro.workload.scenarios import ScenarioGenerator
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return ScenarioGenerator(2024).scenario(10, 5, 2, 0)
+
+
+class TestAllHeuristicsComplete:
+    @pytest.mark.parametrize("name", sorted(HEURISTIC_FACTORIES))
+    def test_heuristic_completes_with_audit(self, scenario, name):
+        platform = scenario.build_platform(trial=0)
+        sim = MasterSimulator(
+            platform,
+            scenario.app,
+            make_scheduler(name),
+            options=SimulatorOptions(audit=True),
+            rng=scenario.scheduler_rng(0, name),
+        )
+        report = sim.run(max_slots=100_000)
+        sim.network.verify_invariants()
+        assert report.makespan is not None, f"{name} failed to finish"
+        assert report.tasks_committed == scenario.app.total_tasks
+
+    def test_availability_identical_across_heuristics(self, scenario):
+        # Paired-instance guarantee at the integration level: the traces a
+        # heuristic observes do not depend on the heuristic.
+        observed = {}
+        for name in ("mct", "random", "ud*"):
+            platform = scenario.build_platform(trial=1)
+            observed[name] = [
+                platform[q].availability.state_at(t)
+                for q in range(scenario.p)
+                for t in range(200)
+            ]
+        assert observed["mct"] == observed["random"] == observed["ud*"]
+
+
+class TestCrossHeuristicSanity:
+    def test_informed_beats_uniform_random_on_average(self):
+        # Fixed-seed, multi-scenario smoke check of the paper's headline
+        # direction: EMCT* should beat uniform Random overall.
+        gen = ScenarioGenerator(5)
+        emct_total, random_total = 0.0, 0.0
+        for index in range(4):
+            scenario = gen.scenario(10, 5, 4, index)
+            for trial in range(2):
+                for name, bucket in (("emct*", "emct"), ("random", "rand")):
+                    platform = scenario.build_platform(trial)
+                    sim = MasterSimulator(
+                        platform,
+                        scenario.app,
+                        make_scheduler(name),
+                        rng=scenario.scheduler_rng(trial, name),
+                    )
+                    makespan = sim.run(max_slots=200_000).makespan
+                    assert makespan is not None
+                    if bucket == "emct":
+                        emct_total += makespan
+                    else:
+                        random_total += makespan
+        assert emct_total < random_total
+
+    def test_replication_never_hurts_much_on_small_m(self):
+        # Replication is "never detrimental" per the paper; allow a tiny
+        # slack for tie-breaking noise on a fixed seed.
+        gen = ScenarioGenerator(6)
+        scenario = gen.scenario(5, 5, 3, 0)
+        makespans = {}
+        for replicate in (True, False):
+            platform = scenario.build_platform(0)
+            sim = MasterSimulator(
+                platform,
+                scenario.app,
+                make_scheduler("emct"),
+                options=SimulatorOptions(replication=replicate),
+                rng=scenario.scheduler_rng(0, "emct"),
+            )
+            makespans[replicate] = sim.run(max_slots=200_000).makespan
+        assert makespans[True] <= makespans[False] * 1.2
+
+
+class TestModelMismatch:
+    def test_markov_heuristics_run_on_weibull_ground_truth(self):
+        # Future-work path: ground truth is non-memoryless, beliefs stay
+        # Markov. Everything must still run and complete.
+        belief = MarkovAvailabilityModel.from_self_loops(0.95, 0.9, 0.9)
+        processors = [
+            Processor(
+                index=q,
+                speed_w=2,
+                availability=WeibullSource(
+                    shape=0.7, scale=40.0, mean_reclaimed=8.0, mean_down=15.0,
+                    p_up_to_reclaimed=0.7, rng=np.random.default_rng(q),
+                ),
+                belief=belief,
+            )
+            for q in range(6)
+        ]
+        platform = Platform(processors, ncom=3)
+        app = IterativeApplication(
+            tasks_per_iteration=6, iterations=3, t_prog=4, t_data=1
+        )
+        sim = MasterSimulator(
+            platform, app, make_scheduler("emct*"),
+            options=SimulatorOptions(audit=True),
+            rng=np.random.default_rng(0),
+        )
+        report = sim.run(max_slots=100_000)
+        assert report.makespan is not None
+
+
+class TestPaperHeuristicSetIntegration:
+    def test_dfb_zero_for_some_heuristic_on_every_instance(self, scenario):
+        from repro.experiments.dfb import DfbAccumulator
+
+        acc = DfbAccumulator()
+        for trial in range(2):
+            makespans = {}
+            for name in PAPER_HEURISTICS[:6]:
+                platform = scenario.build_platform(trial)
+                sim = MasterSimulator(
+                    platform, scenario.app, make_scheduler(name),
+                    rng=scenario.scheduler_rng(trial, name),
+                )
+                makespans[name] = sim.run(max_slots=200_000).makespan
+            result = acc.add_instance((trial,), makespans)
+            assert result.winners
+        assert acc.instance_count == 2

@@ -1,0 +1,135 @@
+"""Master-simulator tests focused on the bounded multi-port constraint.
+
+These exercise the channel-allocation policy end to end: serialised
+program distribution, ongoing-transfer protection, program-over-data
+priority and original-over-replica priority, all observed through event
+logs and timelines rather than by poking at internals.
+"""
+
+import numpy as np
+
+from repro.core.heuristics.mct import MctScheduler
+from repro.sim.events import EventKind, EventLog
+from repro.sim.master import MasterSimulator, SimulatorOptions
+from repro.sim.platform import Platform, Processor
+from repro.sim.timeline import TimelineRecorder
+from repro.types import states_from_codes
+from repro.workload.application import IterativeApplication
+
+
+def build(codes_list, speeds, ncom, app, *, timeline=False, log=None):
+    platform = Platform(
+        [
+            Processor.from_trace(q, speeds[q], states_from_codes(codes))
+            for q, codes in enumerate(codes_list)
+        ],
+        ncom=ncom,
+    )
+    recorder = TimelineRecorder(len(platform)) if timeline else None
+    sim = MasterSimulator(
+        platform, app, MctScheduler(),
+        options=SimulatorOptions(replication=False, audit=True),
+        rng=np.random.default_rng(0),
+        log=log,
+        timeline=recorder,
+    )
+    return sim, recorder
+
+
+class TestChannelSerialisation:
+    def test_ncom_one_serialises_program_distribution(self):
+        # Three identical workers, three tasks, Tprog=2, ncom=1: the
+        # timeline must never show two transfers in the same slot.
+        app = IterativeApplication(
+            tasks_per_iteration=3, iterations=1, t_prog=2, t_data=1
+        )
+        sim, recorder = build(
+            ["u" * 40] * 3, [3, 3, 3], 1, app, timeline=True
+        )
+        report = sim.run(max_slots=40)
+        assert report.makespan is not None
+        matrix = recorder.matrix()
+        for row in matrix:
+            transfers = sum(1 for c in row if chr(c) in "p=")
+            assert transfers <= 1
+
+    def test_ncom_two_allows_pairs(self):
+        app = IterativeApplication(
+            tasks_per_iteration=3, iterations=1, t_prog=2, t_data=1
+        )
+        sim, recorder = build(
+            ["u" * 40] * 3, [3, 3, 3], 2, app, timeline=True
+        )
+        sim.run(max_slots=40)
+        matrix = recorder.matrix()
+        per_slot = [sum(1 for c in row if chr(c) in "p=") for row in matrix]
+        assert max(per_slot) == 2
+        assert all(count <= 2 for count in per_slot)
+
+    def test_larger_ncom_reduces_makespan(self):
+        app = IterativeApplication(
+            tasks_per_iteration=4, iterations=1, t_prog=4, t_data=2
+        )
+        makespans = {}
+        for ncom in (1, 2, 4):
+            sim, _ = build(["u" * 100] * 4, [2] * 4, ncom, app)
+            makespans[ncom] = sim.run(max_slots=100).makespan
+        assert makespans[4] <= makespans[2] <= makespans[1]
+        assert makespans[4] < makespans[1]
+
+    def test_network_audit_confirms_budget(self):
+        app = IterativeApplication(
+            tasks_per_iteration=6, iterations=2, t_prog=3, t_data=2
+        )
+        sim, _ = build(["u" * 200] * 4, [2] * 4, 2, app)
+        sim.run(max_slots=200)
+        sim.network.verify_invariants()
+        assert all(u.total <= 2 for u in sim.network.usage)
+
+
+class TestOngoingTransferProtection:
+    def test_started_program_not_preempted_by_new_requests(self):
+        # P0 starts its program at slot 0 with Tprog=4 and ncom=1.  P1
+        # becomes UP at slot 1 and also wants the program; P0's ongoing
+        # transfer must keep the channel until it completes.
+        app = IterativeApplication(
+            tasks_per_iteration=2, iterations=1, t_prog=4, t_data=0
+        )
+        log = EventLog()
+        sim, _ = build(
+            ["u" * 30, "r" + "u" * 29], [1, 1], 1, app, log=log
+        )
+        sim.run(max_slots=30)
+        prog_done = log.of_kind(EventKind.PROGRAM_TRANSFER_DONE)
+        by_worker = {e.worker: e.slot for e in prog_done}
+        assert by_worker[0] == 3           # uninterrupted slots 0-3
+        assert by_worker.get(1, 99) >= 7   # starts only after P0 finished
+
+
+class TestIterationBoundaryUnderContention:
+    def test_data_for_next_iteration_not_prefetched(self):
+        # One worker, m=1, 2 iterations: the data transfer of iteration 2
+        # must start only after iteration 1 committed (no cross-iteration
+        # prefetch).
+        app = IterativeApplication(
+            tasks_per_iteration=1, iterations=2, t_prog=1, t_data=2
+        )
+        log = EventLog()
+        sim, _ = build(["u" * 40], [3], 1, app, log=log)
+        report = sim.run(max_slots=40)
+        assert report.completed_iterations == 2
+        starts = log.of_kind(EventKind.DATA_TRANSFER_START)
+        it_done = log.of_kind(EventKind.ITERATION_DONE)
+        second_start = [e for e in starts if e.iteration == 1][0]
+        first_done = [e for e in it_done if e.iteration == 0][0]
+        assert second_start.slot > first_done.slot
+
+    def test_program_not_resent_between_iterations(self):
+        app = IterativeApplication(
+            tasks_per_iteration=1, iterations=3, t_prog=5, t_data=1
+        )
+        log = EventLog()
+        sim, _ = build(["u" * 60], [2], 1, app, log=log)
+        report = sim.run(max_slots=60)
+        assert report.completed_iterations == 3
+        assert len(log.of_kind(EventKind.PROGRAM_TRANSFER_DONE)) == 1

@@ -1,0 +1,135 @@
+"""Tests for the bounded multi-port channel allocator."""
+
+import pytest
+
+from repro.sim.network import BoundedMultiportNetwork, TransferRequest
+
+
+def req(worker, kind="data", started=False, is_replica=False):
+    return TransferRequest(
+        worker=worker, kind=kind, started=started, is_replica=is_replica, key=worker
+    )
+
+
+class TestTransferRequest:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            req(0, kind="video")
+
+    def test_rejects_negative_worker(self):
+        with pytest.raises(ValueError):
+            req(-1)
+
+    def test_priority_ordering(self):
+        ongoing = req(5, started=True)
+        fresh_prog = req(6, kind="prog")
+        fresh_data = req(1)
+        replica = req(0, is_replica=True)
+        ranked = sorted([replica, fresh_data, fresh_prog, ongoing],
+                        key=lambda r: r.priority)
+        assert ranked[0] is ongoing          # started first
+        assert ranked[1] is fresh_prog       # program before data
+        assert ranked[2] is fresh_data       # original before replica
+        assert ranked[3] is replica
+
+
+class TestAllocation:
+    def test_grants_all_within_budget(self):
+        net = BoundedMultiportNetwork(4)
+        granted = net.allocate(0, [req(0), req(1), req(2)])
+        assert {g.worker for g in granted} == {0, 1, 2}
+
+    def test_caps_at_ncom(self):
+        net = BoundedMultiportNetwork(2)
+        granted = net.allocate(0, [req(w) for w in range(5)])
+        assert len(granted) == 2
+
+    def test_unbounded_grants_everything(self):
+        net = BoundedMultiportNetwork(None)
+        granted = net.allocate(0, [req(w) for w in range(50)])
+        assert len(granted) == 50
+
+    def test_started_transfers_never_starved(self):
+        net = BoundedMultiportNetwork(1)
+        granted = net.allocate(
+            0, [req(0, kind="prog"), req(9, started=True)]
+        )
+        assert granted[0].worker == 9
+
+    def test_program_beats_new_data(self):
+        net = BoundedMultiportNetwork(1)
+        granted = net.allocate(0, [req(0, kind="data"), req(1, kind="prog")])
+        assert granted[0].worker == 1
+
+    def test_original_beats_replica(self):
+        net = BoundedMultiportNetwork(1)
+        granted = net.allocate(0, [req(0, is_replica=True), req(1)])
+        assert granted[0].worker == 1
+
+    def test_index_tie_break(self):
+        net = BoundedMultiportNetwork(1)
+        granted = net.allocate(0, [req(7), req(3)])
+        assert granted[0].worker == 3
+
+    def test_duplicate_worker_rejected(self):
+        net = BoundedMultiportNetwork(2)
+        with pytest.raises(ValueError, match="two transfer requests"):
+            net.allocate(0, [req(1), req(1, kind="prog")])
+
+    def test_empty_request_list(self):
+        net = BoundedMultiportNetwork(2)
+        assert net.allocate(0, []) == []
+
+
+class TestAudit:
+    def test_usage_recorded(self):
+        net = BoundedMultiportNetwork(2)
+        net.allocate(0, [req(0, kind="prog"), req(1)])
+        net.allocate(1, [req(2)])
+        usage = net.usage
+        assert len(usage) == 2
+        assert usage[0].nprog == 1 and usage[0].ndata == 1
+        assert usage[1].nprog == 0 and usage[1].ndata == 1
+        assert usage[0].requested == 2
+
+    def test_verify_invariants_passes_normally(self):
+        net = BoundedMultiportNetwork(2)
+        for slot in range(10):
+            net.allocate(slot, [req(0), req(1), req(2)])
+        net.verify_invariants()
+
+    def test_verify_invariants_detects_injected_violation(self):
+        net = BoundedMultiportNetwork(1)
+        net.allocate(0, [req(0)])
+        # Inject a corrupted record, as a failure-injection check.
+        from repro.sim.network import SlotUsage
+
+        net._usage.append(SlotUsage(slot=1, nprog=1, ndata=1, requested=2))
+        with pytest.raises(AssertionError, match="bandwidth constraint violated"):
+            net.verify_invariants()
+
+    def test_verify_unbounded_is_noop(self):
+        net = BoundedMultiportNetwork(None)
+        net.allocate(0, [req(w) for w in range(10)])
+        net.verify_invariants()
+
+    def test_audit_disabled_keeps_no_usage(self):
+        net = BoundedMultiportNetwork(2, audit=False)
+        net.allocate(0, [req(0)])
+        assert net.usage == []
+
+    def test_statistics(self):
+        net = BoundedMultiportNetwork(2)
+        net.allocate(0, [req(0), req(1)])
+        net.allocate(1, [])
+        net.allocate(2, [req(2)])
+        assert net.busy_slot_count() == 2
+        assert net.channel_slot_total() == 3
+        assert net.mean_utilization() == pytest.approx(3 / 6)
+
+    def test_mean_utilization_empty(self):
+        assert BoundedMultiportNetwork(2).mean_utilization() == 0.0
+
+    def test_rejects_nonpositive_ncom(self):
+        with pytest.raises(ValueError):
+            BoundedMultiportNetwork(0)

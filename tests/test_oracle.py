@@ -1,0 +1,93 @@
+"""Tests for the clairvoyant (true-availability) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.heuristics.mct import MctScheduler
+from repro.core.heuristics.oracle import ClairvoyantScheduler
+from repro.core.heuristics.registry import make_scheduler
+from repro.experiments.harness import run_instance
+from repro.sim.master import MasterSimulator, SimulatorOptions
+from repro.sim.platform import Platform, Processor
+from repro.types import states_from_codes
+from repro.workload.application import IterativeApplication
+from repro.workload.scenarios import ScenarioGenerator
+
+
+def trace_platform(codes_list, speeds, ncom=2):
+    processors = [
+        Processor.from_trace(q, speeds[q], states_from_codes(codes))
+        for q, codes in enumerate(codes_list)
+    ]
+    return Platform(processors, ncom=ncom)
+
+
+class TestClairvoyantScheduler:
+    def test_registry_requires_platform(self):
+        with pytest.raises(ValueError, match="needs the simulation platform"):
+            make_scheduler("clairvoyant")
+
+    def test_registry_with_platform(self):
+        platform = trace_platform(["u" * 10], [1])
+        scheduler = make_scheduler("clairvoyant", platform=platform)
+        assert scheduler.name == "clairvoyant"
+
+    def test_avoids_soon_reclaimed_processor(self):
+        # P0 and P1 identical to MCT's estimate (both UP now, same speed),
+        # but the truth is P0 gets reclaimed before it could compute.
+        platform = trace_platform(
+            ["uu" + "r" * 30, "u" * 32], [1, 1], ncom=2
+        )
+        app = IterativeApplication(
+            tasks_per_iteration=1, iterations=1, t_prog=1, t_data=1
+        )
+        # Plain MCT ties -> picks P0 (lower index) and stalls.
+        mct_sim = MasterSimulator(
+            trace_platform(["uu" + "r" * 30, "u" * 32], [1, 1], ncom=2),
+            app, MctScheduler(),
+            options=SimulatorOptions(replication=False, audit=True),
+        )
+        assert mct_sim.run(max_slots=32).makespan is None
+        # Clairvoyance sees the preemption and picks P1.
+        oracle_sim = MasterSimulator(
+            platform, app, ClairvoyantScheduler(platform),
+            options=SimulatorOptions(replication=False, audit=True),
+        )
+        report = oracle_sim.run(max_slots=32)
+        assert report.makespan == 3  # P1: prog 0, data 1, compute 2
+
+    def test_true_completion_walk_matches_simulator(self):
+        # Single always-UP worker: the walk must predict the simulator's
+        # makespan exactly (no contention, no competition).
+        platform = trace_platform(["u" * 60], [3], ncom=1)
+        app = IterativeApplication(
+            tasks_per_iteration=2, iterations=1, t_prog=2, t_data=1
+        )
+        scheduler = ClairvoyantScheduler(platform)
+        sim = MasterSimulator(
+            platform, app, scheduler,
+            options=SimulatorOptions(replication=False, audit=True),
+        )
+        report = sim.run(max_slots=60)
+        # Pipeline: prog 0-1, data 2, comp 3-5, data2 3 (overlap), comp2 6-8.
+        assert report.makespan == 9
+
+    def test_horizon_validation(self):
+        platform = trace_platform(["u"], [1])
+        with pytest.raises(ValueError):
+            ClairvoyantScheduler(platform, horizon=0)
+
+    def test_harness_integration(self):
+        scenario = ScenarioGenerator(4).scenario(5, 5, 2, 0)
+        makespan = run_instance(scenario, 0, "clairvoyant", max_slots=100_000)
+        assert makespan > 0
+
+    def test_oracle_not_worse_than_mct_on_average(self):
+        # Averaged over several scenarios, true information should help.
+        gen = ScenarioGenerator(8)
+        oracle_total, mct_total = 0.0, 0.0
+        for index in range(4):
+            scenario = gen.scenario(10, 5, 5, index)
+            oracle_total += run_instance(scenario, 0, "clairvoyant")
+            mct_total += run_instance(scenario, 0, "mct")
+        assert oracle_total <= mct_total * 1.05

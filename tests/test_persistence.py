@@ -1,0 +1,83 @@
+"""Tests for campaign persistence (save / load / rebuild / merge)."""
+
+import pytest
+
+from repro.experiments.harness import CampaignConfig, run_campaign
+from repro.experiments.persistence import (
+    load_records,
+    merge_records,
+    rebuild_result,
+    save_campaign,
+)
+from repro.workload.scenarios import ScenarioGenerator
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    scenarios = [ScenarioGenerator(3).scenario(5, 5, 1, i) for i in range(2)]
+    return run_campaign(
+        scenarios, CampaignConfig(heuristics=("mct", "random"), trials=2)
+    )
+
+
+class TestSaveLoad:
+    def test_round_trip(self, campaign, tmp_path):
+        path = tmp_path / "campaign.json"
+        save_campaign(campaign, path, meta={"seed": 3})
+        records, meta = load_records(path)
+        assert meta == {"seed": 3}
+        assert len(records) == campaign.instances
+        assert records == campaign.records
+
+    def test_save_without_records_rejected(self, tmp_path):
+        from repro.experiments.harness import CampaignResult
+
+        with pytest.raises(ValueError, match="no instance records"):
+            save_campaign(CampaignResult(), tmp_path / "x.json")
+
+    def test_load_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "nope", "records": []}')
+        with pytest.raises(ValueError, match="unsupported campaign format"):
+            load_records(path)
+
+    def test_load_rejects_empty_makespans(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            '{"format": "repro-campaign-v1", "records": '
+            '[{"key": [1], "makespans": {}}]}'
+        )
+        with pytest.raises(ValueError, match="no makespans"):
+            load_records(path)
+
+
+class TestRebuild:
+    def test_rebuild_matches_original_aggregates(self, campaign, tmp_path):
+        path = tmp_path / "campaign.json"
+        save_campaign(campaign, path)
+        records, _meta = load_records(path)
+        rebuilt = rebuild_result(records)
+        assert rebuilt.instances == campaign.instances
+        for name in ("mct", "random"):
+            assert rebuilt.accumulator.average_dfb(name) == pytest.approx(
+                campaign.accumulator.average_dfb(name)
+            )
+            assert rebuilt.accumulator.wins(name) == campaign.accumulator.wins(name)
+        assert set(rebuilt.per_scenario) == set(campaign.per_scenario)
+
+
+class TestMerge:
+    def test_merge_disjoint(self, campaign):
+        half = len(campaign.records) // 2
+        merged = merge_records(campaign.records[:half], campaign.records[half:])
+        assert len(merged) == len(campaign.records)
+
+    def test_merge_overlapping_consistent(self, campaign):
+        merged = merge_records(campaign.records, campaign.records)
+        assert len(merged) == len(campaign.records)
+
+    def test_merge_conflicting_rejected(self, campaign):
+        key, makespans = campaign.records[0]
+        altered = [(key, {name: value + 1 for name, value in makespans.items()})]
+        with pytest.raises(ValueError, match="conflicting results"):
+            merge_records(campaign.records, altered)

@@ -1,0 +1,118 @@
+"""Property-based tests (hypothesis) for the scheduling heuristics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heuristics.base import ProcessorView, SchedulingContext
+from repro.core.heuristics.registry import (
+    GREEDY_HEURISTICS,
+    PAPER_HEURISTICS,
+    make_scheduler,
+)
+from repro.core.markov import MarkovAvailabilityModel
+from repro.types import ProcState
+
+
+@st.composite
+def contexts(draw):
+    """Random scheduling contexts with a mix of UP/RECLAIMED/DOWN views."""
+    p = draw(st.integers(1, 10))
+    seed = draw(st.integers(0, 100_000))
+    rng = np.random.default_rng(seed)
+    views = []
+    for q in range(p):
+        belief = MarkovAvailabilityModel.from_self_loops(
+            rng.uniform(0.7, 0.99), rng.uniform(0.5, 0.99), rng.uniform(0.5, 0.99)
+        )
+        views.append(
+            ProcessorView(
+                index=q,
+                speed_w=int(rng.integers(1, 12)),
+                state=ProcState(int(rng.integers(0, 3))),
+                belief=belief,
+                has_program=bool(rng.integers(0, 2)),
+                delay=int(rng.integers(0, 30)),
+                pinned_count=int(rng.integers(0, 3)),
+            )
+        )
+    ctx = SchedulingContext(
+        slot=draw(st.integers(0, 100)),
+        t_prog=draw(st.integers(0, 10)),
+        t_data=draw(st.integers(0, 6)),
+        ncom=draw(st.one_of(st.none(), st.integers(1, 5))),
+        processors=views,
+        remaining_tasks=0,
+        rng=np.random.default_rng(seed + 1),
+    )
+    return ctx
+
+
+@given(contexts(), st.integers(0, 20),
+       st.sampled_from(PAPER_HEURISTICS + ["passive", "ud-exact"]))
+@settings(max_examples=120, deadline=None)
+def test_placements_well_formed(ctx, n_tasks, name):
+    scheduler = make_scheduler(name)
+    placements = scheduler.place(ctx, n_tasks)
+    assert len(placements) == n_tasks
+    up = {view.index for view in ctx.processors if view.is_up}
+    non_down = {
+        view.index
+        for view in ctx.processors
+        if view.state != ProcState.DOWN
+    }
+    for choice in placements:
+        if choice is None:
+            continue
+        # The passive baseline may stick to RECLAIMED processors (by
+        # design); every other heuristic must target UP processors only.
+        if name == "passive":
+            assert choice in non_down
+        else:
+            assert choice in up
+    if not up:
+        if name != "passive":
+            assert all(choice is None for choice in placements)
+
+
+@given(contexts(), st.integers(1, 15), st.sampled_from(GREEDY_HEURISTICS))
+@settings(max_examples=80, deadline=None)
+def test_greedy_placement_deterministic(ctx, n_tasks, name):
+    a = make_scheduler(name).place(ctx, n_tasks)
+    b = make_scheduler(name).place(ctx, n_tasks)
+    assert a == b
+
+
+@given(contexts(), st.integers(1, 10))
+@settings(max_examples=60, deadline=None)
+def test_restricting_allowed_set_is_respected(ctx, n_tasks):
+    up = [view.index for view in ctx.processors if view.is_up]
+    allowed = up[: max(1, len(up) // 2)]
+    scheduler = make_scheduler("mct")
+    placements = scheduler.place(ctx, n_tasks, allowed=allowed)
+    for choice in placements:
+        assert choice is None or choice in allowed
+
+
+@given(contexts(), st.sampled_from(GREEDY_HEURISTICS))
+@settings(max_examples=60, deadline=None)
+def test_single_placement_optimises_score(ctx, name):
+    # The first placement must carry the extremal speculative score among
+    # UP candidates (ties toward lower index).
+    scheduler = make_scheduler(name)
+    ups = [view for view in ctx.processors if view.is_up]
+    placement = scheduler.place(ctx, 1)[0]
+    if not ups:
+        assert placement is None
+        return
+    n_active = sum(1 for view in ups if view.pinned_count > 0)
+    scores = {}
+    for view in ups:
+        spec = n_active + (1 if view.pinned_count == 0 else 0)
+        factor = scheduler.contention_factor(ctx, spec)
+        scores[view.index] = scheduler.score(ctx, view, 1, factor)
+    best = (
+        max(scores.values()) if scheduler.maximize else min(scores.values())
+    )
+    winners = [index for index, score in scores.items() if score == best]
+    assert placement == min(winners)

@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis) for the availability analytics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.expectation import (
+    expected_completion_slots,
+    p_no_down_approx,
+    p_no_down_exact,
+    p_plus,
+    success_probability,
+)
+from repro.core.markov import MarkovAvailabilityModel, stationary_distribution
+
+
+@st.composite
+def markov_models(draw, min_escape=0.01):
+    """Random recurrent 3-state chains.
+
+    Rows are drawn from a Dirichlet-like construction; every state keeps at
+    least ``min_escape`` probability of leaving (so the chain stays
+    recurrent and the closed forms are non-degenerate).
+    """
+    rows = []
+    for i in range(3):
+        raw = [draw(st.floats(0.01, 1.0)) for _ in range(3)]
+        total = sum(raw)
+        row = [value / total for value in raw]
+        # Enforce escape mass from the diagonal.
+        if row[i] > 1.0 - min_escape:
+            excess = row[i] - (1.0 - min_escape)
+            row[i] -= excess
+            row[(i + 1) % 3] += excess
+        rows.append(row)
+    return MarkovAvailabilityModel(np.array(rows))
+
+
+class TestStationaryProperties:
+    @given(markov_models())
+    @settings(max_examples=80, deadline=None)
+    def test_stationary_is_fixed_point(self, model):
+        pi = model.stationary
+        assert np.allclose(pi @ model.matrix, pi, atol=1e-9)
+        assert abs(pi.sum() - 1.0) < 1e-9
+        assert np.all(pi >= -1e-12)
+
+    @given(markov_models())
+    @settings(max_examples=50, deadline=None)
+    def test_rows_stochastic_after_normalisation(self, model):
+        assert np.allclose(model.matrix.sum(axis=1), 1.0, atol=1e-12)
+
+    @given(st.integers(2, 6), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_general_stationary_solver(self, n, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.dirichlet(np.ones(n) * 2, size=n)
+        pi = stationary_distribution(matrix)
+        assert np.allclose(pi @ matrix, pi, atol=1e-8)
+
+
+class TestClosedFormProperties:
+    @given(markov_models())
+    @settings(max_examples=80, deadline=None)
+    def test_p_plus_is_probability(self, model):
+        assert 0.0 <= p_plus(model) <= 1.0 + 1e-12
+
+    @given(markov_models(), st.integers(1, 60))
+    @settings(max_examples=80, deadline=None)
+    def test_expectation_at_least_workload(self, model, w):
+        assert expected_completion_slots(model, w) >= w - 1e-9
+
+    @given(markov_models(), st.integers(1, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_expectation_monotone_in_w(self, model, w):
+        assert expected_completion_slots(model, w + 1) > expected_completion_slots(
+            model, w
+        ) - 1e-12
+
+    @given(markov_models(), st.integers(1, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_success_probability_in_unit_interval(self, model, w):
+        value = success_probability(model, w)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+    @given(markov_models(), st.integers(1, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_p_no_down_exact_decreasing(self, model, k):
+        assert (
+            p_no_down_exact(model, k + 1) <= p_no_down_exact(model, k) + 1e-12
+        )
+
+    @given(markov_models(), st.floats(1.0, 100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_p_no_down_approx_in_unit_interval(self, model, k):
+        value = p_no_down_approx(model, k)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+    @given(markov_models())
+    @settings(max_examples=40, deadline=None)
+    def test_exact_and_approx_agree_at_k2(self, model):
+        assert abs(p_no_down_exact(model, 2) - p_no_down_approx(model, 2.0)) < 1e-9
+
+
+class TestSamplingProperties:
+    @given(markov_models(), st.integers(1, 300), st.integers(0, 2),
+           st.integers(0, 100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_traces_only_contain_valid_states(self, model, length, initial, seed):
+        trace = model.sample_trace(length, np.random.default_rng(seed), initial)
+        assert trace.shape == (length,)
+        assert trace[0] == initial
+        assert set(np.unique(trace)) <= {0, 1, 2}
+
+    @given(markov_models(), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_forbidden_transitions_never_sampled(self, model, seed):
+        # Zero out one transition and verify it never occurs in a trace.
+        matrix = model.matrix.copy()
+        moved = matrix[0, 1]
+        matrix[0, 1] = 0.0
+        matrix[0, 0] += moved
+        constrained = MarkovAvailabilityModel(matrix)
+        trace = constrained.sample_trace(
+            2000, np.random.default_rng(seed), initial=0
+        )
+        pairs = set(zip(trace[:-1], trace[1:]))
+        assert (0, 1) not in pairs

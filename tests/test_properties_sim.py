@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) for the simulator's invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heuristics.registry import make_scheduler
+from repro.core.markov import MarkovAvailabilityModel
+from repro.sim.master import MasterSimulator, SimulatorOptions
+from repro.sim.platform import Platform, Processor
+from repro.workload.application import IterativeApplication
+
+
+@st.composite
+def sim_setups(draw):
+    """Small random simulation setups with mostly-recoverable chains."""
+    p = draw(st.integers(1, 5))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    processors = []
+    for q in range(p):
+        model = MarkovAvailabilityModel.from_self_loops(
+            rng.uniform(0.7, 0.95), rng.uniform(0.5, 0.9), rng.uniform(0.3, 0.8)
+        )
+        processors.append(
+            Processor.from_markov(
+                q,
+                int(rng.integers(1, 5)),
+                model,
+                np.random.default_rng(seed * 31 + q),
+                initial=0,
+            )
+        )
+    ncom = draw(st.integers(1, 3))
+    platform = Platform(processors, ncom=ncom)
+    app = IterativeApplication(
+        tasks_per_iteration=draw(st.integers(1, 6)),
+        iterations=draw(st.integers(1, 3)),
+        t_prog=draw(st.integers(0, 4)),
+        t_data=draw(st.integers(0, 3)),
+    )
+    heuristic = draw(
+        st.sampled_from(["mct", "mct*", "emct", "emct*", "lw", "ud*", "random",
+                         "random2w"])
+    )
+    return platform, app, heuristic, seed
+
+
+@given(sim_setups())
+@settings(max_examples=60, deadline=None)
+def test_simulation_invariants(setup):
+    platform, app, heuristic, seed = setup
+    sim = MasterSimulator(
+        platform,
+        app,
+        make_scheduler(heuristic),
+        options=SimulatorOptions(audit=True),
+        rng=np.random.default_rng(seed),
+    )
+    report = sim.run(max_slots=8000)
+
+    # Network budget held at every audited slot.
+    sim.network.verify_invariants()
+
+    # Task conservation: exactly m commits per completed iteration.
+    assert report.tasks_committed == (
+        app.tasks_per_iteration * report.completed_iterations
+    )
+    assert report.completed_iterations <= app.iterations
+
+    if report.makespan is not None:
+        assert report.completed_iterations == app.iterations
+        assert report.makespan == report.slots_simulated
+        # The final slot must be the last iteration's completion slot.
+        assert report.iteration_end_slots[-1] == report.makespan - 1
+        # A task needs at least t_prog + t_data + min_w slots end to end.
+        min_w = min(proc.speed_w for proc in platform)
+        assert report.makespan >= app.t_prog + app.t_data + min_w
+
+    # Iteration end slots are strictly increasing.
+    ends = report.iteration_end_slots
+    assert all(b > a for a, b in zip(ends, ends[1:]))
+
+    # Accounting sanity.
+    assert report.compute_slots_wasted <= report.compute_slots_spent
+    assert report.replicas_cancelled <= report.replicas_launched + report.tasks_committed
+    assert report.comm_slots_spent >= 0
+
+
+@given(sim_setups())
+@settings(max_examples=25, deadline=None)
+def test_simulation_is_reproducible(setup):
+    platform, app, heuristic, seed = setup
+
+    def run_once():
+        # Rebuild the platform so lazily sampled traces restart identically.
+        rebuilt = Platform(
+            [
+                Processor.from_markov(
+                    proc.index,
+                    proc.speed_w,
+                    proc.belief,
+                    np.random.default_rng(seed * 31 + proc.index),
+                    initial=0,
+                )
+                for proc in platform
+            ],
+            ncom=platform.ncom,
+        )
+        sim = MasterSimulator(
+            rebuilt,
+            app,
+            make_scheduler(heuristic),
+            options=SimulatorOptions(audit=True),
+            rng=np.random.default_rng(seed),
+        )
+        return sim.run(max_slots=4000)
+
+    a, b = run_once(), run_once()
+    assert a.makespan == b.makespan
+    assert a.tasks_committed == b.tasks_committed
+    assert a.iteration_end_slots == b.iteration_end_slots
+    assert a.comm_slots_spent == b.comm_slots_spent
+
+
+@given(st.integers(1, 4), st.integers(0, 500))
+@settings(max_examples=25, deadline=None)
+def test_makespan_strictly_monotone_in_iterations(iters, seed):
+    # Iterations are sequential with a barrier, and the simulation is a
+    # deterministic function of the (identical) availability traces, so
+    # completing one more iteration must take strictly more slots.
+    # (Monotonicity in the *task count* would NOT be a valid property:
+    # greedy list scheduling is subject to Graham-style anomalies.)
+    def run_with(iterations):
+        rng_seed = seed + 17
+        platform = Platform(
+            [
+                Processor.from_markov(
+                    q,
+                    2,
+                    MarkovAvailabilityModel.from_self_loops(0.9, 0.8, 0.8),
+                    np.random.default_rng(rng_seed + q),
+                    initial=0,
+                )
+                for q in range(3)
+            ],
+            ncom=2,
+        )
+        sim = MasterSimulator(
+            platform,
+            IterativeApplication(
+                tasks_per_iteration=3, iterations=iterations, t_prog=2, t_data=1
+            ),
+            make_scheduler("mct"),
+            options=SimulatorOptions(audit=True),
+            rng=np.random.default_rng(0),
+        )
+        return sim.run(max_slots=8000)
+
+    small, large = run_with(iters), run_with(iters + 1)
+    if small.makespan is not None and large.makespan is not None:
+        assert large.makespan > small.makespan
+        # The shorter run's iteration-end slots are a prefix of the longer
+        # run's (identical traces, identical decisions up to the barrier).
+        assert large.iteration_end_slots[: iters] == small.iteration_end_slots

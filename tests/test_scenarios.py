@@ -1,0 +1,123 @@
+"""Tests for the Section 7 scenario generator."""
+
+import numpy as np
+import pytest
+
+from repro.workload.scenarios import (
+    PAPER_N_VALUES,
+    PAPER_NCOM_VALUES,
+    PAPER_WMIN_VALUES,
+    ScenarioGenerator,
+)
+
+
+class TestScenarioGeneration:
+    def test_paper_parameter_constants(self):
+        assert PAPER_N_VALUES == (5, 10, 20, 40)
+        assert PAPER_NCOM_VALUES == (5, 10, 20)
+        assert PAPER_WMIN_VALUES == tuple(range(1, 11))
+
+    def test_scenario_shape(self):
+        scenario = ScenarioGenerator(0).scenario(10, 5, 3, 0)
+        assert scenario.p == 20
+        assert len(scenario.speeds) == 20
+        assert scenario.ncom == 5
+        assert scenario.app.tasks_per_iteration == 10
+        assert scenario.app.iterations == 10
+
+    def test_timings_follow_wmin(self):
+        scenario = ScenarioGenerator(0).scenario(10, 5, 3, 0)
+        assert scenario.app.t_data == 3
+        assert scenario.app.t_prog == 15
+
+    def test_speeds_in_paper_range(self):
+        for wmin in (1, 4, 10):
+            scenario = ScenarioGenerator(0).scenario(5, 5, wmin, 0)
+            assert all(wmin <= w <= 10 * wmin for w in scenario.speeds)
+
+    def test_chains_in_paper_range(self):
+        scenario = ScenarioGenerator(0).scenario(5, 5, 1, 0)
+        for model in scenario.models:
+            for loop in (model.p_uu, model.p_rr, model.p_dd):
+                assert 0.90 <= loop <= 0.99
+
+    def test_deterministic(self):
+        a = ScenarioGenerator(7).scenario(10, 5, 2, 3)
+        b = ScenarioGenerator(7).scenario(10, 5, 2, 3)
+        assert a.speeds == b.speeds
+        assert all(
+            np.allclose(ma.matrix, mb.matrix)
+            for ma, mb in zip(a.models, b.models)
+        )
+
+    def test_different_indices_differ(self):
+        gen = ScenarioGenerator(7)
+        a, b = gen.scenario(10, 5, 2, 0), gen.scenario(10, 5, 2, 1)
+        assert a.speeds != b.speeds or not np.allclose(
+            a.models[0].matrix, b.models[0].matrix
+        )
+
+    def test_contention_prone_parameters(self):
+        scenarios = ScenarioGenerator(0).contention_prone(5, 3)
+        assert len(scenarios) == 3
+        for s in scenarios:
+            assert s.app.tasks_per_iteration == 20
+            assert s.ncom == 5
+            assert s.app.t_data == 5
+            assert s.app.t_prog == 25
+
+    def test_grid_size(self):
+        scenarios = list(
+            ScenarioGenerator(0).grid(
+                2, n_values=(5,), ncom_values=(5, 10), wmin_values=(1, 2)
+            )
+        )
+        assert len(scenarios) == 2 * 2 * 2
+
+    def test_invalid_parameters_rejected(self):
+        gen = ScenarioGenerator(0)
+        with pytest.raises(ValueError):
+            gen.scenario(0, 5, 1, 0)
+        with pytest.raises(ValueError):
+            gen.scenario(5, 0, 1, 0)
+        with pytest.raises(ValueError):
+            gen.scenario(5, 5, 0, 0)
+
+
+class TestTrialPairing:
+    def test_same_trial_same_availability(self):
+        # The cornerstone of the dfb metric: every heuristic must see the
+        # same availability sample for a given (scenario, trial).
+        scenario = ScenarioGenerator(11).scenario(5, 5, 2, 0)
+        p1 = scenario.build_platform(trial=3)
+        p2 = scenario.build_platform(trial=3)
+        for q in range(scenario.p):
+            t1 = [p1[q].availability.state_at(t) for t in range(500)]
+            t2 = [p2[q].availability.state_at(t) for t in range(500)]
+            assert t1 == t2
+
+    def test_different_trials_differ(self):
+        scenario = ScenarioGenerator(11).scenario(5, 5, 2, 0)
+        p1 = scenario.build_platform(trial=0)
+        p2 = scenario.build_platform(trial=1)
+        t1 = [p1[0].availability.state_at(t) for t in range(500)]
+        t2 = [p2[0].availability.state_at(t) for t in range(500)]
+        assert t1 != t2
+
+    def test_scheduler_rng_isolated_per_heuristic(self):
+        scenario = ScenarioGenerator(11).scenario(5, 5, 2, 0)
+        a = scenario.scheduler_rng(0, "random")
+        b = scenario.scheduler_rng(0, "random1")
+        assert not np.allclose(a.random(8), b.random(8))
+
+    def test_scheduler_rng_reproducible(self):
+        scenario = ScenarioGenerator(11).scenario(5, 5, 2, 0)
+        a = scenario.scheduler_rng(0, "random")
+        b = scenario.scheduler_rng(0, "random")
+        assert np.allclose(a.random(8), b.random(8))
+
+    def test_beliefs_match_generating_chains(self):
+        scenario = ScenarioGenerator(11).scenario(5, 5, 2, 0)
+        platform = scenario.build_platform(0)
+        for q in range(scenario.p):
+            assert platform[q].belief is scenario.models[q]

@@ -1,0 +1,99 @@
+"""Tests for the theorem2 validation study and the ablation module."""
+
+import pytest
+
+from repro.experiments.ablation import ABLATIONS, render_ablation, run_ablation
+from repro.experiments.theorem2_study import (
+    render_theorem2_study,
+    run_theorem2_study,
+)
+
+
+class TestTheorem2Study:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_theorem2_study(chains=3, samples=4000, workload=5, seed=1)
+
+    def test_all_quantities_validated(self, result):
+        names = [v.quantity for v in result.validations]
+        assert any("Lemma 1" in n for n in names)
+        assert any("Theorem 2" in n for n in names)
+        assert any("matrix power" in n for n in names)
+        assert any("rank-1" in n for n in names)
+
+    def test_closed_forms_match_monte_carlo(self, result):
+        for validation in result.validations:
+            if "rank-1" in validation.quantity:
+                continue  # genuine approximation, not statistical noise
+            assert validation.max_abs_error < 0.05, validation
+
+    def test_errors_ordered(self, result):
+        for validation in result.validations:
+            assert 0 <= validation.mean_abs_error <= validation.max_abs_error
+
+    def test_render(self, result):
+        text = render_theorem2_study(result)
+        assert "Monte Carlo" in text
+        assert "mean |err|" in text
+
+
+class TestAblation:
+    def test_registry_contents(self):
+        assert set(ABLATIONS) == {
+            "replication", "replanning", "ud-exact", "contention", "proactive",
+        }
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="valid:"):
+            run_ablation("nonsense")
+
+    def test_replanning_ablation_quick(self):
+        result = run_ablation(
+            "replanning", scenarios=1, trials=1, wmin=2, n=5
+        )
+        assert set(result.arms) == {"event-driven", "every-slot"}
+        event_rounds = result.arms["event-driven"][1]
+        slot_rounds = result.arms["every-slot"][1]
+        assert event_rounds < slot_rounds
+        text = render_ablation(result)
+        assert "replanning" in text
+
+    def test_replication_ablation_quick(self):
+        result = run_ablation(
+            "replication", scenarios=1, trials=1, wmin=2, n=5
+        )
+        assert set(result.arms) == {
+            "0 extra replicas", "1 extra replicas", "2 extra replicas",
+        }
+        for mean, _rounds in result.arms.values():
+            assert mean > 0
+
+    def test_proactive_ablation_quick(self):
+        result = run_ablation(
+            "proactive", scenarios=1, trials=1, wmin=2, n=5
+        )
+        assert set(result.arms) == {"dynamic", "proactive"}
+
+
+class TestCliStudies:
+    def test_theorem2_command(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["theorem2", "--chains", "2", "--samples", "2000"]) == 0
+        assert "Theorem 2" in capsys.readouterr().out
+
+    def test_deadline_command(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main([
+            "deadline", "--slots", "300", "--scenarios", "1", "--trials", "1",
+        ]) == 0
+        assert "Deadline objective" in capsys.readouterr().out
+
+    def test_ablation_command(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main([
+            "ablation", "replanning", "--scenarios", "1", "--trials", "1",
+        ]) == 0
+        assert "ablation: replanning" in capsys.readouterr().out

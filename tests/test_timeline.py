@@ -1,0 +1,148 @@
+"""Tests for the timeline recorder and Gantt renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.gantt import render_gantt
+from repro.core.heuristics.mct import MctScheduler
+from repro.sim.master import MasterSimulator, SimulatorOptions
+from repro.sim.platform import Platform, Processor
+from repro.sim.timeline import Activity, TimelineRecorder
+from repro.types import states_from_codes
+from repro.workload.application import IterativeApplication
+
+
+def run_with_timeline(codes_list, speeds, app, ncom=1):
+    platform = Platform(
+        [
+            Processor.from_trace(q, speeds[q], states_from_codes(codes))
+            for q, codes in enumerate(codes_list)
+        ],
+        ncom=ncom,
+    )
+    timeline = TimelineRecorder(len(platform))
+    sim = MasterSimulator(
+        platform, app, MctScheduler(),
+        options=SimulatorOptions(replication=False, audit=True),
+        timeline=timeline,
+    )
+    report = sim.run(max_slots=200)
+    return report, timeline
+
+
+class TestRecorder:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            TimelineRecorder(0)
+
+    def test_single_worker_pipeline_pattern(self):
+        # prog 2 slots, data 1, compute 2 -> "pp=.##" with the idle slot
+        # between data completion and compute start... actually data ends
+        # slot 2, compute occupies slots 3-4: "pp=##".
+        app = IterativeApplication(
+            tasks_per_iteration=1, iterations=1, t_prog=2, t_data=1
+        )
+        report, timeline = run_with_timeline(["u" * 20], [2], app)
+        assert report.makespan == 5
+        assert timeline.worker_row(0) == "pp=##"
+
+    def test_reclaimed_slot_marked(self):
+        app = IterativeApplication(
+            tasks_per_iteration=1, iterations=1, t_prog=1, t_data=0
+        )
+        report, timeline = run_with_timeline(["urru" + "u" * 10], [1], app)
+        assert report.makespan == 4
+        assert timeline.worker_row(0) == "prr#"
+
+    def test_down_slot_marked(self):
+        app = IterativeApplication(
+            tasks_per_iteration=1, iterations=1, t_prog=1, t_data=0
+        )
+        report, timeline = run_with_timeline(["udu" + "u" * 10], [1], app)
+        # prog slot 0, DOWN slot 1 wipes it, prog again slot 2, compute 3.
+        assert report.makespan == 4
+        assert timeline.worker_row(0) == "pXp#"
+
+    def test_compute_takes_precedence_over_prefetch(self):
+        # Two tasks, data overlaps compute: the overlap slot shows '#'.
+        app = IterativeApplication(
+            tasks_per_iteration=2, iterations=1, t_prog=1, t_data=1
+        )
+        report, timeline = run_with_timeline(["u" * 20], [2], app)
+        row = timeline.worker_row(0)
+        assert row.startswith("p=#")
+        assert Activity.COMPUTE == ord("#")
+        assert row.count("#") == 4  # 2 tasks × w=2
+
+    def test_busy_fraction(self):
+        app = IterativeApplication(
+            tasks_per_iteration=1, iterations=1, t_prog=1, t_data=0
+        )
+        _report, timeline = run_with_timeline(["urru" + "u" * 10], [1], app)
+        assert timeline.busy_fraction(0) == pytest.approx(2 / 4)
+
+    def test_matrix_shape(self):
+        app = IterativeApplication(
+            tasks_per_iteration=1, iterations=1, t_prog=1, t_data=0
+        )
+        _report, timeline = run_with_timeline(
+            ["u" * 10, "u" * 10], [1, 1], app, ncom=2
+        )
+        matrix = timeline.matrix()
+        assert matrix.shape[1] == 2
+        assert matrix.shape[0] == timeline.slots_recorded
+
+    def test_worker_row_out_of_range(self):
+        timeline = TimelineRecorder(2)
+        timeline.begin_slot(np.zeros(2, dtype=np.uint8))
+        with pytest.raises(IndexError):
+            timeline.worker_row(5)
+
+    def test_mark_before_begin_rejected(self):
+        timeline = TimelineRecorder(1)
+        with pytest.raises(RuntimeError):
+            timeline.mark_compute(0)
+
+
+class TestGantt:
+    def _timeline(self):
+        app = IterativeApplication(
+            tasks_per_iteration=2, iterations=1, t_prog=2, t_data=1
+        )
+        _report, timeline = run_with_timeline(
+            ["u" * 30, "uurr" + "u" * 26], [2, 2], app, ncom=1
+        )
+        return timeline
+
+    def test_contains_rows_and_legend(self):
+        chart = render_gantt(self._timeline())
+        assert "P0" in chart and "P1" in chart
+        assert "legend:" in chart
+
+    def test_window(self):
+        timeline = self._timeline()
+        chart = render_gantt(timeline, start=0, width=3, show_legend=False)
+        data_lines = [l for l in chart.splitlines() if l.startswith("P")]
+        assert all(len(line.split(None, 1)[1]) <= 3 for line in data_lines)
+
+    def test_worker_subset(self):
+        chart = render_gantt(self._timeline(), workers=[1])
+        assert "P1" in chart
+        assert "\nP0" not in chart
+
+    def test_tick_marks(self):
+        chart = render_gantt(self._timeline())
+        assert "|" in chart
+        assert "0" in chart.splitlines()[0]
+
+    def test_empty_timeline_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            render_gantt(TimelineRecorder(1))
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            render_gantt(self._timeline(), start=10_000)
+
+    def test_bad_worker_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            render_gantt(self._timeline(), workers=[9])

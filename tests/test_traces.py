@@ -1,0 +1,122 @@
+"""Tests for trace serialisation and the synthetic archive."""
+
+import numpy as np
+import pytest
+
+from repro.core.markov import MarkovAvailabilityModel
+from repro.sim.availability import MarkovSource, TraceSource
+from repro.workload.traces import (
+    HostTrace,
+    TraceArchive,
+    intervals_from_states,
+    states_from_intervals,
+    synthesize_archive,
+)
+
+
+class TestRunLengthEncoding:
+    def test_encode(self):
+        assert intervals_from_states([0, 0, 1, 2, 2, 2]) == [
+            ("u", 2), ("r", 1), ("d", 3)
+        ]
+
+    def test_single_state(self):
+        assert intervals_from_states([1]) == [("r", 1)]
+
+    def test_decode(self):
+        states = states_from_intervals([("u", 2), ("d", 1)])
+        assert list(states) == [0, 0, 2]
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        states = rng.integers(0, 3, size=500).astype(np.uint8)
+        rebuilt = states_from_intervals(intervals_from_states(states))
+        assert np.array_equal(rebuilt, states)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            intervals_from_states([])
+        with pytest.raises(ValueError):
+            states_from_intervals([])
+
+    def test_rejects_bad_code(self):
+        with pytest.raises(ValueError, match="unknown state code"):
+            states_from_intervals([("x", 2)])
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            states_from_intervals([("u", 0)])
+
+
+class TestHostTrace:
+    def test_total_slots(self):
+        host = HostTrace("h", (("u", 5), ("r", 3)))
+        assert host.total_slots == 8
+
+    def test_availability_fraction(self):
+        host = HostTrace("h", (("u", 6), ("d", 2)))
+        assert host.availability_fraction() == pytest.approx(0.75)
+
+    def test_to_states(self):
+        host = HostTrace("h", (("u", 1), ("d", 2)))
+        assert list(host.to_states()) == [0, 2, 2]
+
+
+class TestArchiveIO:
+    def test_save_load_round_trip(self, tmp_path):
+        archive = TraceArchive(
+            hosts=[
+                HostTrace("a", (("u", 10), ("r", 2))),
+                HostTrace("b", (("d", 1), ("u", 5))),
+            ],
+            slot_seconds=30.0,
+        )
+        path = tmp_path / "traces.json"
+        archive.save(path)
+        loaded = TraceArchive.load(path)
+        assert len(loaded) == 2
+        assert loaded.slot_seconds == 30.0
+        assert loaded.hosts[0].intervals == (("u", 10), ("r", 2))
+        assert loaded.hosts[1].name == "b"
+
+    def test_load_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "other", "hosts": []}')
+        with pytest.raises(ValueError, match="unsupported trace file format"):
+            TraceArchive.load(path)
+
+    def test_load_rejects_bad_interval(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            '{"format": "repro-trace-v1", "hosts": '
+            '[{"name": "h", "intervals": [["u", 0]]}]}'
+        )
+        with pytest.raises(ValueError, match="non-positive duration"):
+            TraceArchive.load(path)
+
+
+class TestSynthesizeArchive:
+    def test_from_markov_sources(self):
+        model = MarkovAvailabilityModel.from_self_loops(0.9, 0.9, 0.9)
+        sources = [
+            MarkovSource(model, np.random.default_rng(q)) for q in range(3)
+        ]
+        archive = synthesize_archive(sources, 200)
+        assert len(archive) == 3
+        assert all(h.total_slots == 200 for h in archive.hosts)
+
+    def test_archive_replays_identically(self):
+        model = MarkovAvailabilityModel.from_self_loops(0.9, 0.9, 0.9)
+        source = MarkovSource(model, np.random.default_rng(5))
+        original = [source.state_at(t) for t in range(300)]
+        archive = synthesize_archive([source], 300)
+        replay = TraceSource(archive.hosts[0].to_states())
+        assert [replay.state_at(t) for t in range(300)] == original
+
+    def test_custom_names(self):
+        model = MarkovAvailabilityModel.from_self_loops(0.9, 0.9, 0.9)
+        archive = synthesize_archive(
+            [MarkovSource(model, np.random.default_rng(0))], 10,
+            names=["alpha"],
+        )
+        assert archive.hosts[0].name == "alpha"

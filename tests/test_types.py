@@ -1,0 +1,60 @@
+"""Tests for repro.types: state encoding and code conversions."""
+
+import numpy as np
+import pytest
+
+from repro.types import (
+    CODE_TO_STATE,
+    STATE_CODES,
+    ProcState,
+    codes_from_states,
+    states_from_codes,
+)
+
+
+class TestProcState:
+    def test_values_are_compact(self):
+        assert ProcState.UP == 0
+        assert ProcState.RECLAIMED == 1
+        assert ProcState.DOWN == 2
+
+    def test_codes_match_paper_notation(self):
+        assert ProcState.UP.code == "u"
+        assert ProcState.RECLAIMED.code == "r"
+        assert ProcState.DOWN.code == "d"
+
+    @pytest.mark.parametrize("code,state", [("u", ProcState.UP),
+                                            ("r", ProcState.RECLAIMED),
+                                            ("d", ProcState.DOWN)])
+    def test_from_code(self, code, state):
+        assert ProcState.from_code(code) is state
+
+    def test_from_code_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown processor state code"):
+            ProcState.from_code("x")
+
+    def test_code_maps_are_inverse(self):
+        for state, code in STATE_CODES.items():
+            assert CODE_TO_STATE[code] is state
+
+
+class TestConversions:
+    def test_states_from_codes_string(self):
+        trace = states_from_codes("uurd")
+        assert trace.dtype == np.uint8
+        assert list(trace) == [0, 0, 1, 2]
+
+    def test_states_from_codes_sequence(self):
+        trace = states_from_codes(["u", "d"])
+        assert list(trace) == [0, 2]
+
+    def test_codes_from_states(self):
+        assert codes_from_states([0, 1, 2, 0]) == "urdu"
+
+    def test_round_trip(self):
+        original = "uuurdrdruu"
+        assert codes_from_states(states_from_codes(original)) == original
+
+    def test_states_from_codes_rejects_bad_char(self):
+        with pytest.raises(ValueError):
+            states_from_codes("uux")
