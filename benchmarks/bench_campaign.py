@@ -1,0 +1,167 @@
+"""Campaign backend throughput benchmark (exp. id ``bench-campaign``).
+
+Measures serial vs. parallel execution-backend throughput (simulation
+runs per second) on a reduced Table 2 sweep and emits a JSON document so
+successive PRs accumulate a perf trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py --jobs 4 --out bench.json
+
+The campaign statistics are asserted bit-identical across the measured
+backends (the backend acceptance bar) before any number is reported —
+a speedup that changed the science would be worthless.
+
+Wall-clock speedups require physical cores: on a single-CPU container
+the parallel rows measure pure backend overhead (expect ≤ 1×), which is
+itself worth tracking.  ``cpu_count`` is recorded in the document so a
+reader can tell the two regimes apart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.table2 import run_table2
+
+# The reduced Table 2 sweep (mirrors bench_table2's grid slice): all
+# communication regimes of the x-axis at two task counts.
+REDUCED = dict(n_values=(5, 20), ncom_values=(5,), wmin_values=(1, 5, 10))
+
+
+def _measure(
+    *,
+    backend: str,
+    jobs: Optional[int],
+    scenarios_per_cell: int,
+    trials: int,
+    heuristics: Sequence[str],
+    seed: int,
+) -> Dict:
+    start = time.perf_counter()
+    result = run_table2(
+        scenarios_per_cell=scenarios_per_cell,
+        trials=trials,
+        heuristics=tuple(heuristics),
+        seed=seed,
+        backend=backend,
+        jobs=jobs,
+        **REDUCED,
+    )
+    elapsed = time.perf_counter() - start
+    runs = result.campaign.instances * len(heuristics)
+    return {
+        "backend": backend,
+        "jobs": jobs or 1,
+        "seconds": round(elapsed, 4),
+        "instances": result.campaign.instances,
+        "runs": runs,
+        "runs_per_sec": round(runs / elapsed, 3),
+        "_campaign": result.campaign,
+    }
+
+
+def run_benchmark(
+    *,
+    jobs: int = 4,
+    scenarios_per_cell: int = 1,
+    trials: int = 2,
+    heuristics: Sequence[str] = ("mct", "mct*", "emct", "emct*"),
+    seed: int = 12061,
+) -> Dict:
+    """Time the reduced sweep under serial and process backends.
+
+    Returns the JSON-ready document (measurements + provenance); the
+    parallel rows cover ``jobs`` workers and, for scaling shape, half of
+    ``jobs`` when that is a distinct count.
+    """
+    configurations = [("serial", None)]
+    if jobs >= 2 and jobs // 2 not in (1, jobs):
+        configurations.append(("process", jobs // 2))
+    configurations.append(("process", jobs))
+
+    rows: List[Dict] = []
+    for backend, worker_count in configurations:
+        rows.append(
+            _measure(
+                backend=backend,
+                jobs=worker_count,
+                scenarios_per_cell=scenarios_per_cell,
+                trials=trials,
+                heuristics=heuristics,
+                seed=seed,
+            )
+        )
+
+    reference = rows[0].pop("_campaign")
+    for row in rows[1:]:
+        campaign = row.pop("_campaign")
+        if not (
+            campaign.records == reference.records
+            and campaign.accumulator == reference.accumulator
+        ):  # pragma: no cover - would be a backend bug
+            raise AssertionError(
+                f"{row['backend']}(jobs={row['jobs']}) diverged from serial"
+            )
+
+    serial_rate = rows[0]["runs_per_sec"]
+    return {
+        "benchmark": "campaign-backends",
+        "unix_time": int(time.time()),
+        "cpu_count": os.cpu_count(),
+        "config": {
+            "scenarios_per_cell": scenarios_per_cell,
+            "trials": trials,
+            "heuristics": list(heuristics),
+            "seed": seed,
+            **{k: list(v) for k, v in REDUCED.items()},
+        },
+        "results": rows,
+        "speedup_vs_serial": {
+            f"{row['backend']}-{row['jobs']}": round(
+                row["runs_per_sec"] / serial_rate, 3
+            )
+            for row in rows[1:]
+        },
+        "statistics_identical": True,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4, help="parallel workers")
+    parser.add_argument(
+        "--scenarios", type=int, default=1, help="scenarios per cell"
+    )
+    parser.add_argument("--trials", type=int, default=2, help="trials/scenario")
+    parser.add_argument("--seed", type=int, default=12061)
+    parser.add_argument(
+        "--out", default=None, metavar="PATH", help="write JSON here (else stdout)"
+    )
+    args = parser.parse_args(argv)
+
+    document = run_benchmark(
+        jobs=args.jobs,
+        scenarios_per_cell=args.scenarios,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    text = json.dumps(document, indent=2)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        summary = ", ".join(
+            f"{row['backend']}-{row['jobs']}: {row['runs_per_sec']}/s"
+            for row in document["results"]
+        )
+        print(f"wrote {args.out} ({summary})", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,11 @@ heuristics on paired availability samples, and report average
 degradation-from-best with win counts — the same aggregates as the
 paper's Table 2, plus a dfb-vs-wmin mini Figure 2.
 
+The campaign runs on the multiprocessing execution backend (DESIGN.md
+§4) — swap ``backend="process"`` for ``"serial"`` or drop it entirely
+and the statistics come out bit-identical, just slower on multi-core
+machines.
+
 Run:  python examples/desktop_grid_campaign.py [scenarios_per_cell]
 (defaults to 2; the paper uses 247 with 10 trials)
 """
@@ -36,7 +41,9 @@ def main() -> None:
         )
     )
     result = run_campaign(
-        scenarios, CampaignConfig(heuristics=HEURISTICS, trials=2)
+        scenarios,
+        CampaignConfig(heuristics=HEURISTICS, trials=2),
+        backend="process",
     )
 
     rows = [

@@ -1,5 +1,13 @@
 """Experiment regenerators for every table and figure of the paper."""
 
+from .backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    make_backend,
+)
 from .deadline_study import (
     DeadlineStudyResult,
     render_deadline_study,
@@ -7,7 +15,15 @@ from .deadline_study import (
 )
 from .dfb import DfbAccumulator, dfb_for_instance
 from .figure2 import FIGURE2_HEURISTICS, run_figure2, render_figure2
-from .harness import CampaignConfig, CampaignResult, run_campaign, run_instance
+from .harness import (
+    CampaignConfig,
+    CampaignResult,
+    CampaignUnit,
+    CampaignUnitResult,
+    iter_work_units,
+    run_campaign,
+    run_instance,
+)
 from .mismatch_study import (
     MismatchStudyResult,
     fit_markov_belief,
@@ -19,6 +35,15 @@ from .table2 import PAPER_TABLE2, render_table2, run_table2
 from .table3 import PAPER_TABLE3, render_table3, run_table3
 
 __all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessPoolBackend",
+    "available_backends",
+    "make_backend",
+    "CampaignUnit",
+    "CampaignUnitResult",
+    "iter_work_units",
     "run_deadline_study",
     "render_deadline_study",
     "DeadlineStudyResult",

@@ -6,6 +6,11 @@ reports mean makespans side by side.  The benchmark harness
 this module is the reusable implementation plus text rendering, also
 exposed through the CLI (``repro-experiments ablation``).
 
+Arms execute as picklable :class:`SimulationUnit` work units on an
+execution backend (``--backend``/``--jobs``; DESIGN.md §4), and means are
+reduced in unit order, so results are identical under serial and parallel
+execution.
+
 Ablations:
 
 * ``replication``   — 0 / 1 / 2 extra replicas per task (paper: 2).
@@ -25,8 +30,21 @@ from ..analysis.plotting import format_table
 from ..core.heuristics.registry import make_scheduler
 from ..sim.master import MasterSimulator, SimulatorOptions
 from ..workload.scenarios import Scenario, ScenarioGenerator
+from .backends import (
+    ExecutionBackend,
+    ScenarioRef,
+    as_scenario_ref,
+    make_backend,
+    resolve_scenario,
+)
 
-__all__ = ["AblationResult", "ABLATIONS", "run_ablation", "render_ablation"]
+__all__ = [
+    "AblationResult",
+    "ABLATIONS",
+    "SimulationUnit",
+    "run_ablation",
+    "render_ablation",
+]
 
 
 @dataclass
@@ -44,84 +62,122 @@ class AblationResult:
     instances: int
 
 
+@dataclass(frozen=True)
+class SimulationUnit:
+    """One (scenario, trial, heuristic, options) simulation as a work unit.
+
+    ``run()`` returns ``(makespan, scheduler rounds)``; truncated runs are
+    scored at the slot budget, as everywhere in the harness.
+    """
+
+    scenario_ref: ScenarioRef
+    trial: int
+    heuristic: str
+    options: SimulatorOptions
+    max_slots: int = 400_000
+
+    def run(self) -> Tuple[float, float]:
+        scenario = resolve_scenario(self.scenario_ref)
+        sim = MasterSimulator(
+            scenario.build_platform(self.trial),
+            scenario.app,
+            make_scheduler(self.heuristic),
+            options=self.options,
+            rng=scenario.scheduler_rng(self.trial, self.heuristic),
+        )
+        report = sim.run(max_slots=self.max_slots)
+        makespan = (
+            report.makespan if report.makespan is not None else self.max_slots
+        )
+        return float(makespan), float(report.scheduler_rounds)
+
+
 def _mean_over(
     scenarios: Sequence[Scenario],
     trials: int,
     heuristic: str,
     options: SimulatorOptions,
+    backend: ExecutionBackend,
     max_slots: int = 400_000,
 ) -> Tuple[float, float, int]:
+    units = [
+        SimulationUnit(
+            scenario_ref=as_scenario_ref(scenario),
+            trial=trial,
+            heuristic=heuristic,
+            options=options,
+            max_slots=max_slots,
+        )
+        for scenario in scenarios
+        for trial in range(trials)
+    ]
+    outcomes: Dict[int, Tuple[float, float]] = dict(backend.run(units))
     total_makespan = 0.0
     total_rounds = 0.0
-    count = 0
-    for scenario in scenarios:
-        for trial in range(trials):
-            sim = MasterSimulator(
-                scenario.build_platform(trial),
-                scenario.app,
-                make_scheduler(heuristic),
-                options=options,
-                rng=scenario.scheduler_rng(trial, heuristic),
-            )
-            report = sim.run(max_slots=max_slots)
-            total_makespan += (
-                report.makespan if report.makespan is not None else max_slots
-            )
-            total_rounds += report.scheduler_rounds
-            count += 1
+    for index in range(len(units)):  # unit order: deterministic reduction
+        makespan, rounds = outcomes[index]
+        total_makespan += makespan
+        total_rounds += rounds
+    count = len(units)
     return total_makespan / count, total_rounds / count, count
 
 
-def _replication(scenarios, trials) -> AblationResult:
+def _replication(scenarios, trials, backend) -> AblationResult:
     arms = {}
     count = 0
     for cap in (0, 1, 2):
         options = SimulatorOptions(replication=cap > 0, max_replicas=max(cap, 0))
-        mean, rounds, count = _mean_over(scenarios, trials, "emct", options)
+        mean, rounds, count = _mean_over(
+            scenarios, trials, "emct", options, backend
+        )
         arms[f"{cap} extra replicas"] = (mean, rounds)
     return AblationResult("replication", arms, count)
 
 
-def _replanning(scenarios, trials) -> AblationResult:
+def _replanning(scenarios, trials, backend) -> AblationResult:
     arms = {}
     count = 0
     for label, every in (("event-driven", False), ("every-slot", True)):
         options = SimulatorOptions(replan_every_slot=every)
-        mean, rounds, count = _mean_over(scenarios, trials, "emct*", options)
+        mean, rounds, count = _mean_over(
+            scenarios, trials, "emct*", options, backend
+        )
         arms[label] = (mean, rounds)
     return AblationResult("replanning", arms, count)
 
 
-def _ud_exact(scenarios, trials) -> AblationResult:
+def _ud_exact(scenarios, trials, backend) -> AblationResult:
     arms = {}
     count = 0
     for name in ("ud", "ud-exact"):
         mean, rounds, count = _mean_over(
-            scenarios, trials, name, SimulatorOptions()
+            scenarios, trials, name, SimulatorOptions(), backend
         )
         arms[name] = (mean, rounds)
     return AblationResult("ud-exact", arms, count)
 
 
-def _contention(_scenarios, trials) -> AblationResult:
+def _contention(_scenarios, trials, backend) -> AblationResult:
     # Uses its own contention-prone population (Table 3's ×10 setting).
     population = ScenarioGenerator(77).contention_prone(10, 3)
     arms = {}
     count = 0
     for name in ("mct", "mct*", "emct", "emct*"):
         mean, rounds, count = _mean_over(
-            population, trials, name, SimulatorOptions()
+            population, trials, name, SimulatorOptions(), backend
         )
         arms[name] = (mean, rounds)
     return AblationResult("contention", arms, count)
 
 
-def _proactive(scenarios, trials) -> AblationResult:
+def _proactive(scenarios, trials, backend) -> AblationResult:
     arms = {}
     count = 0
     for label, proactive in (("dynamic", False), ("proactive", True)):
         options = SimulatorOptions(proactive=proactive)
-        mean, rounds, count = _mean_over(scenarios, trials, "emct*", options)
+        mean, rounds, count = _mean_over(
+            scenarios, trials, "emct*", options, backend
+        )
         arms[label] = (mean, rounds)
     return AblationResult("proactive", arms, count)
 
@@ -144,6 +200,8 @@ def run_ablation(
     n: int = 10,
     ncom: int = 5,
     wmin: int = 5,
+    backend=None,
+    jobs=None,
 ) -> AblationResult:
     """Run one named ablation on a fresh scenario population.
 
@@ -158,7 +216,7 @@ def run_ablation(
         ) from None
     generator = ScenarioGenerator(seed)
     population = [generator.scenario(n, ncom, wmin, i) for i in range(scenarios)]
-    return runner(population, trials)
+    return runner(population, trials, make_backend(backend, jobs=jobs))
 
 
 def render_ablation(result: AblationResult) -> str:

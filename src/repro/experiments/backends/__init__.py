@@ -1,0 +1,99 @@
+"""Pluggable campaign execution backends (DESIGN.md §4).
+
+The experiment pipeline separates *what* runs (work units: picklable,
+seed-complete descriptions of one simulation or one instance) from
+*where* it runs (a backend).  Three backends ship:
+
+* :class:`SerialBackend` — the reference semantics, one unit at a time;
+* :class:`ThreadBackend` — a thread pool, cheap for tests and for
+  exercising out-of-order completion;
+* :class:`ProcessPoolBackend` — a chunked process pool for real
+  multi-core sweeps.
+
+All three are interchangeable by construction: unit results depend only
+on the unit (seed-stable partitioning), and aggregation folds results in
+unit order, so campaign statistics are bit-identical across backends and
+job counts.
+
+Use :func:`make_backend` to resolve a CLI-style name (``--backend
+process --jobs 4``) into an instance; pass backend instances directly
+when you need non-default knobs (chunk size, start method).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type, Union
+
+from .base import (
+    ExecutionBackend,
+    ScenarioRef,
+    WorkUnit,
+    as_scenario_ref,
+    resolve_scenario,
+)
+from .process import ProcessPoolBackend
+from .serial import SerialBackend
+from .thread import ThreadBackend
+
+__all__ = [
+    "ExecutionBackend",
+    "WorkUnit",
+    "ScenarioRef",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessPoolBackend",
+    "BACKENDS",
+    "available_backends",
+    "make_backend",
+    "as_scenario_ref",
+    "resolve_scenario",
+]
+
+BACKENDS: Dict[str, Type[ExecutionBackend]] = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessPoolBackend,
+}
+
+BackendLike = Union[None, str, ExecutionBackend]
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, sorted."""
+    return sorted(BACKENDS)
+
+
+def make_backend(
+    backend: BackendLike = None, *, jobs: Optional[int] = None
+) -> ExecutionBackend:
+    """Resolve a backend argument into an instance.
+
+    Args:
+        backend: ``None`` (→ serial), a registry name, or an instance
+            (returned as-is — combine with ``jobs=None`` only, since an
+            instance already fixed its worker count).
+        jobs: worker count for name-resolved parallel backends; ignored
+            by ``serial``.
+
+    Raises:
+        KeyError: for unknown names (message lists the valid ones).
+        ValueError: when ``jobs`` is combined with a backend instance.
+    """
+    if isinstance(backend, ExecutionBackend):
+        if jobs is not None:
+            raise ValueError(
+                "pass jobs= only with a backend *name*; the instance "
+                f"{backend!r} already fixed its worker count"
+            )
+        return backend
+    name = (backend or "serial").lower()
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {backend!r}; available: "
+            f"{', '.join(available_backends())}"
+        ) from None
+    if cls is SerialBackend:
+        return cls()
+    return cls(jobs)

@@ -1,0 +1,87 @@
+"""Execution-backend protocol and work-unit plumbing (DESIGN.md §4).
+
+A *work unit* is a small, picklable object with a ``run()`` method and no
+live simulator state: everything stochastic is reachable from names and
+seeds (see :class:`~repro.workload.scenarios.ScenarioSpec`), so a unit
+executes identically in the driving process, a thread, or a worker
+process — seed derivation depends only on the unit's identity, never on
+which worker runs it, how units are chunked, or in which order they
+complete.
+
+An :class:`ExecutionBackend` consumes a sequence of units and yields
+``(index, result)`` pairs *in completion order*.  Callers that need
+deterministic aggregation (every campaign runner in this package) fold
+results back in index order; callers that need liveness (checkpointing,
+progress) observe completions as they happen.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterator, Protocol, Sequence, Tuple, Union
+
+from ...workload.scenarios import Scenario, ScenarioSpec
+
+__all__ = [
+    "WorkUnit",
+    "ScenarioRef",
+    "ExecutionBackend",
+    "as_scenario_ref",
+    "resolve_scenario",
+]
+
+
+class WorkUnit(Protocol):
+    """Anything an :class:`ExecutionBackend` can execute.
+
+    Implementations must be picklable (frozen dataclasses of primitives,
+    specs and option objects) and deterministic: ``run()`` twice anywhere
+    returns the same result.
+    """
+
+    def run(self) -> Any:  # pragma: no cover - protocol
+        ...
+
+
+#: Scenarios travel to workers as a :class:`ScenarioSpec` whenever the
+#: scenario is generator-derived; hand-built scenarios fall back to being
+#: pickled whole (they are still deterministic — their RNG streams derive
+#: from ``(root_seed, key, trial)``).
+ScenarioRef = Union[ScenarioSpec, Scenario]
+
+
+def as_scenario_ref(scenario: Scenario) -> ScenarioRef:
+    """The preferred wire form of a scenario: its spec, else itself."""
+    try:
+        return ScenarioSpec.from_scenario(scenario)
+    except ValueError:
+        return scenario
+
+
+def resolve_scenario(ref: ScenarioRef) -> Scenario:
+    """Materialise a scenario from its wire form (cached for specs)."""
+    if isinstance(ref, ScenarioSpec):
+        return ref.build()
+    return ref
+
+
+class ExecutionBackend(abc.ABC):
+    """Where work units run; see the module docstring for the contract."""
+
+    #: Registry name (``serial`` / ``thread`` / ``process``).
+    name: str = "?"
+
+    @abc.abstractmethod
+    def run(
+        self, units: Sequence[WorkUnit]
+    ) -> Iterator[Tuple[int, Any]]:
+        """Execute ``units``; yield ``(unit index, result)`` as completed.
+
+        Every unit is yielded exactly once; indices refer to positions in
+        ``units``.  Exceptions raised by a unit propagate to the caller.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        jobs = getattr(self, "jobs", None)
+        suffix = f", jobs={jobs}" if jobs is not None else ""
+        return f"{type(self).__name__}(name={self.name!r}{suffix})"

@@ -1,0 +1,85 @@
+"""Multiprocessing backend: chunked work units over a process pool.
+
+Units are dealt to workers in contiguous chunks to amortise pickling and
+future bookkeeping (one future per chunk, not per unit).  Chunking is a
+pure transport concern: every unit's RNG streams derive from its scenario
+spec and trial (see :mod:`repro.rng`), so results are bit-identical for
+any ``jobs`` value, any chunk size, and any completion interleaving —
+the *aggregation* side restores deterministic order by unit index.
+
+Workers rebuild scenarios from specs; consecutive units of a chunk share
+a scenario (trials × heuristics of one scenario are adjacent in campaign
+unit order), and the spec-level LRU cache in
+:mod:`repro.workload.scenarios` makes the rebuild a one-off per scenario
+per worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from .base import ExecutionBackend, WorkUnit
+
+__all__ = ["ProcessPoolBackend"]
+
+
+def _run_chunk(chunk: List[Tuple[int, WorkUnit]]) -> List[Tuple[int, Any]]:
+    """Worker entry point: execute one chunk, tagging results by index."""
+    return [(index, unit.run()) for index, unit in chunk]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Executes units on a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    Args:
+        jobs: worker processes (default: CPU count).
+        chunk_size: units per submitted chunk.  Default: enough chunks for
+            ~4 per worker, so stragglers still rebalance while per-chunk
+            overhead stays amortised.
+        mp_context: multiprocessing start method (``"fork"``, ``"spawn"``,
+            ``"forkserver"``); default: the platform default.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        *,
+        chunk_size: Optional[int] = None,
+        mp_context: Optional[str] = None,
+    ):
+        if jobs is not None and jobs <= 0:
+            raise ValueError(f"jobs must be positive, got {jobs}")
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.jobs = jobs or os.cpu_count() or 1
+        self.chunk_size = chunk_size
+        self.mp_context = mp_context
+
+    def _chunks(
+        self, units: Sequence[WorkUnit]
+    ) -> List[List[Tuple[int, WorkUnit]]]:
+        indexed = list(enumerate(units))
+        size = self.chunk_size or max(1, len(indexed) // (self.jobs * 4))
+        return [indexed[i : i + size] for i in range(0, len(indexed), size)]
+
+    def run(self, units: Sequence[WorkUnit]) -> Iterator[Tuple[int, Any]]:
+        units = list(units)
+        if not units:
+            return
+        context = (
+            multiprocessing.get_context(self.mp_context)
+            if self.mp_context
+            else None
+        )
+        with ProcessPoolExecutor(
+            max_workers=self.jobs, mp_context=context
+        ) as pool:
+            futures = [pool.submit(_run_chunk, chunk) for chunk in self._chunks(units)]
+            for future in as_completed(futures):
+                for index, result in future.result():
+                    yield index, result

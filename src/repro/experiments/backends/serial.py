@@ -1,0 +1,24 @@
+"""The reference backend: run every unit in the calling process, in order."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence, Tuple
+
+from .base import ExecutionBackend, WorkUnit
+
+__all__ = ["SerialBackend"]
+
+
+class SerialBackend(ExecutionBackend):
+    """Executes units one after another in submission order.
+
+    This is the semantics baseline: any other backend must produce
+    bit-identical per-unit results (the seed-stability tests in
+    ``tests/test_backends.py`` enforce this).
+    """
+
+    name = "serial"
+
+    def run(self, units: Sequence[WorkUnit]) -> Iterator[Tuple[int, Any]]:
+        for index, unit in enumerate(units):
+            yield index, unit.run()

@@ -1,0 +1,44 @@
+"""Thread-pool backend: cheap concurrency without process start-up.
+
+Simulation is pure Python and GIL-bound, so threads rarely speed a
+campaign up — the backend exists because it exercises the full
+out-of-completion-order aggregation path (reorder buffers, checkpoint
+interleaving) at test cost close to :class:`SerialBackend`, and because
+it parallelises any unit whose ``run()`` releases the GIL.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from typing import Any, Iterator, Optional, Sequence, Tuple
+
+from .base import ExecutionBackend, WorkUnit
+
+__all__ = ["ThreadBackend"]
+
+
+class ThreadBackend(ExecutionBackend):
+    """Executes units on a :class:`~concurrent.futures.ThreadPoolExecutor`.
+
+    Args:
+        jobs: worker threads (default: CPU count).
+    """
+
+    name = "thread"
+
+    def __init__(self, jobs: Optional[int] = None):
+        if jobs is not None and jobs <= 0:
+            raise ValueError(f"jobs must be positive, got {jobs}")
+        self.jobs = jobs or os.cpu_count() or 1
+
+    def run(self, units: Sequence[WorkUnit]) -> Iterator[Tuple[int, Any]]:
+        units = list(units)
+        if not units:
+            return
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {
+                pool.submit(unit.run): index for index, unit in enumerate(units)
+            }
+            for future in as_completed(futures):
+                yield futures[future], future.result()

@@ -10,7 +10,11 @@ Commands map one-to-one to the paper's artefacts:
 * ``demo`` — a single simulation with a readable event trace.
 
 All campaign commands accept ``--scenarios`` and ``--trials`` to scale
-between quick smoke runs and the paper's full protocol (247 × 10).
+between quick smoke runs and the paper's full protocol (247 × 10), plus
+``--backend``/``--jobs`` to run the sweep on a parallel execution backend
+(DESIGN.md §4; statistics are bit-identical across backends) and
+``--checkpoint PATH`` to journal completed work units and resume an
+interrupted campaign.
 """
 
 from __future__ import annotations
@@ -34,6 +38,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend_args(p: argparse.ArgumentParser):
+        from .backends import available_backends
+
+        p.add_argument(
+            "--backend",
+            choices=available_backends(),
+            default="serial",
+            help="execution backend (results are backend-independent)",
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="parallel workers (default: CPU count; ignored by serial)",
+        )
+
     def add_campaign_args(p: argparse.ArgumentParser, scenarios_default: int):
         p.add_argument(
             "--scenarios",
@@ -47,6 +67,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=12061, help="campaign seed")
         p.add_argument(
             "--progress", action="store_true", help="print instance progress"
+        )
+        add_backend_args(p)
+        p.add_argument(
+            "--checkpoint",
+            default=None,
+            metavar="PATH",
+            help=(
+                "journal completed (scenario, trial) units here and resume "
+                "from it on restart"
+            ),
         )
 
     t2 = sub.add_parser("table2", help="Table 2: dfb + wins, all 17 heuristics")
@@ -91,12 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--proactive", action="store_true",
         help="enable the proactive-termination extension",
     )
+    add_backend_args(dl)
 
     mm = sub.add_parser(
         "mismatch", help="Markov beliefs vs Weibull ground truth (§8 future work)"
     )
     mm.add_argument("--trials", type=int, default=3)
     mm.add_argument("--hosts", type=int, default=12)
+    add_backend_args(mm)
 
     ab = sub.add_parser("ablation", help="design-choice ablations (DESIGN.md §5)")
     ab.add_argument(
@@ -106,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ab.add_argument("--scenarios", type=int, default=3)
     ab.add_argument("--trials", type=int, default=2)
+    add_backend_args(ab)
 
     demo = sub.add_parser("demo", help="one simulation with an event trace")
     demo.add_argument("--heuristic", default="emct*", help="heuristic name")
@@ -143,6 +176,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             trials=args.trials,
             seed=args.seed,
             progress=_progress_printer(args.progress),
+            backend=args.backend,
+            jobs=args.jobs,
+            checkpoint=args.checkpoint,
             **kwargs,
         )
         print(render_table2(result))
@@ -155,6 +191,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             trials=args.trials,
             seed=args.seed,
             progress=_progress_printer(args.progress),
+            backend=args.backend,
+            jobs=args.jobs,
+            checkpoint=args.checkpoint,
         )
         print(render_table3(result))
     elif args.command == "figure2":
@@ -165,6 +204,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             trials=args.trials,
             seed=args.seed,
             progress=_progress_printer(args.progress),
+            backend=args.backend,
+            jobs=args.jobs,
+            checkpoint=args.checkpoint,
         )
         print(render_figure2(result))
     elif args.command == "figure1":
@@ -202,18 +244,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             scenario_count=args.scenarios,
             trials=args.trials,
             proactive=args.proactive,
+            backend=args.backend,
+            jobs=args.jobs,
         )
         print(render_deadline_study(result))
     elif args.command == "mismatch":
         from .mismatch_study import render_mismatch_study, run_mismatch_study
 
-        result = run_mismatch_study(p=args.hosts, trials=args.trials)
+        result = run_mismatch_study(
+            p=args.hosts,
+            trials=args.trials,
+            backend=args.backend,
+            jobs=args.jobs,
+        )
         print(render_mismatch_study(result))
     elif args.command == "ablation":
         from .ablation import render_ablation, run_ablation
 
         result = run_ablation(
-            args.name, scenarios=args.scenarios, trials=args.trials
+            args.name,
+            scenarios=args.scenarios,
+            trials=args.trials,
+            backend=args.backend,
+            jobs=args.jobs,
         )
         print(render_ablation(result))
     elif args.command == "demo":

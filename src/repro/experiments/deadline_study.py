@@ -21,9 +21,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..analysis.plotting import format_table
 from ..core.heuristics.registry import make_scheduler
 from ..sim.master import MasterSimulator, SimulatorOptions
+from ..workload.application import IterativeApplication
 from ..workload.scenarios import Scenario, ScenarioGenerator
+from .backends import ScenarioRef, as_scenario_ref, make_backend, resolve_scenario
 
-__all__ = ["DeadlineStudyResult", "run_deadline_study", "render_deadline_study"]
+__all__ = [
+    "DeadlineStudyResult",
+    "DeadlineUnit",
+    "run_deadline_study",
+    "render_deadline_study",
+]
 
 
 @dataclass
@@ -65,6 +72,36 @@ class DeadlineStudyResult:
         )
 
 
+@dataclass(frozen=True)
+class DeadlineUnit:
+    """One deadline-objective simulation as a picklable work unit.
+
+    The unit carries the overridden application explicitly (the deadline
+    form replaces the iteration target so the slot budget binds), while
+    platform and scheduler randomness still derive from the scenario
+    reference + trial — identical in any process.
+    """
+
+    scenario_ref: ScenarioRef
+    app: IterativeApplication
+    trial: int
+    heuristic: str
+    deadline_slots: int
+    options: SimulatorOptions
+
+    def run(self) -> int:
+        scenario = resolve_scenario(self.scenario_ref)
+        sim = MasterSimulator(
+            scenario.build_platform(self.trial),
+            self.app,
+            make_scheduler(self.heuristic),
+            options=self.options,
+            rng=scenario.scheduler_rng(self.trial, self.heuristic),
+        )
+        report = sim.run_slots(self.deadline_slots)
+        return int(report.completed_iterations)
+
+
 def run_deadline_study(
     *,
     deadline_slots: int = 2000,
@@ -74,6 +111,8 @@ def run_deadline_study(
     trials: int = 2,
     proactive: bool = False,
     seed=12061,
+    backend=None,
+    jobs=None,
 ) -> DeadlineStudyResult:
     """Run the deadline-objective comparison.
 
@@ -87,6 +126,9 @@ def run_deadline_study(
         trials: trials per scenario.
         proactive: enable the proactive termination extension.
         seed: campaign seed.
+        backend: execution backend name or instance (DESIGN.md §4);
+            results are backend-independent.
+        jobs: worker count when ``backend`` is a name.
     """
     if scenarios is None:
         generator = ScenarioGenerator(seed)
@@ -94,8 +136,7 @@ def run_deadline_study(
             generator.scenario(20, 5, 3, index) for index in range(scenario_count)
         ]
     options = SimulatorOptions(proactive=proactive)
-    iterations: Dict[str, List[int]] = {name: [] for name in heuristics}
-    instances = 0
+    units: List[DeadlineUnit] = []
     for scenario in scenarios:
         # The deadline form has no iteration target; ask for far more
         # iterations than the budget can fit so the budget binds.
@@ -105,18 +146,24 @@ def run_deadline_study(
             t_prog=scenario.app.t_prog,
             t_data=scenario.app.t_data,
         )
+        ref = as_scenario_ref(scenario)
         for trial in range(trials):
             for name in heuristics:
-                sim = MasterSimulator(
-                    scenario.build_platform(trial),
-                    app,
-                    make_scheduler(name),
-                    options=options,
-                    rng=scenario.scheduler_rng(trial, name),
+                units.append(
+                    DeadlineUnit(
+                        scenario_ref=ref,
+                        app=app,
+                        trial=trial,
+                        heuristic=name,
+                        deadline_slots=deadline_slots,
+                        options=options,
+                    )
                 )
-                report = sim.run_slots(deadline_slots)
-                iterations[name].append(report.completed_iterations)
-            instances += 1
+    outcomes = dict(make_backend(backend, jobs=jobs).run(units))
+    iterations: Dict[str, List[int]] = {name: [] for name in heuristics}
+    for index in range(len(units)):  # unit order: instance-aligned fold
+        iterations[units[index].heuristic].append(outcomes[index])
+    instances = len(units) // max(len(tuple(heuristics)), 1)
     return DeadlineStudyResult(
         deadline_slots=deadline_slots,
         iterations_by_heuristic=iterations,

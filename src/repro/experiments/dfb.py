@@ -82,6 +82,38 @@ class DfbAccumulator:
         self._instances += 1
         return InstanceResult(key=key, makespans=dict(makespans), dfb=dfb)
 
+    def merge(self, other: "DfbAccumulator") -> "DfbAccumulator":
+        """Combine two accumulators into a new one (neither is mutated).
+
+        Partial campaigns executed by different workers (or machines)
+        merge associatively: per-heuristic dfb values concatenate in call
+        order, wins and instance counts add.  Merging an empty accumulator
+        on either side is the identity, so
+        ``a.merge(b).merge(c) == a.merge(b.merge(c))`` and a fold over
+        partials starting from ``DfbAccumulator()`` reproduces the
+        single-process accumulator exactly — provided the partials are
+        folded in instance order (aggregation order affects only the
+        internal value order, which :func:`numpy.mean` is sensitive to at
+        the last-bit level).
+        """
+        merged = DfbAccumulator()
+        for source in (self, other):
+            for name, values in source._dfb.items():
+                merged._dfb.setdefault(name, []).extend(values)
+            for name, count in source._wins.items():
+                merged._wins[name] = merged._wins.get(name, 0) + count
+            merged._instances += source._instances
+        return merged
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DfbAccumulator):
+            return NotImplemented
+        return (
+            self._dfb == other._dfb
+            and self._wins == other._wins
+            and self._instances == other._instances
+        )
+
     @property
     def instance_count(self) -> int:
         """Instances accumulated so far."""

@@ -73,11 +73,16 @@ def run_figure2(
     wmin_values: Sequence[int] = PAPER_WMIN_VALUES,
     seed=12061,
     progress=None,
+    backend=None,
+    jobs: Optional[int] = None,
+    checkpoint=None,
 ) -> Figure2Result:
     """Execute the Figure 2 protocol (same grid as Table 2).
 
     The dfb here is computed *within the plotted heuristic population*
     (the paper's figure likewise shows the six-way comparison).
+    ``backend``/``jobs``/``checkpoint`` configure parallel and resumable
+    execution (statistics are backend-independent).
     """
     generator = ScenarioGenerator(seed)
     scenarios = list(
@@ -89,7 +94,14 @@ def run_figure2(
         )
     )
     config = CampaignConfig(heuristics=tuple(heuristics), trials=trials)
-    campaign = run_campaign(scenarios, config, progress=progress)
+    campaign = run_campaign(
+        scenarios,
+        config,
+        progress=progress,
+        backend=backend,
+        jobs=jobs,
+        checkpoint=checkpoint,
+    )
     return Figure2Result(
         campaign=campaign,
         wmin_values=tuple(wmin_values),

@@ -35,10 +35,12 @@ from ..sim.availability import MarkovSource, TraceSource, WeibullSource
 from ..sim.master import MasterSimulator, SimulatorOptions
 from ..sim.platform import Platform, Processor
 from ..workload.application import IterativeApplication
+from .backends import make_backend
 
 __all__ = [
     "fit_markov_belief",
     "MismatchStudyResult",
+    "MismatchUnit",
     "run_mismatch_study",
     "render_mismatch_study",
 ]
@@ -125,41 +127,76 @@ def _build_platform(
     return Platform(processors, ncom=5)
 
 
+@dataclass(frozen=True)
+class MismatchUnit:
+    """One (ground-truth kind, trial, heuristic) run as a work unit.
+
+    The unit rebuilds its platform from ``(seed, kind, trial)`` — the
+    derivation never involves the heuristic, so every heuristic of an
+    instance sees the identical availability sample regardless of which
+    worker simulates it.
+    """
+
+    kind: str
+    trial: int
+    heuristic: str
+    seed: int
+    p: int
+    max_slots: int = 200_000
+
+    def run(self) -> float:
+        app = IterativeApplication(
+            tasks_per_iteration=12, iterations=10, t_prog=8, t_data=2
+        )
+        factory = RngFactory(self.seed)
+        platform = _build_platform(self.kind, self.p, factory, self.trial)
+        sim = MasterSimulator(
+            platform,
+            app,
+            make_scheduler(self.heuristic),
+            options=SimulatorOptions(),
+            rng=factory.generator("sched", self.kind, self.trial, self.heuristic),
+        )
+        report = sim.run(max_slots=self.max_slots)
+        return float(
+            report.makespan if report.makespan is not None else self.max_slots
+        )
+
+
 def run_mismatch_study(
     *,
     heuristics: Sequence[str] = ("mct", "emct*", "ud*", "lw", "random"),
     p: int = 12,
     trials: int = 3,
     seed=2011,
+    backend=None,
+    jobs=None,
 ) -> MismatchStudyResult:
     """Run the paired mismatch comparison.
 
     Each (kind, trial) instance presents the same availability sample to
     every heuristic; dfb is computed within the heuristic population per
-    instance, separately for each ground-truth kind.
+    instance, separately for each ground-truth kind.  ``backend``/``jobs``
+    select the execution backend (DESIGN.md §4); results are
+    backend-independent.
     """
-    app = IterativeApplication(
-        tasks_per_iteration=12, iterations=10, t_prog=8, t_data=2
-    )
-    accumulators = {kind: DfbAccumulator() for kind in ("markov", "weibull")}
+    kinds = ("markov", "weibull")
+    units = [
+        MismatchUnit(kind=kind, trial=trial, heuristic=name, seed=seed, p=p)
+        for kind in kinds
+        for trial in range(trials)
+        for name in heuristics
+    ]
+    outcomes = dict(make_backend(backend, jobs=jobs).run(units))
+    accumulators = {kind: DfbAccumulator() for kind in kinds}
+    index = 0
     instances = 0
-    for kind in ("markov", "weibull"):
+    for kind in kinds:
         for trial in range(trials):
             makespans = {}
             for name in heuristics:
-                factory = RngFactory(seed)
-                platform = _build_platform(kind, p, factory, trial)
-                sim = MasterSimulator(
-                    platform,
-                    app,
-                    make_scheduler(name),
-                    options=SimulatorOptions(),
-                    rng=factory.generator("sched", kind, trial, name),
-                )
-                report = sim.run(max_slots=200_000)
-                makespans[name] = float(
-                    report.makespan if report.makespan is not None else 200_000
-                )
+                makespans[name] = outcomes[index]
+                index += 1
             accumulators[kind].add_instance((kind, trial), makespans)
         instances = accumulators[kind].instance_count
     return MismatchStudyResult(

@@ -22,20 +22,36 @@ Scenario keys are stored as JSON lists and restored as tuples;
 :func:`rebuild_result` reconstructs a full
 :class:`~repro.experiments.harness.CampaignResult` (accumulators included)
 from the records alone.
+
+Alongside the one-shot campaign document, :class:`CampaignCheckpoint` is
+an *append-only journal* of completed work units (JSON Lines: a header
+line, then one object per (scenario, trial) unit).  The harness appends
+each unit the moment it completes — in completion order, which under a
+parallel backend is not campaign order — and on restart loads the journal
+and re-simulates only the missing units.  JSON round-trips Python floats
+exactly (shortest-repr encoding), so a resumed campaign's statistics are
+bit-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .dfb import DfbAccumulator
 from .harness import CampaignResult
 
-__all__ = ["save_campaign", "load_records", "rebuild_result", "merge_records"]
+__all__ = [
+    "save_campaign",
+    "load_records",
+    "rebuild_result",
+    "merge_records",
+    "CampaignCheckpoint",
+]
 
 FORMAT_TAG = "repro-campaign-v1"
+CHECKPOINT_TAG = "repro-checkpoint-v1"
 
 Record = Tuple[tuple, Dict[str, float]]
 
@@ -105,6 +121,126 @@ def rebuild_result(records: List[Record]) -> CampaignResult:
         result.records.append((key, dict(makespans)))
         result.instances += 1
     return result
+
+
+class CampaignCheckpoint:
+    """Append-only journal of completed campaign work units.
+
+    Args:
+        path: journal file location.  A missing file means "nothing done
+            yet"; the header line is written on first append.
+        meta: campaign-identity fingerprint (seed material, simulator
+            options, slot budget — the harness builds it).  Written into
+            the header on creation; on :meth:`load`, a journal whose
+            fingerprint differs from ``meta`` is rejected, because mixing
+            units simulated under a different seed or option set would
+            produce statistics corresponding to no real campaign.
+
+    The journal survives hard interruption: each unit is one ``write`` of
+    one line, flushed immediately, and :meth:`load` simply drops a
+    trailing partial line, so at worst the unit being written when the
+    process died is re-simulated.  A journal torn *inside its header*
+    (killed during the very first append) is treated as empty and
+    rewritten — only a readable header proves there is anything to keep.
+    """
+
+    def __init__(self, path: Union[str, Path], *, meta: Optional[dict] = None):
+        self.path = Path(path)
+        self.meta = meta
+        self._header_valid: Optional[bool] = None
+
+    def _read_header(self) -> Optional[dict]:
+        """The parsed header, or ``None`` for a torn/empty/absent one.
+
+        Raises:
+            ValueError: for a readable header that is not ours (foreign
+                file) — clobbering it with campaign state would be worse
+                than failing.
+        """
+        if not self.path.exists():
+            return None
+        with self.path.open() as handle:
+            first = handle.readline()
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError:
+            return None  # torn during the first append: nothing to keep
+        if not isinstance(header, dict) or header.get("format") != CHECKPOINT_TAG:
+            raise ValueError(
+                f"{self.path} is not a campaign checkpoint "
+                f"(expected a {CHECKPOINT_TAG!r} header)"
+            )
+        return header
+
+    def load(self) -> Dict[tuple, Tuple[Dict[str, float], List[str]]]:
+        """Completed units: instance key → (makespans, truncated names).
+
+        Raises:
+            ValueError: when the file is not a checkpoint journal, or its
+                fingerprint disagrees with this checkpoint's ``meta``
+                (resuming a *different* campaign from it would silently
+                blend stale results).
+        """
+        header = self._read_header()
+        self._header_valid = header is not None
+        if header is None:
+            return {}
+        stored_meta = header.get("meta")
+        if (
+            self.meta is not None
+            and stored_meta is not None
+            and stored_meta != self.meta
+        ):
+            raise ValueError(
+                f"{self.path} was recorded for a different campaign "
+                f"(journal fingerprint {stored_meta!r} != expected "
+                f"{self.meta!r}); delete it or point --checkpoint elsewhere"
+            )
+        done: Dict[tuple, Tuple[Dict[str, float], List[str]]] = {}
+        for line in self.path.read_text().splitlines()[1:]:
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                break  # trailing partial line from an interrupted append
+            makespans = {
+                str(k): float(v) for k, v in entry["makespans"].items()
+            }
+            done[tuple(entry["key"])] = (
+                makespans,
+                [str(name) for name in entry.get("truncated", [])],
+            )
+        return done
+
+    def append(
+        self,
+        instance_key: tuple,
+        makespans: Dict[str, float],
+        truncated: Sequence[str] = (),
+    ) -> None:
+        """Record one completed unit (creates/heals the journal if needed)."""
+        entry = {
+            "key": list(instance_key),
+            "makespans": dict(makespans),
+            "truncated": list(truncated),
+        }
+        if self._header_valid is None:
+            self._header_valid = self._read_header() is not None
+        header_line = None
+        if not self._header_valid:
+            header: Dict[str, object] = {"format": CHECKPOINT_TAG}
+            if self.meta is not None:
+                header["meta"] = self.meta
+            header_line = json.dumps(header) + "\n"
+        # "w" rewrites a torn-header journal from scratch; a foreign file
+        # can't reach here (_read_header raises before any append).
+        with self.path.open("w" if header_line else "a") as handle:
+            if header_line:
+                handle.write(header_line)
+                self._header_valid = True
+            handle.write(json.dumps(entry) + "\n")
+            handle.flush()
 
 
 def merge_records(*record_sets: List[Record]) -> List[Record]:

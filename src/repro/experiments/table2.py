@@ -73,12 +73,17 @@ def run_table2(
     wmin_values: Sequence[int] = PAPER_WMIN_VALUES,
     seed=12061,
     progress=None,
+    backend=None,
+    jobs: Optional[int] = None,
+    checkpoint=None,
 ) -> Table2Result:
     """Execute the Table 2 protocol.
 
     Defaults are laptop-scale (the paper's full scale is
     ``scenarios_per_cell=247, trials=10``); the protocol is otherwise
-    identical.  Restrict ``n_values``/``wmin_values`` for quicker runs.
+    identical.  Restrict ``n_values``/``wmin_values`` for quicker runs;
+    ``backend``/``jobs``/``checkpoint`` configure parallel and resumable
+    execution (statistics are backend-independent).
     """
     generator = ScenarioGenerator(seed)
     scenarios = list(
@@ -92,7 +97,14 @@ def run_table2(
     config = CampaignConfig(
         heuristics=tuple(heuristics or PAPER_HEURISTICS), trials=trials
     )
-    campaign = run_campaign(scenarios, config, progress=progress)
+    campaign = run_campaign(
+        scenarios,
+        config,
+        progress=progress,
+        backend=backend,
+        jobs=jobs,
+        checkpoint=checkpoint,
+    )
     return Table2Result(
         campaign=campaign,
         scenarios_per_cell=scenarios_per_cell,

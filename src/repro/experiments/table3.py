@@ -68,10 +68,15 @@ def run_table3(
     heuristics: Optional[Sequence[str]] = None,
     seed=12061,
     progress=None,
+    backend=None,
+    jobs: Optional[int] = None,
+    checkpoint=None,
 ) -> Table3Result:
     """Execute one half of Table 3 (``comm_factor`` 5 or 10).
 
     Paper scale is ``scenarios=100, trials=10``; defaults are laptop-scale.
+    ``backend``/``jobs``/``checkpoint`` configure parallel and resumable
+    execution (statistics are backend-independent).
     """
     if comm_factor not in (5, 10):
         raise ValueError(
@@ -82,7 +87,14 @@ def run_table3(
     config = CampaignConfig(
         heuristics=tuple(heuristics or GREEDY_HEURISTICS), trials=trials
     )
-    campaign = run_campaign(population, config, progress=progress)
+    campaign = run_campaign(
+        population,
+        config,
+        progress=progress,
+        backend=backend,
+        jobs=jobs,
+        checkpoint=checkpoint,
+    )
     return Table3Result(
         campaign=campaign,
         comm_factor=comm_factor,

@@ -29,7 +29,10 @@ trial presents the identical availability sample to every heuristic
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from .._validation import require_positive_int
 from ..core.markov import MarkovAvailabilityModel, paper_random_model
@@ -42,6 +45,7 @@ __all__ = [
     "PAPER_NCOM_VALUES",
     "PAPER_WMIN_VALUES",
     "Scenario",
+    "ScenarioSpec",
     "ScenarioGenerator",
 ]
 
@@ -110,6 +114,106 @@ class Scenario:
         return RngFactory(self.root_seed).generator(
             "sched", *self.key, trial, heuristic
         )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A name+seed description of a generator-derived :class:`Scenario`.
+
+    Parallel execution backends ship work units between processes; a live
+    :class:`Scenario` carries Markov chain objects and numpy state, so the
+    units instead carry this tiny spec and rebuild the scenario on the
+    worker via :class:`ScenarioGenerator` — the scenario RNG derivation
+    depends only on ``(root_seed, key)``, so the rebuilt scenario is
+    identical to the original regardless of which worker (or how many
+    workers) executes the unit.
+
+    Attributes:
+        root_seed: the generator's root seed.  Must be a plain int: a
+            ``None`` seed draws fresh OS entropy on every rebuild, so it
+            cannot be serialised by name+seed.
+        n, ncom, wmin, comm_factor, index: the scenario key fields.
+        p: processors per scenario.
+        iterations: iterations per run.
+    """
+
+    root_seed: int
+    n: int
+    ncom: int
+    wmin: int
+    comm_factor: int
+    index: int
+    p: int
+    iterations: int
+
+    @classmethod
+    def from_scenario(cls, scenario: Scenario) -> "ScenarioSpec":
+        """Extract the spec of a generator-derived scenario.
+
+        The candidate spec is rebuilt and verified field-by-field against
+        ``scenario``, so a spec round trip can never silently change what
+        gets simulated.
+
+        Raises:
+            ValueError: when the scenario cannot be reproduced from a spec
+                (hand-built key, non-integer seed, mutated fields).
+        """
+        if not isinstance(scenario.root_seed, (int, np.integer)):
+            raise ValueError(
+                "scenario root_seed is not an int; cannot serialise by seed"
+            )
+        key = scenario.key
+        if len(key) != 5 or not all(isinstance(k, (int, np.integer)) for k in key):
+            raise ValueError(
+                f"scenario key {key!r} is not the generator's "
+                "(n, ncom, wmin, comm_factor, index) layout"
+            )
+        spec = cls(
+            root_seed=int(scenario.root_seed),
+            n=int(key[0]),
+            ncom=int(key[1]),
+            wmin=int(key[2]),
+            comm_factor=int(key[3]),
+            index=int(key[4]),
+            p=scenario.p,
+            iterations=scenario.app.iterations,
+        )
+        rebuilt = spec.build()
+        same = (
+            rebuilt.key == scenario.key
+            and rebuilt.ncom == scenario.ncom
+            and rebuilt.speeds == scenario.speeds
+            and rebuilt.app == scenario.app
+            and all(
+                np.array_equal(a.matrix, b.matrix)
+                for a, b in zip(rebuilt.models, scenario.models)
+            )
+        )
+        if not same:
+            raise ValueError(
+                "scenario does not round-trip through its spec (was it "
+                "built by ScenarioGenerator and left unmodified?)"
+            )
+        return spec
+
+    def build(self) -> Scenario:
+        """Rebuild the scenario (cached; specs are immutable)."""
+        return _build_scenario(self)
+
+
+# Sized for a full paper-scale cell sweep per worker; a cached Scenario is
+# a few KB (20 3×3 chains + ints), so the ceiling is a handful of MB.
+# Verification in from_scenario warms this cache, and campaign units of
+# one scenario run adjacently, so each worker builds a scenario O(1)
+# times — a cost that is noise next to the simulations it feeds.
+@lru_cache(maxsize=2048)
+def _build_scenario(spec: ScenarioSpec) -> Scenario:
+    generator = ScenarioGenerator(
+        spec.root_seed, p=spec.p, iterations=spec.iterations
+    )
+    return generator.scenario(
+        spec.n, spec.ncom, spec.wmin, spec.index, comm_factor=spec.comm_factor
+    )
 
 
 class ScenarioGenerator:

@@ -1,0 +1,314 @@
+"""Tests for execution backends: seed stability, merging, checkpointing."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadBackend,
+    as_scenario_ref,
+    available_backends,
+    make_backend,
+    resolve_scenario,
+)
+from repro.experiments.harness import (
+    CampaignConfig,
+    CampaignResult,
+    iter_work_units,
+    run_campaign,
+)
+from repro.experiments.persistence import CampaignCheckpoint
+from repro.workload.scenarios import Scenario, ScenarioGenerator, ScenarioSpec
+
+HEURISTICS = ("mct", "emct", "random")
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return [ScenarioGenerator(3).scenario(5, 5, 1, i) for i in range(3)]
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CampaignConfig(heuristics=HEURISTICS, trials=2)
+
+
+@pytest.fixture(scope="module")
+def serial_result(scenarios, config):
+    return run_campaign(scenarios, config, backend=SerialBackend())
+
+
+class TestScenarioSpec:
+    def test_round_trip(self, scenarios):
+        spec = ScenarioSpec.from_scenario(scenarios[0])
+        rebuilt = spec.build()
+        assert rebuilt.key == scenarios[0].key
+        assert rebuilt.speeds == scenarios[0].speeds
+        assert rebuilt.app == scenarios[0].app
+
+    def test_spec_is_picklable_and_tiny(self, scenarios):
+        spec = ScenarioSpec.from_scenario(scenarios[0])
+        blob = pickle.dumps(spec)
+        assert pickle.loads(blob) == spec
+        assert len(blob) < 200  # name+seed, not matrices
+
+    def test_hand_built_scenario_rejected(self, scenarios):
+        original = scenarios[0]
+        mutant = Scenario(
+            key=("custom", 1),
+            models=original.models,
+            speeds=original.speeds,
+            ncom=original.ncom,
+            app=original.app,
+            root_seed=original.root_seed,
+        )
+        with pytest.raises(ValueError):
+            ScenarioSpec.from_scenario(mutant)
+        # …but the ref fallback keeps it usable on in-process backends.
+        assert resolve_scenario(as_scenario_ref(mutant)) is mutant
+
+    def test_generator_scenario_becomes_spec(self, scenarios):
+        assert isinstance(as_scenario_ref(scenarios[0]), ScenarioSpec)
+
+
+class TestRegistry:
+    def test_available(self):
+        assert available_backends() == ["process", "serial", "thread"]
+
+    def test_default_is_serial(self):
+        assert isinstance(make_backend(None), SerialBackend)
+
+    def test_name_resolution_with_jobs(self):
+        backend = make_backend("process", jobs=4)
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.jobs == 4
+
+    def test_instance_passthrough(self):
+        backend = ThreadBackend(2)
+        assert make_backend(backend) is backend
+
+    def test_instance_plus_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            make_backend(ThreadBackend(2), jobs=4)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown backend"):
+            make_backend("gpu")
+
+    def test_bad_job_counts(self):
+        with pytest.raises(ValueError):
+            ThreadBackend(0)
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(-1)
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(2, chunk_size=0)
+
+
+class TestWorkUnits:
+    def test_campaign_order(self, scenarios, config):
+        units = list(iter_work_units(scenarios, config))
+        assert len(units) == len(scenarios) * config.trials
+        expected = [
+            (*s.key, t) for s in scenarios for t in range(config.trials)
+        ]
+        assert [u.instance_key for u in units] == expected
+
+    def test_units_are_picklable(self, scenarios, config):
+        unit = next(iter_work_units(scenarios, config))
+        clone = pickle.loads(pickle.dumps(unit))
+        assert clone.run() == unit.run()
+
+    def test_unit_result_flags_truncation(self, scenarios):
+        config = CampaignConfig(heuristics=("mct",), trials=1, max_slots=3)
+        unit = next(iter_work_units(scenarios, config))
+        outcome = unit.run()
+        assert outcome.truncated == ("mct",)
+        assert outcome.makespans["mct"] == 3
+
+
+class TestSeedStability:
+    """The acceptance bar: any backend, any job count — identical stats."""
+
+    @pytest.mark.parametrize(
+        "backend",
+        [
+            ProcessPoolBackend(1),
+            ProcessPoolBackend(4),
+            ProcessPoolBackend(4, chunk_size=1),
+            ThreadBackend(4),
+        ],
+        ids=["process-1", "process-4", "process-4-chunk-1", "thread-4"],
+    )
+    def test_identical_to_serial(self, scenarios, config, serial_result, backend):
+        result = run_campaign(scenarios, config, backend=backend)
+        # Per-(scenario, trial, heuristic) makespans, bit for bit…
+        assert result.records == serial_result.records
+        # …and every derived statistic.
+        assert result.accumulator == serial_result.accumulator
+        assert result.per_scenario == serial_result.per_scenario
+        assert result.truncated_runs == serial_result.truncated_runs
+        assert result.accumulator.table() == serial_result.accumulator.table()
+
+    def test_progress_in_campaign_order(self, scenarios, config):
+        seen = []
+        run_campaign(
+            scenarios,
+            config,
+            backend=ThreadBackend(4),
+            progress=lambda done, key: seen.append((done, key)),
+        )
+        assert [done for done, _key in seen] == list(
+            range(1, len(scenarios) * config.trials + 1)
+        )
+        assert [key for _done, key in seen] == [
+            (*s.key, t) for s in scenarios for t in range(config.trials)
+        ]
+
+
+class TestCampaignMerge:
+    def test_partials_reproduce_serial(self, scenarios, config, serial_result):
+        first = run_campaign(scenarios[:1], config)
+        rest = run_campaign(scenarios[1:], config)
+        assert first.merge(rest) == serial_result
+
+    def test_empty_identity(self, scenarios, config, serial_result):
+        empty = CampaignResult()
+        assert empty.merge(serial_result) == serial_result
+        assert serial_result.merge(empty) == serial_result
+
+    def test_associativity(self, scenarios, config):
+        parts = [run_campaign([s], config) for s in scenarios]
+        left = parts[0].merge(parts[1]).merge(parts[2])
+        right = parts[0].merge(parts[1].merge(parts[2]))
+        assert left == right
+
+    def test_merge_does_not_mutate(self, scenarios, config):
+        a = run_campaign(scenarios[:1], config)
+        b = run_campaign(scenarios[1:], config)
+        instances_before = (a.instances, b.instances)
+        a.merge(b)
+        assert (a.instances, b.instances) == instances_before
+
+    def test_budget_flag_propagates(self, scenarios):
+        tight = CampaignConfig(heuristics=("mct",), trials=1, max_slots=3)
+        truncated = run_campaign(scenarios[:1], tight)
+        clean = run_campaign(
+            scenarios[1:], CampaignConfig(heuristics=("mct",), trials=1)
+        )
+        assert truncated.truncated_runs
+        merged = truncated.merge(clean)
+        assert merged.truncated_runs == truncated.truncated_runs
+        merged_other_way = clean.merge(truncated)
+        assert merged_other_way.truncated_runs == truncated.truncated_runs
+
+
+class TestCheckpoint:
+    def test_resume_skips_completed_units(
+        self, tmp_path, scenarios, config, serial_result
+    ):
+        path = tmp_path / "campaign.ckpt"
+        journal = CampaignCheckpoint(path)
+        # Pretend the first two units completed before an interruption.
+        for key, makespans in serial_result.records[:2]:
+            journal.append(key, makespans, ())
+        executed = []
+        resumed = run_campaign(
+            scenarios,
+            config,
+            checkpoint=path,
+            progress=lambda done, key: executed.append(key),
+        )
+        assert resumed == serial_result
+        # The journal now holds every unit → a rerun simulates nothing
+        # (and still reproduces the result bit-for-bit).
+        done = journal.load()
+        assert len(done) == len(serial_result.records)
+        rerun = run_campaign(scenarios, config, checkpoint=path)
+        assert rerun == serial_result
+
+    def test_parallel_run_journals_every_unit(
+        self, tmp_path, scenarios, config, serial_result
+    ):
+        path = tmp_path / "parallel.ckpt"
+        result = run_campaign(
+            scenarios, config, backend="thread", jobs=4, checkpoint=path
+        )
+        assert result == serial_result
+        assert len(CampaignCheckpoint(path).load()) == len(result.records)
+
+    def test_heuristic_set_change_invalidates_entry(
+        self, tmp_path, scenarios, serial_result
+    ):
+        path = tmp_path / "stale.ckpt"
+        journal = CampaignCheckpoint(path)
+        for key, makespans in serial_result.records:
+            journal.append(key, makespans, ())
+        widened = CampaignConfig(heuristics=(*HEURISTICS, "lw"), trials=2)
+        result = run_campaign(scenarios, widened, checkpoint=path)
+        assert set(result.records[0][1]) == set(widened.heuristics)
+
+    def test_trailing_partial_line_tolerated(self, tmp_path, serial_result):
+        path = tmp_path / "torn.ckpt"
+        journal = CampaignCheckpoint(path)
+        key, makespans = serial_result.records[0]
+        journal.append(key, makespans, ())
+        with path.open("a") as handle:
+            handle.write('{"key": [5, 5, 1,')  # torn write
+        assert len(journal.load()) == 1
+
+    def test_torn_header_treated_as_empty_and_healed(
+        self, tmp_path, serial_result
+    ):
+        path = tmp_path / "torn-header.ckpt"
+        path.write_text('{"form')  # killed during the very first append
+        journal = CampaignCheckpoint(path)
+        assert journal.load() == {}
+        key, makespans = serial_result.records[0]
+        journal.append(key, makespans, ())
+        assert len(CampaignCheckpoint(path).load()) == 1
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "notes.json"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(ValueError, match="not a campaign checkpoint"):
+            CampaignCheckpoint(path).load()
+
+    def test_missing_file_means_nothing_done(self, tmp_path):
+        assert CampaignCheckpoint(tmp_path / "absent").load() == {}
+
+    def test_different_campaign_rejected(self, tmp_path, scenarios, config):
+        # Same path, different seed material → refuse to blend results.
+        path = tmp_path / "seeded.ckpt"
+        run_campaign(scenarios, config, checkpoint=path)
+        other = [ScenarioGenerator(4).scenario(5, 5, 1, i) for i in range(3)]
+        with pytest.raises(ValueError, match="different campaign"):
+            run_campaign(other, config, checkpoint=path)
+
+    def test_different_options_rejected(self, tmp_path, scenarios, config):
+        from repro.sim.master import SimulatorOptions
+
+        path = tmp_path / "opts.ckpt"
+        run_campaign(scenarios, config, checkpoint=path)
+        changed = CampaignConfig(
+            heuristics=config.heuristics,
+            trials=config.trials,
+            options=SimulatorOptions(replication=False),
+        )
+        with pytest.raises(ValueError, match="different campaign"):
+            run_campaign(scenarios, changed, checkpoint=path)
+
+    def test_widened_heuristics_and_extra_trials_resume(
+        self, tmp_path, scenarios, config
+    ):
+        # Changing *which* units exist is a legitimate resume: extra
+        # trials append new units, widened heuristics re-run old ones.
+        path = tmp_path / "extend.ckpt"
+        run_campaign(scenarios, config, checkpoint=path)
+        extended = CampaignConfig(
+            heuristics=(*config.heuristics, "lw"), trials=config.trials + 1
+        )
+        result = run_campaign(scenarios, extended, checkpoint=path)
+        assert result.instances == len(scenarios) * extended.trials
+        assert set(result.records[0][1]) == set(extended.heuristics)

@@ -81,3 +81,60 @@ class TestAccumulator:
             acc.add_instance((i,), {"a": 100 + i, "b": 105, "c": 103})
         total_wins = acc.wins("a") + acc.wins("b") + acc.wins("c")
         assert total_wins >= acc.instance_count
+
+
+def _accumulator(*instances):
+    acc = DfbAccumulator()
+    for key, makespans in instances:
+        acc.add_instance(key, makespans)
+    return acc
+
+
+class TestAccumulatorMerge:
+    def test_merge_matches_streaming(self):
+        a = _accumulator((("i1",), {"x": 100, "y": 110}))
+        b = _accumulator((("i2",), {"x": 130, "y": 100}))
+        both = _accumulator(
+            (("i1",), {"x": 100, "y": 110}), (("i2",), {"x": 130, "y": 100})
+        )
+        assert a.merge(b) == both
+
+    def test_merge_does_not_mutate_operands(self):
+        a = _accumulator((("i1",), {"x": 100, "y": 110}))
+        b = _accumulator((("i2",), {"x": 130, "y": 100}))
+        a.merge(b)
+        assert a.instance_count == 1
+        assert b.instance_count == 1
+        assert a.dfb_values("y") == [pytest.approx(10.0)]
+
+    def test_empty_merge_identity(self):
+        a = _accumulator((("i",), {"x": 100, "y": 150}))
+        empty = DfbAccumulator()
+        assert empty.merge(a) == a
+        assert a.merge(empty) == a
+        assert empty.merge(DfbAccumulator()) == DfbAccumulator()
+
+    def test_associativity(self):
+        a = _accumulator((("i1",), {"x": 100, "y": 110}))
+        b = _accumulator((("i2",), {"x": 130, "y": 100}))
+        c = _accumulator((("i3",), {"x": 100, "y": 100}))
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    def test_wins_and_counts_add(self):
+        a = _accumulator((("i1",), {"x": 100, "y": 110}))
+        b = _accumulator(
+            (("i2",), {"x": 100, "y": 100}), (("i3",), {"x": 120, "y": 100})
+        )
+        merged = a.merge(b)
+        assert merged.instance_count == 3
+        assert merged.wins("x") == 2
+        assert merged.wins("y") == 2
+
+    def test_merge_disjoint_heuristic_populations(self):
+        # Partial campaigns comparing different populations still merge;
+        # each heuristic keeps only its own instances.
+        a = _accumulator((("i1",), {"x": 100, "y": 110}))
+        b = _accumulator((("i2",), {"z": 50}))
+        merged = a.merge(b)
+        assert merged.dfb_values("z") == [0.0]
+        assert len(merged.dfb_values("x")) == 1
