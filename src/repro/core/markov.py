@@ -202,6 +202,21 @@ class MarkovAvailabilityModel:
         """Steady-state fraction of time DOWN."""
         return float(self.stationary[2])
 
+    def mean_sojourn(self, state: ProcState) -> float:
+        """Expected consecutive slots spent in ``state`` per visit.
+
+        A geometric sojourn with continuation probability :math:`P_{x,x}`
+        has mean :math:`1 / (1 - P_{x,x})` (``inf`` for absorbing states).
+        This is the quantity that bounds the span-stepped simulator's
+        skip-ahead distance (DESIGN.md §6): between visits nothing about a
+        processor's availability changes, so the paper's ``[0.90, 0.99]``
+        self-loops yield mean sojourns of 10–100 slots.
+        """
+        p_stay = float(self.matrix[int(state), int(state)])
+        if p_stay >= 1.0:
+            return float("inf")
+        return 1.0 / (1.0 - p_stay)
+
     @property
     def _cumulative(self) -> np.ndarray:
         if self._cum is None:

@@ -23,7 +23,7 @@ Ablations:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Sequence, Tuple
 
 from ..analysis.plotting import format_table
@@ -122,11 +122,13 @@ def _mean_over(
     return total_makespan / count, total_rounds / count, count
 
 
-def _replication(scenarios, trials, backend) -> AblationResult:
+def _replication(scenarios, trials, backend, base_options) -> AblationResult:
     arms = {}
     count = 0
     for cap in (0, 1, 2):
-        options = SimulatorOptions(replication=cap > 0, max_replicas=max(cap, 0))
+        options = replace(
+            base_options, replication=cap > 0, max_replicas=max(cap, 0)
+        )
         mean, rounds, count = _mean_over(
             scenarios, trials, "emct", options, backend
         )
@@ -134,11 +136,11 @@ def _replication(scenarios, trials, backend) -> AblationResult:
     return AblationResult("replication", arms, count)
 
 
-def _replanning(scenarios, trials, backend) -> AblationResult:
+def _replanning(scenarios, trials, backend, base_options) -> AblationResult:
     arms = {}
     count = 0
     for label, every in (("event-driven", False), ("every-slot", True)):
-        options = SimulatorOptions(replan_every_slot=every)
+        options = replace(base_options, replan_every_slot=every)
         mean, rounds, count = _mean_over(
             scenarios, trials, "emct*", options, backend
         )
@@ -146,35 +148,35 @@ def _replanning(scenarios, trials, backend) -> AblationResult:
     return AblationResult("replanning", arms, count)
 
 
-def _ud_exact(scenarios, trials, backend) -> AblationResult:
+def _ud_exact(scenarios, trials, backend, base_options) -> AblationResult:
     arms = {}
     count = 0
     for name in ("ud", "ud-exact"):
         mean, rounds, count = _mean_over(
-            scenarios, trials, name, SimulatorOptions(), backend
+            scenarios, trials, name, base_options, backend
         )
         arms[name] = (mean, rounds)
     return AblationResult("ud-exact", arms, count)
 
 
-def _contention(_scenarios, trials, backend) -> AblationResult:
+def _contention(_scenarios, trials, backend, base_options) -> AblationResult:
     # Uses its own contention-prone population (Table 3's ×10 setting).
     population = ScenarioGenerator(77).contention_prone(10, 3)
     arms = {}
     count = 0
     for name in ("mct", "mct*", "emct", "emct*"):
         mean, rounds, count = _mean_over(
-            population, trials, name, SimulatorOptions(), backend
+            population, trials, name, base_options, backend
         )
         arms[name] = (mean, rounds)
     return AblationResult("contention", arms, count)
 
 
-def _proactive(scenarios, trials, backend) -> AblationResult:
+def _proactive(scenarios, trials, backend, base_options) -> AblationResult:
     arms = {}
     count = 0
     for label, proactive in (("dynamic", False), ("proactive", True)):
-        options = SimulatorOptions(proactive=proactive)
+        options = replace(base_options, proactive=proactive)
         mean, rounds, count = _mean_over(
             scenarios, trials, "emct*", options, backend
         )
@@ -202,6 +204,7 @@ def run_ablation(
     wmin: int = 5,
     backend=None,
     jobs=None,
+    step_mode: str = "span",
 ) -> AblationResult:
     """Run one named ablation on a fresh scenario population.
 
@@ -216,7 +219,12 @@ def run_ablation(
         ) from None
     generator = ScenarioGenerator(seed)
     population = [generator.scenario(n, ncom, wmin, i) for i in range(scenarios)]
-    return runner(population, trials, make_backend(backend, jobs=jobs))
+    return runner(
+        population,
+        trials,
+        make_backend(backend, jobs=jobs),
+        SimulatorOptions(step_mode=step_mode),
+    )
 
 
 def render_ablation(result: AblationResult) -> str:

@@ -53,6 +53,16 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="parallel workers (default: CPU count; ignored by serial)",
         )
+        p.add_argument(
+            "--step-mode",
+            choices=("span", "slot"),
+            default="span",
+            help=(
+                "simulator stepping mode (DESIGN.md §6): 'span' skips "
+                "ahead between events, 'slot' is the one-slot-at-a-time "
+                "oracle; results are bit-identical"
+            ),
+        )
 
     def add_campaign_args(p: argparse.ArgumentParser, scenarios_default: int):
         p.add_argument(
@@ -179,6 +189,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             backend=args.backend,
             jobs=args.jobs,
             checkpoint=args.checkpoint,
+            step_mode=args.step_mode,
             **kwargs,
         )
         print(render_table2(result))
@@ -194,6 +205,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             backend=args.backend,
             jobs=args.jobs,
             checkpoint=args.checkpoint,
+            step_mode=args.step_mode,
         )
         print(render_table3(result))
     elif args.command == "figure2":
@@ -207,6 +219,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             backend=args.backend,
             jobs=args.jobs,
             checkpoint=args.checkpoint,
+            step_mode=args.step_mode,
         )
         print(render_figure2(result))
     elif args.command == "figure1":
@@ -246,6 +259,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             proactive=args.proactive,
             backend=args.backend,
             jobs=args.jobs,
+            step_mode=args.step_mode,
         )
         print(render_deadline_study(result))
     elif args.command == "mismatch":
@@ -256,6 +270,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             trials=args.trials,
             backend=args.backend,
             jobs=args.jobs,
+            step_mode=args.step_mode,
         )
         print(render_mismatch_study(result))
     elif args.command == "ablation":
@@ -267,6 +282,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             trials=args.trials,
             backend=args.backend,
             jobs=args.jobs,
+            step_mode=args.step_mode,
         )
         print(render_ablation(result))
     elif args.command == "demo":

@@ -113,6 +113,7 @@ def run_deadline_study(
     seed=12061,
     backend=None,
     jobs=None,
+    step_mode: str = "span",
 ) -> DeadlineStudyResult:
     """Run the deadline-objective comparison.
 
@@ -129,13 +130,16 @@ def run_deadline_study(
         backend: execution backend name or instance (DESIGN.md §4);
             results are backend-independent.
         jobs: worker count when ``backend`` is a name.
+        step_mode: simulator stepping mode (DESIGN.md §6; bit-identical
+            results either way) — this study runs :meth:`MasterSimulator.
+            run_slots`, the other objective formulation span mode covers.
     """
     if scenarios is None:
         generator = ScenarioGenerator(seed)
         scenarios = [
             generator.scenario(20, 5, 3, index) for index in range(scenario_count)
         ]
-    options = SimulatorOptions(proactive=proactive)
+    options = SimulatorOptions(proactive=proactive, step_mode=step_mode)
     units: List[DeadlineUnit] = []
     for scenario in scenarios:
         # The deadline form has no iteration target; ask for far more

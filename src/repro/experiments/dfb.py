@@ -15,11 +15,18 @@ the instance count).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..analysis.stats import bootstrap_ci
+from ..rng import RngFactory
+
 __all__ = ["dfb_for_instance", "InstanceResult", "DfbAccumulator"]
+
+#: Root seed of the per-heuristic bootstrap streams (see
+#: :meth:`DfbAccumulator.average_dfb_ci`).
+_CI_STREAM_SEED = 0xDFB_C1
 
 
 def dfb_for_instance(makespans: Mapping[str, float]) -> Dict[str, float]:
@@ -129,6 +136,36 @@ class DfbAccumulator:
         if not values:
             raise KeyError(f"no results recorded for heuristic {heuristic!r}")
         return float(np.mean(values))
+
+    def average_dfb_ci(
+        self,
+        heuristic: str,
+        *,
+        confidence: float = 0.95,
+        resamples: int = 2000,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[float, float]:
+        """Bootstrap confidence interval for one heuristic's average dfb.
+
+        dfb samples are heavily right-skewed, hence the percentile
+        bootstrap (:func:`repro.analysis.stats.bootstrap_ci`).  When
+        ``rng`` is omitted, the resampling stream is derived
+        deterministically from the *heuristic name*, so the interval is a
+        pure function of the campaign data: report builds are
+        reproducible bit for bit, and adding or reordering table rows
+        cannot perturb another row's bounds.
+
+        Raises:
+            KeyError: when no results were recorded for ``heuristic``.
+        """
+        values = self._dfb.get(heuristic)
+        if not values:
+            raise KeyError(f"no results recorded for heuristic {heuristic!r}")
+        if rng is None:
+            rng = RngFactory(_CI_STREAM_SEED).generator("dfb-ci", heuristic)
+        return bootstrap_ci(
+            values, confidence=confidence, resamples=resamples, rng=rng
+        )
 
     def dfb_values(self, heuristic: str) -> List[float]:
         """All recorded dfb values for one heuristic."""

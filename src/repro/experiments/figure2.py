@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.plotting import ascii_plot, format_table
+from ..sim.master import SimulatorOptions
 from ..workload.scenarios import (
     PAPER_N_VALUES,
     PAPER_NCOM_VALUES,
@@ -76,13 +77,15 @@ def run_figure2(
     backend=None,
     jobs: Optional[int] = None,
     checkpoint=None,
+    step_mode: str = "span",
 ) -> Figure2Result:
     """Execute the Figure 2 protocol (same grid as Table 2).
 
     The dfb here is computed *within the plotted heuristic population*
     (the paper's figure likewise shows the six-way comparison).
     ``backend``/``jobs``/``checkpoint`` configure parallel and resumable
-    execution (statistics are backend-independent).
+    execution (statistics are backend-independent); ``step_mode`` selects
+    the stepping mode (DESIGN.md §6, bit-identical results).
     """
     generator = ScenarioGenerator(seed)
     scenarios = list(
@@ -93,7 +96,11 @@ def run_figure2(
             wmin_values=tuple(wmin_values),
         )
     )
-    config = CampaignConfig(heuristics=tuple(heuristics), trials=trials)
+    config = CampaignConfig(
+        heuristics=tuple(heuristics),
+        trials=trials,
+        options=SimulatorOptions(step_mode=step_mode),
+    )
     campaign = run_campaign(
         scenarios,
         config,

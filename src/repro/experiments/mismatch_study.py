@@ -143,6 +143,7 @@ class MismatchUnit:
     seed: int
     p: int
     max_slots: int = 200_000
+    step_mode: str = "span"
 
     def run(self) -> float:
         app = IterativeApplication(
@@ -154,7 +155,7 @@ class MismatchUnit:
             platform,
             app,
             make_scheduler(self.heuristic),
-            options=SimulatorOptions(),
+            options=SimulatorOptions(step_mode=self.step_mode),
             rng=factory.generator("sched", self.kind, self.trial, self.heuristic),
         )
         report = sim.run(max_slots=self.max_slots)
@@ -171,6 +172,7 @@ def run_mismatch_study(
     seed=2011,
     backend=None,
     jobs=None,
+    step_mode: str = "span",
 ) -> MismatchStudyResult:
     """Run the paired mismatch comparison.
 
@@ -182,7 +184,14 @@ def run_mismatch_study(
     """
     kinds = ("markov", "weibull")
     units = [
-        MismatchUnit(kind=kind, trial=trial, heuristic=name, seed=seed, p=p)
+        MismatchUnit(
+            kind=kind,
+            trial=trial,
+            heuristic=name,
+            seed=seed,
+            p=p,
+            step_mode=step_mode,
+        )
         for kind in kinds
         for trial in range(trials)
         for name in heuristics

@@ -15,6 +15,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from ..analysis.plotting import format_table
 from ..core.heuristics.registry import PAPER_HEURISTICS
+from ..sim.master import SimulatorOptions
 from ..workload.scenarios import (
     PAPER_N_VALUES,
     PAPER_NCOM_VALUES,
@@ -62,6 +63,20 @@ class Table2Result:
         """``(heuristic, measured dfb, measured wins)`` best-first."""
         return self.campaign.accumulator.table()
 
+    def rows_with_ci(self, confidence: float = 0.95):
+        """``(heuristic, dfb, (ci low, ci high), wins)`` best-first.
+
+        Intervals come from :meth:`~repro.experiments.dfb.DfbAccumulator.
+        average_dfb_ci`, whose resampling streams derive from the
+        heuristic names — two builds of the same campaign report the
+        same bounds.
+        """
+        acc = self.campaign.accumulator
+        return [
+            (name, dfb, acc.average_dfb_ci(name, confidence=confidence), wins)
+            for name, dfb, wins in acc.table()
+        ]
+
 
 def run_table2(
     *,
@@ -76,6 +91,7 @@ def run_table2(
     backend=None,
     jobs: Optional[int] = None,
     checkpoint=None,
+    step_mode: str = "span",
 ) -> Table2Result:
     """Execute the Table 2 protocol.
 
@@ -83,7 +99,9 @@ def run_table2(
     ``scenarios_per_cell=247, trials=10``); the protocol is otherwise
     identical.  Restrict ``n_values``/``wmin_values`` for quicker runs;
     ``backend``/``jobs``/``checkpoint`` configure parallel and resumable
-    execution (statistics are backend-independent).
+    execution (statistics are backend-independent).  ``step_mode``
+    selects the simulator stepping mode (DESIGN.md §6; results are
+    bit-identical between ``"span"`` and ``"slot"``).
     """
     generator = ScenarioGenerator(seed)
     scenarios = list(
@@ -95,7 +113,9 @@ def run_table2(
         )
     )
     config = CampaignConfig(
-        heuristics=tuple(heuristics or PAPER_HEURISTICS), trials=trials
+        heuristics=tuple(heuristics or PAPER_HEURISTICS),
+        trials=trials,
+        options=SimulatorOptions(step_mode=step_mode),
     )
     campaign = run_campaign(
         scenarios,
@@ -116,13 +136,33 @@ def run_table2(
 
 
 def render_table2(result: Table2Result) -> str:
-    """Measured-vs-paper Table 2 text rendering."""
+    """Measured-vs-paper Table 2 text rendering.
+
+    The dfb column carries a deterministic 95% bootstrap interval (same
+    campaign → same bounds, build after build).
+    """
     rows = []
-    for name, dfb, wins in result.rows():
+    for name, dfb, (ci_low, ci_high), wins in result.rows_with_ci():
         paper_dfb, paper_wins = PAPER_TABLE2.get(name, (float("nan"), 0))
-        rows.append((name, round(dfb, 2), wins, paper_dfb, paper_wins))
+        rows.append(
+            (
+                name,
+                round(dfb, 2),
+                f"[{ci_low:.2f}, {ci_high:.2f}]",
+                wins,
+                paper_dfb,
+                paper_wins,
+            )
+        )
     table = format_table(
-        ["Algorithm", "dfb (measured)", "wins (measured)", "dfb (paper)", "wins (paper)"],
+        [
+            "Algorithm",
+            "dfb (measured)",
+            "dfb 95% CI",
+            "wins (measured)",
+            "dfb (paper)",
+            "wins (paper)",
+        ],
         rows,
         title=(
             "Table 2 — results over all problem instances "

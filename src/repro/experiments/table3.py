@@ -14,6 +14,7 @@ from typing import Dict, Optional, Sequence
 
 from ..analysis.plotting import format_table
 from ..core.heuristics.registry import GREEDY_HEURISTICS
+from ..sim.master import SimulatorOptions
 from ..workload.scenarios import ScenarioGenerator
 from .harness import CampaignConfig, CampaignResult, run_campaign
 
@@ -71,12 +72,14 @@ def run_table3(
     backend=None,
     jobs: Optional[int] = None,
     checkpoint=None,
+    step_mode: str = "span",
 ) -> Table3Result:
     """Execute one half of Table 3 (``comm_factor`` 5 or 10).
 
     Paper scale is ``scenarios=100, trials=10``; defaults are laptop-scale.
     ``backend``/``jobs``/``checkpoint`` configure parallel and resumable
-    execution (statistics are backend-independent).
+    execution (statistics are backend-independent); ``step_mode`` selects
+    the stepping mode (DESIGN.md §6, bit-identical results).
     """
     if comm_factor not in (5, 10):
         raise ValueError(
@@ -85,7 +88,9 @@ def run_table3(
     generator = ScenarioGenerator(seed)
     population = generator.contention_prone(comm_factor, scenarios)
     config = CampaignConfig(
-        heuristics=tuple(heuristics or GREEDY_HEURISTICS), trials=trials
+        heuristics=tuple(heuristics or GREEDY_HEURISTICS),
+        trials=trials,
+        options=SimulatorOptions(step_mode=step_mode),
     )
     campaign = run_campaign(
         population,

@@ -15,9 +15,25 @@ are provided:
   geometric sojourns a Markov chain implies.  These exercise the
   model-mismatch code path (heuristics still believe a Markov chain).
 
-All sources are deterministic given their RNG/trace, and support random
-access ``state_at(slot)`` with O(1) amortised cost for monotone access
-patterns (the simulator's).
+All sources share one contract (:class:`AvailabilitySource`):
+
+* ``state_at(slot)`` — random access with O(1) amortised cost for the
+  simulator's monotone access pattern.  **Hot path**: slots are assumed
+  to be non-negative ints; validation lives in the batched accessors and
+  the callers, never here.
+* ``next_change_after(slot, limit=...)`` — the run-length query the
+  span-stepped simulator core is built on (DESIGN.md §6): the first slot
+  after ``slot`` whose state differs from ``state_at(slot)``.  Cheap for
+  every family because all three hold materialised traces.
+* ``block(start, stop)`` / ``materialized(length)`` — batched state
+  reads (tests, belief fitting, :meth:`~repro.sim.platform.Platform.
+  states_block`).
+
+All sources are deterministic given their RNG/trace.  For the lazy
+families the trace content is independent of the access pattern: every
+generated slot consumes exactly one underlying draw in slot order, so a
+span-stepped run that scans ahead sees the same states a slot-stepped run
+does.
 """
 
 from __future__ import annotations
@@ -26,7 +42,7 @@ from typing import Callable, Optional, Protocol, Sequence
 
 import numpy as np
 
-from .._validation import require_nonnegative_int, require_positive
+from .._validation import require_nonnegative_int, require_positive, require_positive_int
 from ..core.markov import MarkovAvailabilityModel
 from ..types import ProcState
 
@@ -38,16 +54,176 @@ __all__ = [
     "WeibullSource",
 ]
 
+#: Initial scan window for ``next_change_after`` (doubles per miss).
+_SCAN_CHUNK = 64
+_SCAN_CHUNK_MAX = 1 << 16
+
 
 class AvailabilitySource(Protocol):
-    """Anything that can report a processor's state at a given slot."""
+    """Anything that can report a processor's state over time.
+
+    Implementations must be deterministic given their construction inputs
+    and support arbitrary (monotone-cheap) random access.  ``slot``
+    arguments are assumed non-negative; per-call validation is deliberately
+    left to callers so ``state_at`` stays off the hot path's profile.
+    """
 
     def state_at(self, slot: int) -> int:
         """Ground-truth state (as ``int(ProcState)``) at slot ``slot``."""
         ...
 
+    def next_change_after(
+        self, slot: int, *, limit: Optional[int] = None
+    ) -> Optional[int]:
+        """First slot ``s > slot`` with ``state_at(s) != state_at(slot)``.
 
-class MarkovSource:
+        Args:
+            slot: reference slot.
+            limit: give up after this slot — return ``None`` when no
+                change occurs in ``(slot, limit]``.  Callers **must**
+                pass a limit when the source may stay in one state
+                forever (absorbing chains, exhausted traces); lazy
+                sources would otherwise scan without bound.
+
+        Returns:
+            The change slot, or ``None`` if the state holds through
+            ``limit`` (or forever, for sources that can prove it).
+        """
+        ...
+
+    def block(self, start: int, stop: int) -> np.ndarray:
+        """States for slots ``[start, stop)`` as a ``uint8`` array."""
+        ...
+
+    def materialized(self, length: int) -> np.ndarray:
+        """The first ``length`` slots as a concrete array (tests, export)."""
+        ...
+
+    def up_count_in(self, start: int, stop: int) -> int:
+        """Number of UP slots in ``[start, stop)``.
+
+        O(1) amortised via a lazily maintained UP prefix sum; the
+        span-stepped simulator uses it to advance a computing worker
+        across a window in which the worker may freeze (RECLAIMED) and
+        resume arbitrarily — compute progress is exactly the UP count.
+        """
+        ...
+
+    def nth_up_after(
+        self, slot: int, k: int, *, limit: Optional[int] = None
+    ) -> Optional[int]:
+        """The slot of the ``k``-th UP slot strictly after ``slot``.
+
+        Returns ``None`` when fewer than ``k`` UP slots occur in
+        ``(slot, limit]``.  This is the completion milestone of a
+        computing instance with ``k`` slots of work left.  As with
+        :meth:`next_change_after`, pass a ``limit`` whenever the source
+        may never serve ``k`` UP slots.
+        """
+        ...
+
+
+class _LazyTraceSource:
+    """Shared machinery for sources backed by a lazily grown state trace.
+
+    Subclasses hold the materialised trace in ``self._trace`` and
+    implement :meth:`_grow_to`, extending the trace to at least the given
+    length (consuming exactly one underlying draw per generated slot, so
+    trace content never depends on the growth schedule).
+    """
+
+    _trace: np.ndarray
+    _up_prefix: Optional[np.ndarray] = None
+
+    def _grow_to(self, length: int) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _ensure(self, length: int) -> None:
+        if length > len(self._trace):
+            self._grow_to(length)
+
+    def _prefix_to(self, length: int) -> np.ndarray:
+        """The UP prefix-sum array covering at least ``trace[:length]``.
+
+        ``prefix[i]`` is the number of UP slots among slots ``0..i-1``.
+        The trace only ever grows by appending, so the prefix extends
+        incrementally.
+        """
+        self._ensure(length)
+        up = int(ProcState.UP)
+        if self._up_prefix is None:
+            self._up_prefix = np.concatenate(
+                [[0], np.cumsum(self._trace == up, dtype=np.int64)]
+            )
+        elif len(self._up_prefix) <= len(self._trace):
+            done = len(self._up_prefix) - 1
+            extra = np.cumsum(self._trace[done:] == up, dtype=np.int64)
+            self._up_prefix = np.concatenate(
+                [self._up_prefix, extra + self._up_prefix[-1]]
+            )
+        return self._up_prefix
+
+    def state_at(self, slot: int) -> int:
+        # Hot path (called once per processor per boundary): no validation.
+        if slot >= len(self._trace):
+            self._grow_to(slot + 1)
+        return int(self._trace[slot])
+
+    def next_change_after(
+        self, slot: int, *, limit: Optional[int] = None
+    ) -> Optional[int]:
+        current = self.state_at(slot)
+        start = slot + 1
+        chunk = _SCAN_CHUNK
+        while limit is None or start <= limit:
+            stop = start + chunk
+            if limit is not None:
+                stop = min(stop, limit + 1)
+            self._ensure(stop)
+            hits = np.flatnonzero(self._trace[start:stop] != current)
+            if hits.size:
+                return start + int(hits[0])
+            start = stop
+            chunk = min(chunk * 2, _SCAN_CHUNK_MAX)
+        return None
+
+    def block(self, start: int, stop: int) -> np.ndarray:
+        start = require_nonnegative_int(start, "start")
+        if stop < start:
+            raise ValueError(f"stop must be >= start, got [{start}, {stop})")
+        self._ensure(stop)
+        return self._trace[start:stop].copy()
+
+    def materialized(self, length: int) -> np.ndarray:
+        length = require_positive_int(length, "length")
+        return self.block(0, length)
+
+    def up_count_in(self, start: int, stop: int) -> int:
+        if stop <= start:
+            return 0
+        prefix = self._prefix_to(stop)
+        return int(prefix[stop] - prefix[start])
+
+    def nth_up_after(
+        self, slot: int, k: int, *, limit: Optional[int] = None
+    ) -> Optional[int]:
+        if k <= 0:
+            raise ValueError(f"k must be >= 1, got {k}")
+        probe = slot + k  # cannot arrive sooner than k consecutive UP slots
+        while True:
+            if limit is not None:
+                probe = min(probe, limit)
+            prefix = self._prefix_to(probe + 1)
+            target = prefix[slot + 1] + k
+            if prefix[probe + 1] >= target:
+                found = int(np.searchsorted(prefix, target, side="left")) - 1
+                return found if (limit is None or found <= limit) else None
+            if limit is not None and probe >= limit:
+                return None
+            probe = 2 * probe + 1
+
+
+class MarkovSource(_LazyTraceSource):
     """Lazily sampled Markov availability (the paper's ground truth).
 
     The trace is extended in geometric chunks as the simulation advances,
@@ -73,17 +249,10 @@ class MarkovSource:
         """The generating chain (also the default scheduler belief)."""
         return self._model
 
-    def state_at(self, slot: int) -> int:
-        # Hot path (called once per processor per slot): no validation.
-        while slot >= len(self._trace):
+    def _grow_to(self, length: int) -> None:
+        while len(self._trace) < length:
             grow = max(self._CHUNK, len(self._trace))  # double each time
             self._trace = self._model.extend_trace(self._trace, grow, self._rng)
-        return int(self._trace[slot])
-
-    def materialized(self, length: int) -> np.ndarray:
-        """The first ``length`` slots as a concrete array (tests, export)."""
-        self.state_at(length - 1)
-        return self._trace[:length].copy()
 
 
 class TraceSource:
@@ -104,21 +273,95 @@ class TraceSource:
             raise ValueError("trace entries must be ProcState values (0, 1, 2)")
         self._trace = arr
         self._pad = int(pad_state)
+        self._up_prefix: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self._trace)
 
     def state_at(self, slot: int) -> int:
-        # Hot path: bounds implicit (negative slots raise via __getitem__
-        # wraparound being prevented by the 0 <= check below).
+        # Hot path: bounds implicit (negative slots raise via the 0 <=
+        # check below; beyond-the-end slots report the pad state).
         if 0 <= slot < len(self._trace):
             return int(self._trace[slot])
         if slot < 0:
             raise ValueError(f"slot must be >= 0, got {slot}")
         return self._pad
 
+    def next_change_after(
+        self, slot: int, *, limit: Optional[int] = None
+    ) -> Optional[int]:
+        current = self.state_at(slot)
+        length = len(self._trace)
+        change: Optional[int] = None
+        if slot + 1 < length:
+            hits = np.flatnonzero(self._trace[slot + 1 :] != current)
+            if hits.size:
+                change = slot + 1 + int(hits[0])
+        if change is None and self._pad != current:
+            # Constant through the trace tail, then the pad takes over.
+            change = max(length, slot + 1)
+        if change is None or (limit is not None and change > limit):
+            return None
+        return change
 
-class SemiMarkovSource:
+    def block(self, start: int, stop: int) -> np.ndarray:
+        start = require_nonnegative_int(start, "start")
+        if stop < start:
+            raise ValueError(f"stop must be >= start, got [{start}, {stop})")
+        length = len(self._trace)
+        if stop <= length:
+            return self._trace[start:stop].copy()
+        out = np.full(stop - start, self._pad, dtype=np.uint8)
+        if start < length:
+            out[: length - start] = self._trace[start:]
+        return out
+
+    def materialized(self, length: int) -> np.ndarray:
+        length = require_positive_int(length, "length")
+        return self.block(0, length)
+
+    def _prefix(self) -> np.ndarray:
+        if self._up_prefix is None:
+            self._up_prefix = np.concatenate(
+                [[0], np.cumsum(self._trace == int(ProcState.UP), dtype=np.int64)]
+            )
+        return self._up_prefix
+
+    def up_count_in(self, start: int, stop: int) -> int:
+        if stop <= start:
+            return 0
+        prefix = self._prefix()
+        length = len(self._trace)
+        in_trace = int(prefix[min(stop, length)] - prefix[min(start, length)])
+        if self._pad == int(ProcState.UP) and stop > length:
+            in_trace += stop - max(start, length)
+        return in_trace
+
+    def nth_up_after(
+        self, slot: int, k: int, *, limit: Optional[int] = None
+    ) -> Optional[int]:
+        if k <= 0:
+            raise ValueError(f"k must be >= 1, got {k}")
+        prefix = self._prefix()
+        length = len(self._trace)
+        before = int(prefix[min(slot + 1, length)])  # UP slots in [0, slot]
+        if self._pad == int(ProcState.UP) and slot + 1 > length:
+            before += slot + 1 - length
+        target = before + k
+        found: Optional[int] = None
+        if target <= prefix[-1]:
+            found = int(np.searchsorted(prefix, target, side="left")) - 1
+        elif self._pad == int(ProcState.UP):
+            # The missing UP slots come from the padded tail.
+            found = max(length, slot + 1) + (target - int(prefix[-1])) - 1
+            if slot + 1 > length:
+                found = slot + k
+        if found is None or (limit is not None and found > limit):
+            return None
+        return found
+
+
+class SemiMarkovSource(_LazyTraceSource):
     """Sojourn-time-driven availability (non-memoryless future work).
 
     The process alternates states according to an *embedded* transition
@@ -161,9 +404,13 @@ class SemiMarkovSource:
         self._rng = rng
         self._state = int(initial)
         self._trace = np.empty(0, dtype=np.uint8)
-        self._fill_to(self._GROW)
+        self._grow_to(self._GROW)
 
-    def _fill_to(self, length: int) -> None:
+    def _grow_to(self, length: int) -> None:
+        # Geometric growth: monotone access patterns miss roughly once per
+        # sojourn, and each miss re-concatenates the trace, so growing to
+        # exactly the requested length would be quadratic in run length.
+        length = max(length, 2 * len(self._trace))
         pieces = [self._trace]
         total = len(self._trace)
         while total < length:
@@ -180,12 +427,6 @@ class SemiMarkovSource:
                 np.searchsorted(np.cumsum(row), self._rng.random(), side="right")
             )
         self._trace = np.concatenate(pieces) if len(pieces) > 1 else pieces[0]
-
-    def state_at(self, slot: int) -> int:
-        slot = require_nonnegative_int(slot, "slot")
-        if slot >= len(self._trace):
-            self._fill_to(max(slot + 1, 2 * len(self._trace)))
-        return int(self._trace[slot])
 
 
 class WeibullSource(SemiMarkovSource):

@@ -34,6 +34,20 @@ Two run modes mirror the paper's two objective formulations:
   report the makespan (the evaluation protocol of Section 7);
 * :meth:`MasterSimulator.run_slots` — simulate exactly ``N`` slots, report
   completed iterations (the Section 3.4 objective).
+
+**Stepping modes** (DESIGN.md §6).  The paper's chains have self-loop
+probabilities in ``[0.90, 0.99]`` (Section 7), so for tens of slots at a
+stretch nothing observable changes: states hold, transfers and
+computations tick linearly, and no scheduling decision can differ.  The
+default ``step_mode="span"`` exploits this by computing, after each fully
+simulated slot, the next slot at which *anything* can change — the
+earliest relevant availability transition, granted-transfer completion,
+compute completion, or pending re-plan — and advancing all counters
+arithmetically across the quiet gap in O(p) instead of O(p·span).  Slot
+semantics are preserved exactly: ``step_mode="slot"`` keeps the original
+one-slot-at-a-time loop as the oracle, and the two modes produce
+bit-identical reports, event logs, and audit trails (enforced by
+``tests/test_span_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -45,6 +59,7 @@ import numpy as np
 
 from .._validation import require_nonnegative_int, require_positive_int
 from ..core.heuristics.base import ProcessorView, Scheduler, SchedulingContext
+from ..rng import RngFactory
 from ..types import ProcState
 from ..workload.application import IterativeApplication
 from .events import EventKind, EventLog, SimEvent
@@ -53,7 +68,18 @@ from .network import BoundedMultiportNetwork, TransferRequest
 from .platform import Platform
 from .worker import TaskInstance, WorkerRuntime, reset_instance
 
-__all__ = ["SimulatorOptions", "MasterSimulator", "simulate"]
+__all__ = [
+    "DEFAULT_SCHEDULER_SEED",
+    "SimulatorOptions",
+    "MasterSimulator",
+    "simulate",
+]
+
+#: Root seed for the scheduler RNG when the caller supplies none.  A fixed
+#: default keeps ad-hoc runs reproducible (re-running the same script gives
+#: the same result); campaign code always passes an explicit per-(scenario,
+#: trial, heuristic) stream instead (DESIGN.md §2).
+DEFAULT_SCHEDULER_SEED = 0x5EED_1D06
 
 
 @dataclass(frozen=True)
@@ -77,8 +103,16 @@ class SimulatorOptions:
             per the un-enrolment rule — and returned to the pool so an UP
             processor can take it over.
         audit: run per-slot invariant checks and network auditing.  Cheap
-            enough for tests and examples; the harness disables it.
+            enough for tests and examples; the harness disables it.  In
+            span mode each boundary slot is checked and every quiet span
+            additionally re-verifies grant stability and milestone bounds.
         max_slots: hard safety bound on simulated slots.
+        step_mode: ``"span"`` (default) skips ahead between events in
+            O(p) per span; ``"slot"`` is the original slot-at-a-time
+            oracle loop.  Bit-identical results either way (module
+            docstring; DESIGN.md §6).  ``replan_every_slot`` or an
+            attached timeline recorder force slot stepping, since both
+            demand per-slot work.
     """
 
     replication: bool = True
@@ -87,10 +121,15 @@ class SimulatorOptions:
     proactive: bool = False
     audit: bool = False
     max_slots: int = 10_000_000
+    step_mode: str = "span"
 
     def __post_init__(self) -> None:
         require_nonnegative_int(self.max_replicas, "max_replicas")
         require_positive_int(self.max_slots, "max_slots")
+        if self.step_mode not in ("span", "slot"):
+            raise ValueError(
+                f"step_mode must be 'span' or 'slot', got {self.step_mode!r}"
+            )
 
 
 class MasterSimulator:
@@ -105,6 +144,10 @@ class MasterSimulator:
             family); availability randomness lives in the platform's
             sources and is *not* drawn from this stream, so heuristic
             choice does not perturb availability (paired comparisons).
+            When omitted, a generator seeded from
+            :data:`DEFAULT_SCHEDULER_SEED` is used so that runs without
+            an explicit stream are still reproducible — pass your own
+            stream whenever two simulations must not share randomness.
         log: optional event log (a disabled one is created by default).
         timeline: optional per-slot activity recorder (see
             :class:`~repro.sim.timeline.TimelineRecorder`); costs one byte
@@ -126,7 +169,11 @@ class MasterSimulator:
         self.app = app
         self.scheduler = scheduler
         self.options = options or SimulatorOptions()
-        self.rng = rng if rng is not None else np.random.default_rng()
+        if rng is None:
+            # Deterministic fallback: an unseeded default_rng() would make
+            # randomised heuristics unreproducible run-to-run.
+            rng = RngFactory(DEFAULT_SCHEDULER_SEED).generator("scheduler")
+        self.rng = rng
         self.log = log if log is not None else EventLog(enabled=False)
         self.timeline = timeline
         self.network = BoundedMultiportNetwork(
@@ -149,6 +196,26 @@ class MasterSimulator:
 
         self._prev_states: Optional[np.ndarray] = None
         self._need_replan = True
+
+        #: Fully simulated slots (diagnostic, not part of the report): in
+        #: slot mode this equals ``report.slots_simulated``; in span mode
+        #: it counts boundaries, so ``slots_simulated / steps_executed``
+        #: is the run's mean span length.
+        self.steps_executed = 0
+
+        # Span-stepping state (DESIGN.md §6): the grants of the last fully
+        # simulated slot (reused verbatim across the quiet span), whether
+        # that slot changed the pipeline shape (a data transfer finishing
+        # re-opens the allocation problem), and per-processor caches of
+        # the next availability transition.
+        self._pipeline_changed = False
+        self._span_refined = False
+        self._grants: List[tuple] = []
+        self._grant_index: Dict[int, tuple] = {}
+        self._grant_counts = (0, 0, 0)
+        self._next_change_cache: List[Optional[int]] = [None] * len(self.workers)
+        self._next_up_cache: List[Optional[int]] = [None] * len(self.workers)
+        self._next_down_cache: List[Optional[int]] = [None] * len(self.workers)
 
     # ------------------------------------------------------------------ #
     # Iteration lifecycle.                                                 #
@@ -258,7 +325,7 @@ class MasterSimulator:
                     state=state_table[states[proc.index]],
                     belief=proc.belief,
                     has_program=worker.has_program,
-                    delay=worker.delay_estimate(self.app.t_data),
+                    delay=worker.delay_estimate(self.app.t_data, pinned),
                     pinned_count=len(pinned),
                     prog_remaining=worker.prog_remaining,
                     pinned_pipeline=tuple(
@@ -307,12 +374,25 @@ class MasterSimulator:
         )
         if not idle:
             return True
+        return self._replication_saturated()
+
+    def _replication_saturated(self) -> bool:
+        """True when every uncommitted task already carries the maximum
+        ``1 + max_replicas`` live instances, so the replication trigger
+        has no capacity left regardless of the UP set.  Shared by the
+        per-round triviality check and the span glide condition
+        (:meth:`_round_glidable`), which must agree on it."""
         max_instances = 1 + self.options.max_replicas
-        counts = {task_id: 0 for task_id in self._uncommitted_task_ids()}
+        counts: Dict[int, int] = {}
         for inst in self._instances:
-            if inst.task_id in counts:
-                counts[inst.task_id] += 1
-        return all(count >= max_instances for count in counts.values())
+            counts[inst.task_id] = counts.get(inst.task_id, 0) + 1
+        for task_id in range(self.app.tasks_per_iteration):
+            if (
+                task_id not in self._committed
+                and counts.get(task_id, 0) < max_instances
+            ):
+                return False
+        return True
 
     def _proactive_candidates(self, states: np.ndarray) -> List[TaskInstance]:
         """Pinned originals worth terminating under the proactive policy.
@@ -525,7 +605,10 @@ class MasterSimulator:
     # ------------------------------------------------------------------ #
     # Transfer step.                                                       #
     # ------------------------------------------------------------------ #
-    def _transfer_step(self, slot: int, states: np.ndarray) -> None:
+    def _gather_requests(
+        self, states: np.ndarray
+    ) -> tuple[List[TransferRequest], Dict[int, TaskInstance]]:
+        """This slot's transfer requests (and data targets) per UP worker."""
         requests: List[TransferRequest] = []
         targets: Dict[int, TaskInstance] = {}
         for worker in self.workers:
@@ -554,13 +637,20 @@ class MasterSimulator:
                     )
                 )
                 targets[worker.index] = target
+        return requests, targets
 
+    def _transfer_step(self, slot: int, states: np.ndarray) -> None:
+        requests, targets = self._gather_requests(states)
+        grants: List[tuple] = []
+        nprog = 0
         for grant in self.network.allocate(slot, requests):
             worker = self.workers[grant.worker]
             self.report.comm_slots_spent += 1
             if self.timeline is not None:
                 self.timeline.mark_transfer(worker.index, grant.kind)
             if grant.kind == "prog":
+                nprog += 1
+                grants.append((worker, "prog", None))
                 if worker.prog_received == 0:
                     self.log.emit(
                         SimEvent(
@@ -579,6 +669,7 @@ class MasterSimulator:
                     )
             else:
                 inst = targets[grant.worker]
+                grants.append((worker, "data", inst))
                 if not inst.data_started:
                     self.log.emit(
                         SimEvent(
@@ -594,7 +685,11 @@ class MasterSimulator:
                 if inst.data_complete:
                     # No re-plan: a finished data transfer changes no
                     # scheduling input (the freed channel/buffer is used by
-                    # the transfer step directly on the next slot).
+                    # the transfer step directly on the next slot).  It
+                    # *does* reshape the next slot's requests and compute
+                    # targets, so the span logic must treat the next slot
+                    # as a boundary.
+                    self._pipeline_changed = True
                     self.log.emit(
                         SimEvent(
                             slot,
@@ -605,13 +700,20 @@ class MasterSimulator:
                             replica_id=inst.replica_id,
                         )
                     )
+        self._grants = grants
+        self._grant_index = {
+            worker.index: (kind, inst) for worker, kind, inst in grants
+        }
+        self._grant_counts = (nprog, len(grants) - nprog, len(requests))
 
     # ------------------------------------------------------------------ #
     # Main loop.                                                           #
     # ------------------------------------------------------------------ #
     def _step(self, slot: int) -> bool:
         """Simulate one slot; returns True when the whole run finished."""
+        self.steps_executed += 1
         states = self.platform.states_at(slot)
+        self._pipeline_changed = False
         if self.timeline is not None:
             self.timeline.begin_slot(states)
         self._handle_states(slot, states)
@@ -642,6 +744,321 @@ class MasterSimulator:
         self._prev_states = states
         return False
 
+    # ------------------------------------------------------------------ #
+    # Span-stepped execution (DESIGN.md §6).                               #
+    # ------------------------------------------------------------------ #
+    def _step_mode_effective(self) -> str:
+        """The stepping mode actually used by the run loop.
+
+        ``replan_every_slot`` makes every slot a scheduling boundary and a
+        timeline recorder observes every slot, so both force the slot
+        loop; span mode would degenerate to zero-length spans anyway.
+        """
+        if self.options.step_mode == "slot":
+            return "slot"
+        if self.options.replan_every_slot or self.timeline is not None:
+            return "slot"
+        return "span"
+
+    def _next_change(self, q: int, slot: int, last: int) -> Optional[int]:
+        """Next slot in ``(slot, last]`` where processor ``q`` changes state.
+
+        Cached per processor: a value computed at an earlier boundary is
+        the *first* change after that boundary, so it stays correct for
+        any query slot before it (the state is constant in between).  A
+        miss up to ``last`` is cached as the sentinel ``last + 1``.
+        """
+        cached = self._next_change_cache[q]
+        if cached is not None and cached > slot:
+            return cached if cached <= last else None
+        change = self.platform[q].availability.next_change_after(slot, limit=last)
+        self._next_change_cache[q] = change if change is not None else last + 1
+        return change
+
+    def _next_state_entry(
+        self,
+        q: int,
+        slot: int,
+        last: int,
+        target: int,
+        cache: List[Optional[int]],
+    ) -> Optional[int]:
+        """Next slot in ``(slot, last]`` where processor ``q`` enters
+        ``target``, walking the source's change points.
+
+        Cache validity mirrors :meth:`_next_change`: the cached slot is
+        the *first* entry into ``target`` after the boundary that
+        computed it, so the processor is never in ``target`` in between
+        and the value stays correct for any query slot before it.
+        """
+        cached = cache[q]
+        if cached is not None and cached > slot:
+            return cached if cached <= last else None
+        source = self.platform[q].availability
+        change = source.next_change_after(slot, limit=last)
+        while change is not None and source.state_at(change) != target:
+            change = source.next_change_after(change, limit=last)
+        cache[q] = change if change is not None else last + 1
+        return change
+
+    def _next_up_entry(self, q: int, slot: int, last: int) -> Optional[int]:
+        """Next UP entry of processor ``q`` in ``(slot, last]``.
+
+        Only consulted for processors currently not UP whose worker holds
+        no progress: their RECLAIMED↔DOWN wandering is invisible to the
+        simulation (no crash to apply, no UP-set change, and scheduling
+        rounds — which do see the full state vector — happen only at
+        boundaries), so the span may glide over it.
+        """
+        return self._next_state_entry(
+            q, slot, last, int(ProcState.UP), self._next_up_cache
+        )
+
+    def _next_down_entry(self, q: int, slot: int, last: int) -> Optional[int]:
+        """Next DOWN entry of processor ``q`` in ``(slot, last]``.
+
+        Consulted for workers whose only observable transition is the
+        DOWN entry that crashes them: program-holding workers with empty
+        queues, and — in refined spans — UP workers whose pending
+        requests stay outranked and whose compute advances by UP count
+        (see :meth:`_quiet_span`).
+        """
+        return self._next_state_entry(
+            q, slot, last, int(ProcState.DOWN), self._next_down_cache
+        )
+
+    def _round_glidable(self) -> bool:
+        """True when no mid-span scheduling round could change anything,
+        *no matter how the UP set evolves*.
+
+        A round only acts through unpinned instances, the proactive
+        policy, or the replication trigger.  When none of those can fire
+        — every live instance is pinned, proactive is off, and every
+        uncommitted task already carries ``1 + max_replicas`` live
+        instances (or replication is off) — a round is trivial for every
+        possible state vector.  UP-set changes on processors that host no
+        active pipeline are then unobservable: slot mode would run a
+        trivial round (no report field, no RNG draw, no placement), so
+        the span may glide across them.  All of these conditions only
+        change at boundaries (pinning via first granted slot, instance
+        counts via commits/crashes), so a check at the span start covers
+        the whole span.
+        """
+        if self.options.proactive:
+            return False
+        for inst in self._instances:
+            # `pinned` inlined (data_received > 0 or computing): this runs
+            # at every span boundary, so property-call overhead matters.
+            if inst.data_received == 0 and not inst.computing:
+                return False
+        if not self.options.replication or self.options.max_replicas == 0:
+            return True
+        return self._replication_saturated()
+
+    def _quiet_span(self, slot: int, budget: int) -> int:
+        """Slots after ``slot`` that provably replay it with shifted counters.
+
+        Returns ``n >= 0`` such that slots ``slot+1 .. slot+n`` change
+        nothing discrete: no relevant availability transition, no transfer
+        or compute completion, no pending re-plan.  Those slots can then
+        be applied arithmetically by :meth:`_advance_quiet`; slot
+        ``slot+n+1`` is the next boundary and is simulated in full.
+        """
+        last = budget - 1
+        if slot >= last:
+            return 0
+        if self._need_replan or self._pipeline_changed:
+            return 0  # next slot re-plans or re-allocates: full step
+        states = self._prev_states
+        up = int(ProcState.UP)
+        horizon = last + 1  # exclusive sentinel: quiet through the budget
+        # 1. Availability: the earliest transition that the simulation can
+        #    observe.  With the event log enabled every transition is
+        #    observable (it must be logged).  Otherwise observability
+        #    depends on what the worker carries and on whether rounds can
+        #    act (``glide``):
+        #
+        #    * a granted transfer or a frozen (non-UP) queue: every
+        #      transition matters — it changes the channel allocation or
+        #      resumes/crashes a pipeline;
+        #    * an UP worker with a queue but no grant (``refined``): its
+        #      RECLAIMED wandering is invisible — its pending request was
+        #      already outranked at the boundary (and stays outranked:
+        #      grant priorities only improve; see
+        #      BoundedMultiportNetwork.plan) and its compute progress is
+        #      exactly its UP-slot count, handled arithmetically below —
+        #      so only the DOWN entry that crashes it breaks the span.
+        #      Audit mode disables this (the per-slot ``requested`` count
+        #      in the usage trail does observe the wandering);
+        #    * a resident program with an empty queue: only the DOWN
+        #      entry that wipes it (when rounds are glidable);
+        #    * an empty worker: only the UP-set changes a scheduling
+        #      round could act on — none at all while rounds are
+        #      provably trivial.
+        #
+        #    Scans use the budget-wide ``last`` (not the running horizon):
+        #    cached misses are stored as the sentinel ``last + 1``, which
+        #    is only sound when ``last`` is constant across boundaries.
+        log_all = self.log.enabled
+        glide = not log_all and self._round_glidable()
+        refined = glide and not self.options.audit
+        self._span_refined = refined
+        grant_index = self._grant_index
+        caches = (
+            self._next_change_cache,
+            self._next_up_cache,
+            self._next_down_cache,
+        )
+        lookups = (self._next_change, self._next_up_entry, self._next_down_entry)
+        for worker in self.workers:
+            q = worker.index
+            # kind: 0 = any change, 1 = next UP entry, 2 = next DOWN entry.
+            if log_all:
+                kind = 0
+            elif worker.queue:
+                kind = (
+                    2
+                    if refined and states[q] == up and q not in grant_index
+                    else 0
+                )
+            elif worker.prog_received > 0:
+                kind = 2 if glide else 0
+            elif glide:
+                continue  # empty worker, trivial rounds: invisible
+            elif states[q] == up:
+                kind = 0
+            else:
+                kind = 1
+            cached = caches[kind][q]  # inline cache hit: the common case
+            if cached is not None and cached > slot:
+                change = cached if cached <= last else None
+            else:
+                change = lookups[kind](q, slot, last)
+            if change is not None and change < horizon:
+                horizon = change
+                if horizon == slot + 1:
+                    return 0
+        # 2. Worker pipelines: the computing instance and the granted
+        #    transfer (grants are stable across the span; see
+        #    BoundedMultiportNetwork.plan) tick one unit per slot —
+        #    except the computing instance of a refined (UP, ungranted)
+        #    worker, which ticks once per *UP* slot and therefore
+        #    completes at its worker's ``compute_remaining``-th UP slot.
+        for worker in self.workers:
+            q = worker.index
+            if not worker.queue or states[q] != up:
+                continue  # idle, frozen (RECLAIMED) or wiped (DOWN): no ticks
+            kind, inst = grant_index.get(q, (None, None))
+            if refined and kind is None:
+                computing = worker.computing_instance
+                if computing is None:
+                    continue
+                milestone_slot = self.platform[q].availability.nth_up_after(
+                    slot, computing.compute_remaining, limit=last
+                )
+                if milestone_slot is not None and milestone_slot < horizon:
+                    horizon = milestone_slot
+                    if horizon == slot + 1:
+                        return 0
+                continue
+            milestone = worker.slots_to_next_milestone(kind, inst)
+            if milestone is not None and slot + milestone < horizon:
+                horizon = slot + milestone
+                if horizon == slot + 1:
+                    return 0
+        return horizon - slot - 1
+
+    def _advance_quiet(self, start: int, count: int) -> None:
+        """Apply ``count`` quiet slots (``start .. start+count-1``) in O(p).
+
+        Every UP worker's computing instance accrues ``count`` compute
+        slots and every granted transfer ``count`` channel slots — by
+        construction of :meth:`_quiet_span` none of them crosses a
+        completion threshold, no state transition is observable, and the
+        grant set would be re-derived identically at each skipped slot.
+        """
+        states = self._prev_states
+        up = int(ProcState.UP)
+        report = self.report
+        refined = self._span_refined
+        for worker in self.workers:
+            if states[worker.index] != up:
+                continue
+            inst = worker.computing_instance
+            if inst is not None:
+                if refined and worker.index not in self._grant_index:
+                    # May freeze and resume inside the span: progress is
+                    # the worker's UP-slot count over the window.
+                    ticks = self.platform[worker.index].availability.up_count_in(
+                        start, start + count
+                    )
+                else:
+                    ticks = count  # UP throughout (any transition breaks)
+                if ticks:
+                    inst.compute_done += ticks
+                    report.compute_slots_spent += ticks
+        for worker, kind, inst in self._grants:
+            if kind == "prog":
+                worker.prog_received += count
+            else:
+                inst.data_received += count
+            report.comm_slots_spent += count
+        nprog, ndata, requested = self._grant_counts
+        self.network.record_span(
+            start, count, nprog=nprog, ndata=ndata, requested=requested
+        )
+        if self.options.audit:
+            self._audit_quiet_advance()
+
+    def _audit_quiet_advance(self) -> None:
+        """Audit-mode cross-checks after a quiet-span fast-forward."""
+        states = self._prev_states
+        up = int(ProcState.UP)
+        requests, _targets = self._gather_requests(states)
+        planned = {(g.worker, g.kind) for g in self.network.plan(requests)}
+        granted = {(worker.index, kind) for worker, kind, _ in self._grants}
+        assert planned == granted, (
+            f"grant set drifted mid-span: boundary {sorted(granted)} vs "
+            f"replanned {sorted(planned)}"
+        )
+        for worker, kind, inst in self._grants:
+            remaining = (
+                worker.prog_remaining if kind == "prog" else inst.data_remaining
+            )
+            assert remaining >= 1, "granted transfer overshot its completion"
+        for worker in self.workers:
+            worker.check_invariants()
+            if states[worker.index] == up:
+                inst = worker.computing_instance
+                if inst is not None:
+                    assert inst.compute_remaining >= 1, (
+                        "computing instance overshot its completion"
+                    )
+
+    def _run_loop(self, budget: int) -> None:
+        """Advance the simulation up to ``budget`` slots (either mode)."""
+        if self._step_mode_effective() == "slot":
+            for slot in range(budget):
+                finished = self._step(slot)
+                self.report.slots_simulated = slot + 1
+                if finished:
+                    return
+            return
+        self._next_change_cache = [None] * len(self.workers)
+        self._next_up_cache = [None] * len(self.workers)
+        self._next_down_cache = [None] * len(self.workers)
+        slot = 0
+        while slot < budget:
+            finished = self._step(slot)
+            self.report.slots_simulated = slot + 1
+            if finished:
+                return
+            quiet = self._quiet_span(slot, budget)
+            if quiet > 0:
+                self._advance_quiet(slot + 1, quiet)
+                self.report.slots_simulated = slot + 1 + quiet
+            slot += 1 + quiet
+
     def run(self, max_slots: Optional[int] = None) -> SimulationReport:
         """Run until the target iterations complete (or ``max_slots``).
 
@@ -651,11 +1068,7 @@ class MasterSimulator:
         """
         budget = max_slots if max_slots is not None else self.options.max_slots
         budget = require_positive_int(budget, "max_slots")
-        for slot in range(budget):
-            finished = self._step(slot)
-            self.report.slots_simulated = slot + 1
-            if finished:
-                break
+        self._run_loop(budget)
         self._finalize()
         return self.report
 
@@ -666,11 +1079,7 @@ class MasterSimulator:
             The report; ``completed_iterations`` is the objective value.
         """
         n_slots = require_positive_int(n_slots, "n_slots")
-        for slot in range(n_slots):
-            finished = self._step(slot)
-            self.report.slots_simulated = slot + 1
-            if finished:
-                break
+        self._run_loop(n_slots)
         self._finalize()
         return self.report
 

@@ -102,6 +102,47 @@ class BoundedMultiportNetwork:
         self._audit = audit
         self._usage: List[SlotUsage] = []
 
+    def plan(
+        self,
+        requests: List[TransferRequest],
+        *,
+        slot: Optional[int] = None,
+    ) -> List[TransferRequest]:
+        """The allocation decision alone: which requests win a channel.
+
+        Pure (no audit trail side effects) — used by :meth:`allocate` and
+        by the span-stepped master's audit mode to re-verify mid-span
+        that the boundary-slot grants are still the ones a fresh
+        allocation would make.  ``slot`` is diagnostic only (error
+        context).
+
+        **Grant stability** (the invariant DESIGN.md §6 leans on): while
+        the *set* of requests is unchanged, re-running the allocation on
+        consecutive slots returns the same granted set.  Serving a grant
+        flips its ``started`` bit to True, which only *improves* its
+        priority; ungranted requests keep theirs.  Every granted request
+        therefore still ranks above every ungranted one on the next slot,
+        so no new grant decision can arise mid-span — the master re-runs
+        allocation only at span boundaries.
+
+        Raises:
+            ValueError: if two requests name the same worker.
+        """
+        seen_workers = set()
+        for req in requests:
+            if req.worker in seen_workers:
+                where = "" if slot is None else f" in slot {slot}"
+                raise ValueError(
+                    f"worker {req.worker} submitted two transfer requests"
+                    f"{where}; the model allows one communication per worker"
+                )
+            seen_workers.add(req.worker)
+
+        ranked = sorted(requests, key=lambda r: r.priority)
+        if self.ncom is not None:
+            return ranked[: self.ncom]
+        return ranked
+
     def allocate(
         self, slot: int, requests: List[TransferRequest]
     ) -> List[TransferRequest]:
@@ -119,21 +160,7 @@ class BoundedMultiportNetwork:
         Raises:
             ValueError: if two requests name the same worker.
         """
-        seen_workers = set()
-        for req in requests:
-            if req.worker in seen_workers:
-                raise ValueError(
-                    f"worker {req.worker} submitted two transfer requests in slot "
-                    f"{slot}; the model allows one communication per worker"
-                )
-            seen_workers.add(req.worker)
-
-        ranked = sorted(requests, key=lambda r: r.priority)
-        if self.ncom is not None:
-            granted = ranked[: self.ncom]
-        else:
-            granted = ranked
-
+        granted = self.plan(requests, slot=slot)
         if self._audit:
             nprog = sum(1 for r in granted if r.kind == "prog")
             ndata = len(granted) - nprog
@@ -141,6 +168,28 @@ class BoundedMultiportNetwork:
                 SlotUsage(slot=slot, nprog=nprog, ndata=ndata, requested=len(requests))
             )
         return granted
+
+    def record_span(
+        self, start_slot: int, count: int, *, nprog: int, ndata: int, requested: int
+    ) -> None:
+        """Audit-record ``count`` quiet slots repeating one allocation.
+
+        The span-stepped master calls this for slots it fast-forwards:
+        the request set and grants are provably identical to the last
+        boundary slot's (see :meth:`plan`), so the audit trail stays
+        bit-for-bit what a slot-stepped run would have recorded.
+        """
+        if not self._audit or count <= 0:
+            return
+        self._usage.extend(
+            SlotUsage(
+                slot=start_slot + offset,
+                nprog=nprog,
+                ndata=ndata,
+                requested=requested,
+            )
+            for offset in range(count)
+        )
 
     # ------------------------------------------------------------------ #
     # Audit / reporting.                                                   #

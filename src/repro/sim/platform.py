@@ -150,6 +150,36 @@ class Platform:
             count=len(self.processors),
         )
 
+    def states_block(self, start: int, stop: int) -> np.ndarray:
+        """Ground-truth states for slots ``[start, stop)``, all processors.
+
+        The batched companion of :meth:`states_at`: returns a
+        ``(stop - start, p)`` ``uint8`` matrix whose row ``t - start``
+        equals ``states_at(t)``.  Used by the span/slot oracle tests and
+        by analyses that want whole windows without p × span Python
+        calls.
+        """
+        return np.stack(
+            [proc.availability.block(start, stop) for proc in self.processors],
+            axis=1,
+        )
+
+    def next_change_after(self, slot: int, *, limit: Optional[int] = None):
+        """First slot ``> slot`` where *any* processor's state changes.
+
+        Returns ``None`` when every processor holds its state through
+        ``limit``.  The span-stepped simulator uses finer-grained
+        (relevance-filtered, cached) per-source queries; this helper is
+        the simple whole-platform form for tools and tests.
+        """
+        horizon: Optional[int] = None
+        for proc in self.processors:
+            bound = limit if horizon is None else horizon - 1
+            change = proc.availability.next_change_after(slot, limit=bound)
+            if change is not None and (horizon is None or change < horizon):
+                horizon = change
+        return horizon
+
     def up_indices_at(self, slot: int) -> list[int]:
         """Indices of processors UP at ``slot``, ascending."""
         return [

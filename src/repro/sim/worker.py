@@ -232,10 +232,46 @@ class WorkerRuntime:
         """True when a program transfer (or resume) is useful this slot."""
         return not self.has_program and bool(self.queue)
 
+    def slots_to_next_milestone(
+        self,
+        granted_kind: Optional[str] = None,
+        granted_instance: Optional[TaskInstance] = None,
+    ) -> Optional[int]:
+        """Slots until this worker's pipeline next crosses a threshold.
+
+        Used by the span-stepped master (DESIGN.md §6): while the worker
+        stays UP with an unchanged channel grant, its pipeline advances
+        purely linearly — the only discrete events are the currently
+        computing instance finishing, a granted program transfer
+        completing, or a granted data transfer completing.  This returns
+        the minimum of those distances (``None`` when the worker has no
+        active progress at all), so the master can take the min across
+        workers to bound the skip-ahead span.
+
+        Args:
+            granted_kind: ``"prog"``/``"data"`` when the network granted
+                this worker a channel this slot, else ``None``.
+            granted_instance: the instance receiving data for a
+                ``"data"`` grant.
+        """
+        horizons = []
+        computing = self.computing_instance
+        if computing is not None:
+            horizons.append(computing.compute_remaining)
+        if granted_kind == "prog":
+            horizons.append(self.prog_remaining)
+        elif granted_kind == "data":
+            if granted_instance is None:
+                raise ValueError("data grant needs its receiving instance")
+            horizons.append(granted_instance.data_remaining)
+        return min(horizons) if horizons else None
+
     # ------------------------------------------------------------------ #
     # Delay(q) — Section 6.3.1.                                            #
     # ------------------------------------------------------------------ #
-    def delay_estimate(self, t_data: int) -> int:
+    def delay_estimate(
+        self, t_data: int, pinned: Optional[List[TaskInstance]] = None
+    ) -> int:
         """The paper's ``Delay(q)``: slots before current activities finish.
 
         Estimated under the paper's simplifying assumptions: the worker
@@ -248,10 +284,18 @@ class WorkerRuntime:
           instance's remaining data in queue order;
         * the CPU serves each pinned instance for its remaining compute,
           starting no earlier than its data completion.
+
+        Args:
+            t_data: the application's data transfer length (unused in the
+                estimate itself; kept for signature stability).
+            pinned: the result of :meth:`pinned_instances`, when the
+                caller already holds it — this runs once per processor
+                per scheduling round, so the repeated queue scan shows
+                up in profiles.
         """
         comm_free = self.prog_remaining
         cpu_free = 0
-        for inst in self.pinned_instances():
+        for inst in pinned if pinned is not None else self.pinned_instances():
             if inst.computing:
                 # Data already complete; occupies CPU from now.
                 cpu_free = max(cpu_free, 0) + inst.compute_remaining

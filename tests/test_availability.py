@@ -209,3 +209,103 @@ class TestWeibullSource:
                 shape=1, scale=1, mean_reclaimed=1, mean_down=1,
                 p_up_to_reclaimed=1.5, rng=np.random.default_rng(0),
             )
+
+
+class TestUnifiedSourceContract:
+    """The run-length interface every source shares (DESIGN.md §6)."""
+
+    def _sources(self):
+        return [
+            MarkovSource(chain(), np.random.default_rng(3)),
+            TraceSource(
+                np.random.default_rng(4).integers(0, 3, 400),
+                pad_state=ProcState.DOWN,
+            ),
+            TraceSource(
+                np.random.default_rng(5).integers(0, 3, 400),
+                pad_state=ProcState.UP,
+            ),
+            WeibullSource(
+                shape=0.7, scale=25, mean_reclaimed=6, mean_down=9,
+                p_up_to_reclaimed=0.6, rng=np.random.default_rng(6),
+            ),
+        ]
+
+    def test_next_change_after_matches_state_at(self):
+        rng = np.random.default_rng(0)
+        for source in self._sources():
+            reference = [source.state_at(t) for t in range(1200)]
+            for _ in range(60):
+                slot = int(rng.integers(0, 600))
+                limit = int(rng.integers(slot + 1, 1100))
+                expected = next(
+                    (s for s in range(slot + 1, limit + 1)
+                     if reference[s] != reference[slot]),
+                    None,
+                )
+                assert source.next_change_after(slot, limit=limit) == expected
+
+    def test_next_change_no_limit_finds_real_change(self):
+        source = MarkovSource(chain(), np.random.default_rng(9))
+        slot = 0
+        for _ in range(50):
+            change = source.next_change_after(slot)
+            assert change is not None and change > slot
+            assert source.state_at(change) != source.state_at(slot)
+            if change > 1:
+                assert source.state_at(change - 1) == source.state_at(slot)
+            slot = change
+
+    def test_exhausted_trace_never_changes_again(self):
+        source = TraceSource([0, 0, 2], pad_state=ProcState.DOWN)
+        assert source.next_change_after(1) == 2  # into the final DOWN run
+        assert source.next_change_after(2, limit=10_000) is None
+        assert source.next_change_after(500, limit=10_000) is None
+
+    def test_block_and_materialized_match_state_at(self):
+        for source in self._sources():
+            expected = [source.state_at(t) for t in range(50, 130)]
+            assert source.block(50, 130).tolist() == expected
+            assert source.materialized(130).tolist() == [
+                source.state_at(t) for t in range(130)
+            ]
+
+    def test_up_count_in_matches_state_at(self):
+        rng = np.random.default_rng(1)
+        up = int(ProcState.UP)
+        for source in self._sources():
+            reference = [source.state_at(t) for t in range(1000)]
+            for _ in range(40):
+                a, b = sorted(rng.integers(0, 1000, size=2))
+                expected = sum(1 for s in range(a, b) if reference[s] == up)
+                assert source.up_count_in(int(a), int(b)) == expected
+
+    def test_nth_up_after_matches_state_at(self):
+        rng = np.random.default_rng(2)
+        up = int(ProcState.UP)
+        for source in self._sources():
+            reference = [source.state_at(t) for t in range(2000)]
+            for _ in range(40):
+                slot = int(rng.integers(0, 800))
+                k = int(rng.integers(1, 25))
+                count = 0
+                expected = None
+                for s in range(slot + 1, 1500):
+                    if reference[s] == up:
+                        count += 1
+                        if count == k:
+                            expected = s
+                            break
+                assert source.nth_up_after(slot, k, limit=1499) == expected
+
+    def test_nth_up_after_rejects_bad_k(self):
+        for source in self._sources():
+            with pytest.raises(ValueError):
+                source.nth_up_after(0, 0)
+
+    def test_semi_markov_state_at_skips_hot_path_validation(self):
+        # The unified contract keeps validation off state_at (satellite):
+        # batched accessors validate instead.
+        source = self._sources()[3]
+        with pytest.raises(ValueError):
+            source.block(-1, 10)

@@ -211,3 +211,35 @@ class TestFigure2SeriesMath:
         assert series["emct"][0] == pytest.approx(10.0)
         assert series["mct"][1] == pytest.approx(30.0)
         assert series["emct"][1] == pytest.approx(0.0)
+
+
+class TestReportDeterminism:
+    """Regression: two report builds must produce identical CI bounds."""
+
+    def test_table2_cis_identical_across_builds(self):
+        def build():
+            result = run_table2(
+                scenarios_per_cell=1, trials=1,
+                heuristics=("mct", "emct", "random"),
+                **QUICK,
+            )
+            return result.rows_with_ci(), render_table2(result)
+
+        (rows_a, text_a), (rows_b, text_b) = build(), build()
+        assert rows_a == rows_b
+        assert text_a == text_b
+        for _name, dfb, (low, high), _wins in rows_a:
+            assert low <= dfb <= high
+
+    def test_ci_stream_independent_of_row_order(self):
+        result = run_table2(
+            scenarios_per_cell=1, trials=1,
+            heuristics=("mct", "emct"),
+            **QUICK,
+        )
+        acc = result.campaign.accumulator
+        # Querying one heuristic's CI twice (any order) gives the same
+        # bounds: streams derive from the name, not from shared state.
+        first = acc.average_dfb_ci("emct")
+        acc.average_dfb_ci("mct")
+        assert acc.average_dfb_ci("emct") == first

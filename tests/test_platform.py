@@ -87,3 +87,36 @@ class TestPlatform:
     def test_rejects_bad_ncom(self):
         with pytest.raises(ValueError):
             Platform([trace_proc(0)], ncom=0)
+
+
+class TestStatesBlock:
+    def test_states_block_matches_states_at(self):
+        import numpy as np
+
+        from repro.core.markov import MarkovAvailabilityModel
+
+        model = MarkovAvailabilityModel.from_self_loops(0.9, 0.85, 0.9)
+        platform = Platform(
+            [
+                Processor.from_markov(
+                    q, 2, model, np.random.default_rng(40 + q)
+                )
+                for q in range(4)
+            ],
+            ncom=2,
+        )
+        block = platform.states_block(10, 40)
+        assert block.shape == (30, 4)
+        for offset, slot in enumerate(range(10, 40)):
+            assert block[offset].tolist() == platform.states_at(slot).tolist()
+
+    def test_platform_next_change_after(self):
+        platform = Platform(
+            [
+                Processor.from_trace(0, 1, [0, 0, 0, 1, 1]),
+                Processor.from_trace(1, 1, [0, 0, 1, 1, 1]),
+            ],
+            ncom=1,
+        )
+        assert platform.next_change_after(0) == 2  # P1 moves first
+        assert platform.next_change_after(3, limit=3) is None

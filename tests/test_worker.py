@@ -293,3 +293,43 @@ class TestInvariants:
         worker.queue.append(inst)
         with pytest.raises(AssertionError, match="records worker"):
             worker.check_invariants()
+
+
+class TestSlotsToNextMilestone:
+    def _worker(self):
+        return WorkerRuntime(index=0, speed_w=5, t_prog=3)
+
+    def test_no_activity_is_none(self):
+        assert self._worker().slots_to_next_milestone() is None
+
+    def test_computing_instance_bounds(self):
+        worker = self._worker()
+        inst = TaskInstance(iteration=0, task_id=0, replica_id=0,
+                            data_needed=0, compute_needed=5, compute_done=2,
+                            computing=True, worker=0)
+        worker.queue.append(inst)
+        assert worker.slots_to_next_milestone() == 3
+
+    def test_granted_prog_transfer(self):
+        worker = self._worker()
+        worker.prog_received = 1
+        inst = TaskInstance(iteration=0, task_id=0, replica_id=0,
+                            data_needed=2, worker=0)
+        worker.queue.append(inst)
+        assert worker.slots_to_next_milestone("prog") == 2
+
+    def test_granted_data_transfer_takes_min_with_compute(self):
+        worker = self._worker()
+        computing = TaskInstance(iteration=0, task_id=0, replica_id=0,
+                                 data_needed=0, compute_needed=9,
+                                 compute_done=1, computing=True, worker=0)
+        staged = TaskInstance(iteration=0, task_id=1, replica_id=0,
+                              data_needed=4, data_received=1, worker=0)
+        worker.queue.extend([computing, staged])
+        assert worker.slots_to_next_milestone("data", staged) == 3
+
+    def test_data_grant_requires_instance(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            self._worker().slots_to_next_milestone("data")
