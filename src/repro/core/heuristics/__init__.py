@@ -3,8 +3,10 @@
 from .base import (
     GreedyScheduler,
     ProcessorView,
+    RoundState,
     Scheduler,
     SchedulingContext,
+    completion_time_batch,
     completion_time_estimate,
 )
 from .lw import LwScheduler
@@ -26,7 +28,9 @@ __all__ = [
     "GreedyScheduler",
     "SchedulingContext",
     "ProcessorView",
+    "RoundState",
     "completion_time_estimate",
+    "completion_time_batch",
     "RandomScheduler",
     "WeightedRandomScheduler",
     "make_random_variant",

@@ -13,26 +13,47 @@ assigned"), so :class:`GreedyScheduler` and the random schedulers only
 implement a per-task *selection rule*; the one-by-one loop, the per-round
 ``n_q`` bookkeeping and the ``n_active`` counter used by the
 contention-corrected variants live here.
+
+Two entry points realise that protocol:
+
+* :meth:`Scheduler.place` — the legacy scalar path over an eagerly built
+  :class:`SchedulingContext` of :class:`ProcessorView` snapshots;
+* :meth:`Scheduler.place_array` — the array-backed path over a
+  :class:`~repro.core.heuristics.round_state.RoundState`, scored in batch
+  via :meth:`GreedyScheduler.score_batch`.  The two paths are **bit
+  identical** — same scores (the batch implementations use the exact same
+  IEEE-754 operations, falling back to scalar ``math.pow`` where numpy's
+  SIMD ``np.power`` differs from libm by an ulp), same one-by-one greedy
+  order, same lowest-index tie-break, same RNG draw sequence — which the
+  equivalence suite asserts per registry heuristic.  Schedulers that do
+  not opt into batch scoring transparently run the legacy path over the
+  lazy compatibility shim (:meth:`RoundState.as_context`).
 """
 
 from __future__ import annotations
 
 import abc
 import heapq
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ...rng import default_scheduler_rng
 from ...types import ProcState
 from ..markov import MarkovAvailabilityModel
+from .round_state import RoundState
 
 __all__ = [
     "ProcessorView",
     "SchedulingContext",
+    "RoundState",
     "Scheduler",
     "GreedyScheduler",
     "completion_time_estimate",
+    "completion_time_batch",
+    "pow_batch",
 ]
 
 
@@ -94,6 +115,11 @@ class SchedulingContext:
             work has not begun anywhere.
         rng: RNG stream reserved for scheduler randomness (the random
             heuristic family), distinct from availability sampling streams.
+            Pass an explicit stream whenever two contexts must not share
+            randomness; when omitted, the default is the *seeded*
+            :func:`~repro.rng.default_scheduler_rng` stream — an unseeded
+            ``default_rng()`` here would silently fall back to OS entropy
+            and make randomised heuristics unreproducible run-to-run.
     """
 
     slot: int
@@ -102,7 +128,7 @@ class SchedulingContext:
     ncom: Optional[int]
     processors: List[ProcessorView]
     remaining_tasks: int
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    rng: np.random.Generator = field(default_factory=default_scheduler_rng)
 
     def up_processors(self) -> List[ProcessorView]:
         """Views of the processors currently UP, ascending index."""
@@ -148,6 +174,56 @@ def completion_time_estimate(
         + eff_t_data
         + max(nq - 1, 0) * max(eff_t_data, view.speed_w)
         + view.speed_w
+    )
+
+
+def completion_time_batch(
+    rs: RoundState,
+    indices: np.ndarray,
+    nq_plus_one,
+    contention_factor,
+) -> np.ndarray:
+    """Vectorised ``CT(P_q, n_q)`` over a candidate set (Equations 1 / 2).
+
+    The batch companion of :func:`completion_time_estimate`: pure int64
+    arithmetic on the :class:`RoundState` columns, so every element is
+    *exactly* the integer the scalar estimate computes (the later cast to
+    float64 is lossless for any delay within the simulator's slot bound).
+
+    Args:
+        rs: the array-backed round state.
+        indices: candidate processor indices (int array).
+        nq_plus_one: per-candidate ``n_q + 1`` (int array or scalar).
+        contention_factor: per-candidate ``ceil(n_active / n_com)`` (int
+            array or scalar; 1 for Equation 1).
+    """
+    eff_t_data = contention_factor * rs.t_data
+    speed = rs.speed_w[indices]
+    return (
+        rs.delay[indices]
+        + eff_t_data
+        + np.maximum(nq_plus_one - 1, 0) * np.maximum(eff_t_data, speed)
+        + speed
+    )
+
+
+def pow_batch(base, exponent) -> np.ndarray:
+    """Elementwise ``base ** exponent`` via scalar libm ``pow``.
+
+    numpy's vectorised ``np.power`` dispatches to a SIMD implementation
+    that differs from the C library ``pow`` by an ulp on a few percent of
+    inputs, which would break bit-identity between the batch path and the
+    legacy scalar path (Python's ``**`` *is* libm ``pow``).  The LW/UD
+    probability scores therefore apply the exponentiation through
+    ``math.pow`` per element — the candidate arrays are tiny (≤ p), so
+    this costs nothing next to the vectorised CT arithmetic.
+    """
+    return np.array(
+        [
+            math.pow(b, e)
+            for b, e in zip(np.asarray(base).tolist(), np.asarray(exponent).tolist())
+        ],
+        dtype=np.float64,
     )
 
 
@@ -205,6 +281,24 @@ class Scheduler(abc.ABC):
             placements.append(choice)
         return placements
 
+    def place_array(
+        self,
+        rs: RoundState,
+        n_tasks: int,
+        allowed: Optional[Sequence[int]] = None,
+    ) -> List[Optional[int]]:
+        """Assign ``n_tasks`` instances from an array-backed round state.
+
+        The array-path twin of :meth:`place`; the master calls this with
+        its incrementally maintained :class:`RoundState`.  The base
+        implementation is the compatibility shim: it materialises the lazy
+        legacy context (:meth:`RoundState.as_context`) and runs the scalar
+        path, so any external :class:`Scheduler` subclass keeps working —
+        and keeps producing bit-identical placements — without changes.
+        Batch-capable subclasses override this.
+        """
+        return self.place(rs.as_context(), n_tasks, allowed)
+
     def _candidates(
         self, ctx: SchedulingContext, allowed: Optional[Sequence[int]]
     ) -> List[ProcessorView]:
@@ -250,6 +344,18 @@ class GreedyScheduler(Scheduler):
     maximising, per :attr:`maximize`) the score wins.  Ties break toward
     the lower processor index, matching the deterministic tie-break used
     throughout the package.
+
+    **Batch contract.**  Subclasses that additionally implement
+    :meth:`score_batch` (and set :attr:`batch_scoring`) get the array-path
+    :meth:`place_array`: one vectorised scoring pass seeds the lazy heap,
+    and the per-placement re-scores go through the scalar :meth:`score_one`
+    twin.  Both must satisfy the same monotonicity requirement the lazy
+    heap already relies on — scores monotone (non-decreasing for minimised
+    scores, non-increasing for maximised ones) in both ``n_q`` and
+    ``n_active`` — and must be bit-identical to each other and to
+    :meth:`score` for every ``(q, n_q, factor)``: use exactly the same
+    IEEE-754 operation sequence, and route exponentiation through
+    :func:`pow_batch` / ``math.pow`` rather than ``np.power``.
     """
 
     #: Whether higher scores are better (LW/UD maximise probabilities).
@@ -257,6 +363,18 @@ class GreedyScheduler(Scheduler):
 
     #: Whether Equation 2's contention factor replaces ``t_data``.
     use_contention_factor: bool = False
+
+    #: True when the instance implements :meth:`score_batch` /
+    #: :meth:`score_one`; False routes :meth:`place_array` through the
+    #: legacy-path compatibility shim (external heuristics, trace walkers).
+    batch_scoring: bool = False
+
+    #: The missing-belief error suffix for heuristics whose score needs a
+    #: Markov belief (``None`` for belief-free scores).  The array path's
+    #: score rows span the whole UP set, so belief checks happen against
+    #: the *candidates* of each placement call — matching the legacy
+    #: scalar loop, which only ever scores candidates.
+    _belief_needs: Optional[str] = None
 
     def contention_factor(self, ctx: SchedulingContext, n_active: int) -> int:
         """``ceil(n_active / ncom)`` when enabled and bounded, else 1."""
@@ -273,6 +391,48 @@ class GreedyScheduler(Scheduler):
         contention_factor: int,
     ) -> float:
         """Score of placing the next task on ``view``."""
+
+    def score_batch(
+        self,
+        rs: RoundState,
+        indices: np.ndarray,
+        nq_plus_one: np.ndarray,
+        contention_factor,
+    ) -> np.ndarray:
+        """Scores for all candidates at once (float64, aligned with
+        ``indices``).  Subclasses setting :attr:`batch_scoring` implement
+        this against the :class:`RoundState` columns."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement batch scoring"
+        )
+
+    def score_one(
+        self,
+        rs: RoundState,
+        q: int,
+        nq_plus_one: int,
+        contention_factor: int,
+    ) -> float:
+        """Scalar twin of :meth:`score_batch` for heap re-validation.
+
+        The default funnels through :meth:`score_batch` with length-1
+        arrays, which is always bit-consistent; the built-in heuristics
+        override it with plain-scalar arithmetic for speed.
+        """
+        return float(
+            self.score_batch(
+                rs,
+                np.array([q], dtype=np.intp),
+                np.array([nq_plus_one], dtype=np.int64),
+                np.array([contention_factor], dtype=np.int64),
+            )[0]
+        )
+
+    def _factor_for(self, rs: RoundState, n_active: int) -> int:
+        """Scalar ``ceil(n_active / ncom)`` against a round state."""
+        if not self.use_contention_factor or rs.ncom is None:
+            return 1
+        return max(1, -(-n_active // rs.ncom))
 
     def select(
         self,
@@ -359,4 +519,367 @@ class GreedyScheduler(Scheduler):
                     view,
                 ),
             )
+        return placements
+
+    # -- per-round cache for the array path -------------------------------
+    _round_version = None
+    _round_cache: Optional[dict] = None
+
+    def _round_setup(self, rs: RoundState) -> dict:
+        """Per-round candidate/score cache, keyed on ``rs.version``.
+
+        A scheduling round issues several ``place_array`` calls against an
+        unchanged round state (the main placement batch plus one call per
+        replica), and within a round a score depends only on
+        ``(q, n_q + 1, factor)``.  The cache holds the UP candidate list,
+        the per-factor CT coefficients and nq-zero score rows, and belief
+        gathers — all as plain Python lists, because at the paper's
+        p ≈ 20 the fixed per-ufunc numpy overhead dwarfs per-element
+        Python arithmetic.  Every replication placement and heap
+        re-validation then runs on list lookups and scalar ops.
+        """
+        if self._round_version != rs.version:
+            state_list = rs.state.tolist()
+            up_state = int(ProcState.UP)
+            up_list = [q for q, s in enumerate(state_list) if s == up_state]
+            pinned_list = rs.pinned_count.tolist()
+            self._round_cache = {
+                "up_list": up_list,
+                "pinned_zero": [pinned_list[q] == 0 for q in up_list],
+                "row0": {},
+                "ct": {},
+                "gathers": None,
+                "belief": {},
+            }
+            self._round_version = rs.version
+        return self._round_cache
+
+    def _gather_belief(self, rs: RoundState, cache: dict, name: str,
+                       needs: str) -> list:
+        """Belief column over the round's UP set as a Python float list.
+
+        Memoised per round (the full-column list is static and cached on
+        the round state).  NaN entries (missing beliefs) pass through:
+        score rows cover the whole UP set while a placement call may be
+        restricted to a subset, and the legacy contract only raises when
+        a belief-less processor is an actual *candidate* — which
+        ``place_array`` enforces against its candidate keys.
+        """
+        gathered = cache["belief"].get(name)
+        if gathered is None:
+            up_list = cache["up_list"]
+            column = rs.belief_column_list(name)
+            gathered = [column[q] for q in up_list]
+            cache["belief"][name] = gathered
+        return gathered
+
+    def _ct_bases(self, rs: RoundState, cache: dict, factor: int) -> tuple:
+        """Per-factor CT coefficients over the UP set, memoised per round.
+
+        ``CT(P_q, nq + 1) = base_q + nq · step_q`` with
+        ``base_q = Delay(q) + eff + w_q`` and ``step_q = max(eff, w_q)``
+        where ``eff = factor · t_data`` — integer arithmetic, hence
+        exactly associative and bit-identical to the scalar
+        :func:`completion_time_estimate` at every ``(q, nq, factor)``.
+        """
+        ct_bases = cache["ct"].get(factor)
+        if ct_bases is None:
+            gathers = cache["gathers"]
+            if gathers is None:
+                up_list = cache["up_list"]
+                delay_list = rs.delay.tolist()
+                speed_list = rs.speed_list()
+                gathers = cache["gathers"] = (
+                    [delay_list[q] for q in up_list],
+                    [speed_list[q] for q in up_list],
+                )
+            delay, speed = gathers
+            eff = factor * rs.t_data
+            ct_bases = cache["ct"][factor] = (
+                [d + eff + w for d, w in zip(delay, speed)],
+                [eff if eff > w else w for w in speed],
+            )
+        return ct_bases
+
+    #: CT-based subclasses implement these two hooks to get the pure-
+    #: Python scoring fast path: ``_score_ct_row`` maps one list of
+    #: integer CT values (candidate order) to a list of float scores,
+    #: ``_score_ct_one`` maps a single ``(ct, up-position)`` pair to one
+    #: score.  Both must repeat the scalar ``score`` path's IEEE-754
+    #: operation sequence exactly.  None falls back to
+    #: :meth:`score_batch` / :meth:`score_one` (the clairvoyant walker).
+    _score_ct_row = None
+    _score_ct_one = None
+
+    def _place_one(self, rs: RoundState, cache: dict, allowed):
+        """Fused single-placement path (the replication-call shape).
+
+        One placement is the lazy heap's first pop — the minimum
+        ``(score, index)`` pair — so when the contention factor is uniform
+        across the candidates this selects it in a single pass over the
+        cached ``n_q = 0`` score row, with no candidate lists, heap, or
+        re-scores.  Returns ``NotImplemented`` when the factor genuinely
+        varies (two initial factors straddle a ``ncom`` boundary), sending
+        the caller to the general path.
+        """
+        up_list = cache["up_list"]
+        allowed_set = None if allowed is None else {int(q) for q in allowed}
+        if not self.use_contention_factor or rs.ncom is None:
+            factor = 1
+        else:
+            pinned_zero = cache["pinned_zero"]
+            n_active = 0
+            k = 0
+            if allowed_set is None:
+                k = len(up_list)
+                n_active = k - sum(pinned_zero)
+            else:
+                for i, q in enumerate(up_list):
+                    if q in allowed_set:
+                        k += 1
+                        if not pinned_zero[i]:
+                            n_active += 1
+            if k == 0:
+                return [None]
+            ncom = rs.ncom
+            upper = n_active + (2 if n_active < k else 1)
+            if upper > k:
+                upper = k
+            factor = max(1, -(-n_active // ncom))
+            if factor != max(1, -(-upper // ncom)):
+                return NotImplemented  # mixed factors: general path
+        row0 = self._row0(rs, cache, factor)
+        sign = -1.0 if self.maximize else 1.0
+        needs = self._belief_needs
+        best_q = None
+        best_key = 0.0
+        for i, q in enumerate(up_list):
+            if allowed_set is not None and q not in allowed_set:
+                continue
+            key = sign * row0[i]
+            if key != key and needs is not None:  # NaN: candidate lacks belief
+                rs.require_beliefs((q,), needs)
+            if best_q is None or key < best_key or (key == best_key and q < best_q):
+                best_q = q
+                best_key = key
+        return [best_q] if best_q is not None else [None]
+
+    def _row0(self, rs: RoundState, cache: dict, factor: int) -> list:
+        """Every UP processor's score at ``n_q = 0``, memoised per round.
+
+        This is the row every placement call starts from (and the only
+        full-width scoring work a round pays): the CT at ``nq = 0`` is the
+        ``base`` coefficient itself, and non-CT heuristics go through one
+        :meth:`score_batch` call.
+        """
+        row = cache["row0"].get(factor)
+        if row is None:
+            score_row = self._score_ct_row
+            if score_row is not None:
+                base, _step = self._ct_bases(rs, cache, factor)
+                row = score_row(rs, cache, base)
+            else:
+                up = np.array(cache["up_list"], dtype=np.intp)
+                row = self.score_batch(
+                    rs, up, np.ones(up.size, dtype=np.int64), factor
+                ).tolist()
+            cache["row0"][factor] = row
+        return row
+
+    def place_array(
+        self,
+        rs: RoundState,
+        n_tasks: int,
+        allowed: Optional[Sequence[int]] = None,
+    ) -> List[Optional[int]]:
+        """Array-path greedy placement over cached per-round score rows.
+
+        The ``n_q = 0`` score row (memoised per round and factor, shared
+        with every replication placement) seeds the lazy heap; the
+        one-by-one loop, ``n_q``/``n_active`` bookkeeping, and
+        lowest-index tie-break are the legacy :meth:`place` loop verbatim,
+        with re-scores computed per element from the cached CT
+        coefficients.  Two exact shortcuts replace the legacy re-validation
+        re-scores: without contention a heap entry can never go stale (its
+        key is refreshed whenever its ``n_q`` moves, and nothing else
+        enters its score), and with contention an entry is stale only when
+        its applicable factor differs from the factor it was scored at —
+        in both cases the comparison the legacy loop performs would
+        succeed, so popping directly is bit-identical.  Heap keys are the
+        same float64 values in the same ``(key, index)`` order as the
+        scalar path, so the produced assignments are too.
+        """
+        if not self.batch_scoring:
+            return super().place_array(rs, n_tasks, allowed)
+        if n_tasks == 0:
+            # Nothing to place: skip candidate setup and scoring entirely.
+            # (The legacy loop still seeds its heap here, so on a platform
+            # with belief-less UP processors it would raise where this
+            # path returns — irrelevant to any simulated outcome.)
+            return []
+        cache = self._round_setup(rs)
+        if n_tasks == 1:
+            single = self._place_one(rs, cache, allowed)
+            if single is not NotImplemented:
+                return single
+        up_list = cache["up_list"]
+        if allowed is None:
+            positions = None  # identity: candidate j is UP position j
+            cand_list = up_list
+            pinned_zero = cache["pinned_zero"]
+        else:
+            allowed_set = {int(q) for q in allowed}
+            positions = [i for i, q in enumerate(up_list) if q in allowed_set]
+            cand_list = [up_list[i] for i in positions]
+            all_pinned_zero = cache["pinned_zero"]
+            pinned_zero = [all_pinned_zero[i] for i in positions]
+        k = len(cand_list)
+        if k == 0:
+            return [None] * n_tasks
+        no_pinned = sum(pinned_zero)
+        n_active = k - no_pinned
+        sign = -1.0 if self.maximize else 1.0
+        contended = self.use_contention_factor and rs.ncom is not None
+        ncom = rs.ncom
+
+        # Resolve the contention factor up front where possible: within
+        # this call every factor evaluation sees an active count in
+        # ``[n_active, min(k, n_active + min(no_pinned, n_tasks) + 1)]``
+        # (``n_active`` only grows, by one per first placement on a
+        # pinned-free candidate), and ``ceil(·/ncom)`` is monotone — so if
+        # the two endpoints agree the factor is provably constant and the
+        # whole call runs the cheap uniform path, exactly as the scalar
+        # loop would have computed it.
+        if not contended:
+            uniform_factor: Optional[int] = 1
+        else:
+            growth = no_pinned if no_pinned < n_tasks else n_tasks
+            upper = n_active + growth + 1
+            if upper > k:
+                upper = k
+            factor_low = max(1, -(-n_active // ncom))
+            factor_high = max(1, -(-upper // ncom))
+            uniform_factor = factor_low if factor_low == factor_high else None
+
+        # Initial speculative scores: nq = 0 everywhere, so each candidate
+        # speculates itself newly active iff it has no pinned work; at
+        # most two distinct contention factors occur among them.
+        if uniform_factor is not None:
+            row0 = self._row0(rs, cache, uniform_factor)
+            if positions is None:
+                keys = [sign * value for value in row0]
+            else:
+                keys = [sign * row0[i] for i in positions]
+        else:
+            factor_base = max(1, -(-n_active // ncom))
+            factor_spec = max(1, -(-(n_active + 1) // ncom))
+            row_base = self._row0(rs, cache, factor_base)
+            if factor_spec == factor_base:
+                if positions is None:
+                    keys = [sign * value for value in row_base]
+                else:
+                    keys = [sign * row_base[i] for i in positions]
+                entry_factor = [factor_base] * k
+            else:
+                row_spec = self._row0(rs, cache, factor_spec)
+                keys = []
+                entry_factor = []
+                for j in range(k):
+                    i = j if positions is None else positions[j]
+                    if pinned_zero[j]:
+                        keys.append(sign * row_spec[i])
+                        entry_factor.append(factor_spec)
+                    else:
+                        keys.append(sign * row_base[i])
+                        entry_factor.append(factor_base)
+        if self._belief_needs is not None and any(key != key for key in keys):
+            # A NaN key means a *candidate* lacks a belief model: raise the
+            # legacy error for the first such candidate, as the scalar
+            # heap-init scoring (ascending candidate order) would.
+            rs.require_beliefs(cand_list, self._belief_needs)
+        if n_tasks == 1:
+            # Replication fast path: one placement is the heap's first pop,
+            # i.e. the minimum (key, index) pair — no heap, no re-scores.
+            best_j = 0
+            for j in range(1, k):
+                if (keys[j], cand_list[j]) < (keys[best_j], cand_list[best_j]):
+                    best_j = j
+            return [cand_list[best_j]]
+        heap = [(keys[j], cand_list[j], j) for j in range(k)]
+        heapq.heapify(heap)
+        nq = [0] * k
+        placements: List[Optional[int]] = []
+        score_ct = self._score_ct_one
+
+        if uniform_factor is not None:
+            # Tight loop: every heap entry is always current (the factor is
+            # constant, and the placed candidate's key is refreshed on the
+            # spot), so each placement is pop + one fresh score + replace.
+            factor = uniform_factor
+            if score_ct is not None:
+                base, step = self._ct_bases(rs, cache, factor)
+                for _ in range(n_tasks):
+                    key, index, j = heap[0]
+                    placements.append(index)
+                    count = nq[j] + 1
+                    nq[j] = count
+                    i = j if positions is None else positions[j]
+                    heapq.heapreplace(
+                        heap,
+                        (
+                            sign * score_ct(rs, cache, base[i] + count * step[i], i),
+                            index,
+                            j,
+                        ),
+                    )
+            else:
+                for _ in range(n_tasks):
+                    key, index, j = heap[0]
+                    placements.append(index)
+                    count = nq[j] + 1
+                    nq[j] = count
+                    heapq.heapreplace(
+                        heap,
+                        (
+                            sign * self.score_one(rs, index, count + 1, factor),
+                            index,
+                            j,
+                        ),
+                    )
+            return placements
+
+        # Contended loop: a heap entry goes stale only when its applicable
+        # factor moved (entry_factor tracks the factor it was scored at).
+        ct_cache = cache["ct"]
+
+        def rescore(j: int, f: int) -> float:
+            if score_ct is not None:
+                bases = ct_cache.get(f)
+                if bases is None:
+                    bases = self._ct_bases(rs, cache, f)
+                base, step = bases
+                i = j if positions is None else positions[j]
+                return sign * score_ct(rs, cache, base[i] + nq[j] * step[i], i)
+            return sign * self.score_one(rs, cand_list[j], nq[j] + 1, f)
+
+        for _ in range(n_tasks):
+            while True:
+                key, index, j = heap[0]
+                spec = n_active + (1 if nq[j] == 0 and pinned_zero[j] else 0)
+                f = max(1, -(-spec // ncom))
+                if f == entry_factor[j]:
+                    break
+                current = rescore(j, f)
+                entry_factor[j] = f
+                if current == key:
+                    break
+                heapq.heapreplace(heap, (current, index, j))
+            placements.append(index)
+            if nq[j] == 0 and pinned_zero[j]:
+                n_active += 1
+            nq[j] += 1
+            # nq[j] > 0 now, so the speculative n_active is just n_active.
+            f = max(1, -(-n_active // ncom))
+            entry_factor[j] = f
+            heapq.heapreplace(heap, (rescore(j, f), index, j))
         return placements

@@ -15,11 +15,15 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..expectation import expected_next_up
 from .base import (
     GreedyScheduler,
     ProcessorView,
+    RoundState,
     SchedulingContext,
+    completion_time_batch,
     completion_time_estimate,
 )
 
@@ -34,6 +38,7 @@ class MctScheduler(GreedyScheduler):
     """
 
     maximize = False
+    batch_scoring = True
 
     def __init__(self, *, contention: bool = False):
         self.use_contention_factor = contention
@@ -50,6 +55,31 @@ class MctScheduler(GreedyScheduler):
             view, nq_plus_one, ctx.t_data, contention_factor=contention_factor
         )
 
+    def score_batch(
+        self,
+        rs: RoundState,
+        indices: np.ndarray,
+        nq_plus_one: np.ndarray,
+        contention_factor,
+    ) -> np.ndarray:
+        ct = completion_time_batch(rs, indices, nq_plus_one, contention_factor)
+        return ct.astype(np.float64)
+
+    def score_one(
+        self, rs: RoundState, q: int, nq_plus_one: int, contention_factor: int
+    ) -> float:
+        eff = contention_factor * rs.t_data
+        speed = int(rs.speed_w[q])
+        return float(
+            int(rs.delay[q]) + eff + max(nq_plus_one - 1, 0) * max(eff, speed) + speed
+        )
+
+    def _score_ct_row(self, rs: RoundState, cache: dict, ct_row: list) -> list:
+        return [float(ct) for ct in ct_row]
+
+    def _score_ct_one(self, rs: RoundState, cache: dict, ct: int, i: int) -> float:
+        return float(ct)
+
 
 class EmctScheduler(GreedyScheduler):
     """``EMCT`` / ``EMCT*``: expected completion time under Theorem 2.
@@ -63,10 +93,13 @@ class EmctScheduler(GreedyScheduler):
 
     Implementation note: :math:`E(W) = 1 + (W-1) E(up)` is linear in ``W``,
     so we cache :math:`E(up)` per processor rather than recomputing the
-    closed form for every candidate workload.
+    closed form for every candidate workload (the array path reads the same
+    quantity from the round state's cached ``e_up`` belief column).
     """
 
     maximize = False
+    batch_scoring = True
+    _belief_needs = "EMCT needs one"
 
     def __init__(self, *, contention: bool = False):
         self.use_contention_factor = contention
@@ -96,3 +129,35 @@ class EmctScheduler(GreedyScheduler):
             view, nq_plus_one, ctx.t_data, contention_factor=contention_factor
         )
         return self._expected_slots(view, ct)
+
+    def score_batch(
+        self,
+        rs: RoundState,
+        indices: np.ndarray,
+        nq_plus_one: np.ndarray,
+        contention_factor,
+    ) -> np.ndarray:
+        ct = completion_time_batch(rs, indices, nq_plus_one, contention_factor)
+        e_up = rs.gather_belief("e_up", indices, "EMCT needs one")
+        # Theorem 2: E = 1 + (W-1)·E(up), the scalar expression elementwise.
+        return 1.0 + np.maximum(ct - 1.0, 0.0) * e_up
+
+    def score_one(
+        self, rs: RoundState, q: int, nq_plus_one: int, contention_factor: int
+    ) -> float:
+        if rs.beliefs[q] is None:
+            raise ValueError(f"processor {q} has no Markov belief; EMCT needs one")
+        eff = contention_factor * rs.t_data
+        speed = int(rs.speed_w[q])
+        ct = int(rs.delay[q]) + eff + max(nq_plus_one - 1, 0) * max(eff, speed) + speed
+        return 1.0 + max(ct - 1.0, 0.0) * float(rs.belief_column("e_up")[q])
+
+    def _score_ct_row(self, rs: RoundState, cache: dict, ct_row: list) -> list:
+        e_up = self._gather_belief(rs, cache, "e_up", "EMCT needs one")
+        return [
+            1.0 + max(ct - 1.0, 0.0) * e for ct, e in zip(ct_row, e_up)
+        ]
+
+    def _score_ct_one(self, rs: RoundState, cache: dict, ct: int, i: int) -> float:
+        e_up = self._gather_belief(rs, cache, "e_up", "EMCT needs one")
+        return 1.0 + max(ct - 1.0, 0.0) * e_up[i]

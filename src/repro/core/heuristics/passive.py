@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ...types import ProcState
-from .base import Scheduler, SchedulingContext
+from .base import RoundState, Scheduler, SchedulingContext
 from .mct import MctScheduler
 
 __all__ = ["PassiveScheduler"]
@@ -77,6 +77,41 @@ class PassiveScheduler(Scheduler):
         missing = n_tasks - reused
         if missing > 0:
             fresh = self._inner.place(ctx, missing, None)
+            for offset, choice in enumerate(fresh):
+                placements[reused + offset] = choice
+                if choice is not None:
+                    self._memory.append(choice)
+        return placements
+
+    def place_array(
+        self,
+        rs: RoundState,
+        n_tasks: int,
+        allowed=None,
+    ) -> List[Optional[int]]:
+        """Array path: the sticky-memory logic over the state column.
+
+        Same structure as :meth:`place` — replica batches delegate to the
+        inner heuristic, remembered choices survive unless their processor
+        is DOWN (read straight from ``rs.state``), and only the missing
+        tail consults the inner heuristic's array path.
+        """
+        if allowed is not None:
+            return self._inner.place_array(rs, n_tasks, allowed)
+        down = int(ProcState.DOWN)
+        state = rs.state
+        self._memory = [q for q in self._memory if int(state[q]) != down]
+        placements: List[Optional[int]] = []
+        reused = 0
+        for position in range(n_tasks):
+            if position < len(self._memory):
+                placements.append(self._memory[position])
+                reused += 1
+            else:
+                placements.append(None)
+        missing = n_tasks - reused
+        if missing > 0:
+            fresh = self._inner.place_array(rs, missing, None)
             for offset, choice in enumerate(fresh):
                 placements[reused + offset] = choice
                 if choice is not None:

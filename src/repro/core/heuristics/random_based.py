@@ -21,19 +21,20 @@ reliability signal.  The paper finds the ``w`` variants uniformly better
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..expectation import p_plus
 from ..markov import MarkovAvailabilityModel
-from .base import ProcessorView, Scheduler, SchedulingContext
+from .base import ProcessorView, RoundState, Scheduler, SchedulingContext
 
 __all__ = [
     "RandomScheduler",
     "WeightedRandomScheduler",
     "make_random_variant",
     "RANDOM_WEIGHTS",
+    "RANDOM_WEIGHT_COLUMNS",
 ]
 
 
@@ -54,6 +55,20 @@ RANDOM_WEIGHTS: Dict[int, Callable[[ProcessorView], float]] = {
     4: lambda view: 1.0 - _require_belief(view).pi_d,
 }
 
+#: The same four weights as (column name, post-gather transform) pairs
+#: against the :class:`RoundState` cached belief columns.
+RANDOM_WEIGHT_COLUMNS: Dict[int, tuple] = {
+    1: ("p_uu", False),
+    2: ("p_plus", False),
+    3: ("pi_u", False),
+    4: ("pi_d", True),  # weight is 1 - pi_d
+}
+
+_MISSING_BELIEF = (
+    "the weighted random heuristics need one (use Processor.from_markov or "
+    "pass belief=...)"
+)
+
 
 class RandomScheduler(Scheduler):
     """``Random``: uniform choice among UP processors."""
@@ -72,6 +87,20 @@ class RandomScheduler(Scheduler):
         pick = int(ctx.rng.integers(len(candidates)))
         return candidates[pick].index
 
+    def place_array(
+        self,
+        rs: RoundState,
+        n_tasks: int,
+        allowed: Optional[Sequence[int]] = None,
+    ) -> List[Optional[int]]:
+        """Array path: same per-task uniform draws over the UP index array."""
+        cand = rs.up_candidates(allowed)
+        if cand.size == 0:
+            return [None] * n_tasks
+        cand_list = [int(q) for q in cand]
+        rng = rs.rng
+        return [cand_list[int(rng.integers(len(cand_list)))] for _ in range(n_tasks)]
+
 
 class WeightedRandomScheduler(Scheduler):
     """``RandomX``/``RandomXw``: reliability-weighted random choice.
@@ -81,6 +110,11 @@ class WeightedRandomScheduler(Scheduler):
         divide_by_speed: the ``w`` suffix — divide the weight by
             :math:`w_q` to also favour fast processors.
         name: registry name.
+        variant: the paper's variant number (1–4) when ``weight_fn`` is one
+            of :data:`RANDOM_WEIGHTS`; enables the vectorised array path
+            (weights gathered from the round state's cached belief
+            columns).  ``None`` — e.g. a custom weight function — routes
+            :meth:`place_array` through the legacy-path shim instead.
     """
 
     def __init__(
@@ -89,10 +123,14 @@ class WeightedRandomScheduler(Scheduler):
         *,
         divide_by_speed: bool = False,
         name: str = "random-weighted",
+        variant: Optional[int] = None,
     ):
         self._weight_fn = weight_fn
         self._divide_by_speed = divide_by_speed
         self.name = name
+        if variant is not None and variant not in RANDOM_WEIGHT_COLUMNS:
+            raise ValueError(f"variant must be 1..4 or None, got {variant}")
+        self._variant = variant
 
     def weight(self, view: ProcessorView) -> float:
         """The (possibly speed-normalised) sampling weight for ``view``."""
@@ -129,6 +167,58 @@ class WeightedRandomScheduler(Scheduler):
         pick = min(pick, len(candidates) - 1)  # guard against fp rounding
         return candidates[pick].index
 
+    def weight_batch(self, rs: RoundState, cand: np.ndarray) -> np.ndarray:
+        """Sampling weights for ``cand``, gathered from belief columns.
+
+        The cached columns hold the same floats the per-view weight
+        functions return, and the speed normalisation is the same IEEE
+        division, so the weight vector is bit-identical to the one the
+        legacy ``select`` builds per call.
+        """
+        column, complement = RANDOM_WEIGHT_COLUMNS[self._variant]
+        weights = rs.gather_belief(column, cand, _MISSING_BELIEF)
+        if complement:
+            weights = 1.0 - weights
+        if self._divide_by_speed:
+            weights = weights / rs.speed_w[cand]
+        return weights
+
+    def place_array(
+        self,
+        rs: RoundState,
+        n_tasks: int,
+        allowed: Optional[Sequence[int]] = None,
+    ) -> List[Optional[int]]:
+        """Array path: one vectorised weight gather, then per-task draws.
+
+        The legacy loop recomputes the (unchanging) weight vector on every
+        placement; here the cumulative distribution is built once and each
+        task costs a single inverse-CDF lookup — with the identical RNG
+        draw sequence (one ``rng.random()`` per task, or ``rng.integers``
+        in the all-weights-vanished fallback).
+        """
+        if self._variant is None:
+            return self.place(rs.as_context(), n_tasks, allowed)
+        cand = rs.up_candidates(allowed)
+        if cand.size == 0:
+            return [None] * n_tasks
+        cand_list = [int(q) for q in cand]
+        rng = rs.rng
+        weights = self.weight_batch(rs, cand)
+        total = weights.sum()
+        if total <= 0.0:
+            # All weights vanished: degrade to uniform, as the scalar path.
+            return [
+                cand_list[int(rng.integers(len(cand_list)))] for _ in range(n_tasks)
+            ]
+        cumulative = np.cumsum(weights / total)
+        last = len(cand_list) - 1
+        placements: List[Optional[int]] = []
+        for _ in range(n_tasks):
+            pick = int(np.searchsorted(cumulative, rng.random(), side="right"))
+            placements.append(cand_list[min(pick, last)])
+        return placements
+
 
 def make_random_variant(variant: int, weighted_by_speed: bool) -> Scheduler:
     """Factory for ``Random1``..``Random4`` and their ``w`` variants.
@@ -144,4 +234,5 @@ def make_random_variant(variant: int, weighted_by_speed: bool) -> Scheduler:
         RANDOM_WEIGHTS[variant],
         divide_by_speed=weighted_by_speed,
         name=f"random{variant}{suffix}",
+        variant=variant,
     )

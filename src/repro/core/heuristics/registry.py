@@ -7,8 +7,16 @@ seventeen in total — plus this package's extensions (``passive``,
 ``ud-exact``, ``ud*-exact``).
 
 Factories return a *fresh* scheduler instance per call: several heuristics
-cache per-processor quantities keyed by processor index, so instances must
-not be shared between platforms.
+cache per-processor quantities keyed by processor index (and, on the array
+path, per-round score rows keyed by the round state's refresh token), so
+instances must not be shared between platforms.
+
+Every registry heuristic runs on both scheduler APIs (DESIGN.md §8): the
+batch :meth:`~repro.core.heuristics.base.Scheduler.place_array` path over
+an array-backed ``RoundState`` — natively for the greedy/random/passive
+families and the clairvoyant baseline, via the lazy compatibility shim for
+the exact-UD ablations — and the legacy scalar ``place`` path, with
+bit-identical placements (``tests/test_scheduler_api_equivalence.py``).
 """
 
 from __future__ import annotations

@@ -19,9 +19,36 @@ from typing import Iterable, Union
 
 import numpy as np
 
-__all__ = ["RngFactory", "generator_from", "derive_seed"]
+__all__ = [
+    "DEFAULT_SCHEDULER_SEED",
+    "RngFactory",
+    "default_scheduler_rng",
+    "generator_from",
+    "derive_seed",
+]
 
 SeedLike = Union[int, np.random.SeedSequence, None]
+
+#: Root seed for scheduler randomness when the caller supplies none.  A
+#: fixed default keeps ad-hoc runs reproducible (re-running the same script
+#: gives the same result); campaign code always passes an explicit
+#: per-(scenario, trial, heuristic) stream instead (DESIGN.md §2).  Defined
+#: here — rather than in :mod:`repro.sim.master`, which re-exports it — so
+#: that the scheduler-facing context types can use the same stream without
+#: importing the simulator.
+DEFAULT_SCHEDULER_SEED = 0x5EED_1D06
+
+
+def default_scheduler_rng() -> "np.random.Generator":
+    """The seeded fallback stream for scheduler randomness.
+
+    Used by :class:`~repro.sim.master.MasterSimulator` and by
+    :class:`~repro.core.heuristics.base.SchedulingContext` when no explicit
+    generator is passed: an unseeded ``default_rng()`` would silently fall
+    back to OS entropy and make randomised heuristics unreproducible
+    run-to-run.
+    """
+    return RngFactory(DEFAULT_SCHEDULER_SEED).generator("scheduler")
 
 
 def _as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:

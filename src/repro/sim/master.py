@@ -58,8 +58,13 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from .._validation import require_nonnegative_int, require_positive_int
-from ..core.heuristics.base import ProcessorView, Scheduler, SchedulingContext
-from ..rng import RngFactory
+from ..core.heuristics.base import (
+    ProcessorView,
+    RoundState,
+    Scheduler,
+    SchedulingContext,
+)
+from ..rng import DEFAULT_SCHEDULER_SEED, default_scheduler_rng
 from ..types import ProcState
 from ..workload.application import IterativeApplication
 from .events import EventKind, EventLog, SimEvent
@@ -74,12 +79,6 @@ __all__ = [
     "MasterSimulator",
     "simulate",
 ]
-
-#: Root seed for the scheduler RNG when the caller supplies none.  A fixed
-#: default keeps ad-hoc runs reproducible (re-running the same script gives
-#: the same result); campaign code always passes an explicit per-(scenario,
-#: trial, heuristic) stream instead (DESIGN.md §2).
-DEFAULT_SCHEDULER_SEED = 0x5EED_1D06
 
 
 @dataclass(frozen=True)
@@ -110,9 +109,22 @@ class SimulatorOptions:
         step_mode: ``"span"`` (default) skips ahead between events in
             O(p) per span; ``"slot"`` is the original slot-at-a-time
             oracle loop.  Bit-identical results either way (module
-            docstring; DESIGN.md §6).  ``replan_every_slot`` or an
-            attached timeline recorder force slot stepping, since both
-            demand per-slot work.
+            docstring; DESIGN.md §6).  ``replan_every_slot`` forces slot
+            stepping, since it demands per-slot work.  An attached
+            timeline recorder no longer does: quiet spans fill the
+            recorder in batch (every quiet slot repeats the boundary
+            activity row), at the cost of treating every availability
+            transition as a span boundary — the recorder observes them.
+        scheduler_api: ``"array"`` (default) maintains the structure-of-
+            arrays :class:`~repro.core.heuristics.base.RoundState`
+            incrementally across rounds and calls the scheduler's batch
+            entry point (:meth:`Scheduler.place_array`); ``"legacy"``
+            rebuilds the eager per-round ``ProcessorView`` snapshot and
+            calls the scalar :meth:`Scheduler.place`.  Bit-identical
+            placements either way (DESIGN.md §8, enforced by
+            ``tests/test_scheduler_api_equivalence.py``); the legacy path
+            is kept as the oracle for that suite and the benchmark
+            baseline.
     """
 
     replication: bool = True
@@ -122,6 +134,7 @@ class SimulatorOptions:
     audit: bool = False
     max_slots: int = 10_000_000
     step_mode: str = "span"
+    scheduler_api: str = "array"
 
     def __post_init__(self) -> None:
         require_nonnegative_int(self.max_replicas, "max_replicas")
@@ -129,6 +142,11 @@ class SimulatorOptions:
         if self.step_mode not in ("span", "slot"):
             raise ValueError(
                 f"step_mode must be 'span' or 'slot', got {self.step_mode!r}"
+            )
+        if self.scheduler_api not in ("array", "legacy"):
+            raise ValueError(
+                "scheduler_api must be 'array' or 'legacy', "
+                f"got {self.scheduler_api!r}"
             )
 
 
@@ -172,7 +190,7 @@ class MasterSimulator:
         if rng is None:
             # Deterministic fallback: an unseeded default_rng() would make
             # randomised heuristics unreproducible run-to-run.
-            rng = RngFactory(DEFAULT_SCHEDULER_SEED).generator("scheduler")
+            rng = default_scheduler_rng()
         self.rng = rng
         self.log = log if log is not None else EventLog(enabled=False)
         self.timeline = timeline
@@ -216,6 +234,25 @@ class MasterSimulator:
         self._next_change_cache: List[Optional[int]] = [None] * len(self.workers)
         self._next_up_cache: List[Optional[int]] = [None] * len(self.workers)
         self._next_down_cache: List[Optional[int]] = [None] * len(self.workers)
+
+        # Array-backed scheduler state (DESIGN.md §8): the structure-of-
+        # arrays RoundState the schedulers consume, maintained
+        # *incrementally* — every mutation that can move a per-processor
+        # column (pin/unpin, transfer progress, program completion, crash,
+        # commit, quiet-span fast-forward) flags the processor in
+        # `_rs_dirty`, and `_refresh_round_state` recomputes only the
+        # flagged columns at the next scheduling round.
+        self._rs = RoundState(
+            speed_w=[proc.speed_w for proc in platform],
+            beliefs=[proc.belief for proc in platform],
+            t_prog=app.t_prog,
+            t_data=app.t_data,
+            ncom=platform.ncom,
+            rng=self.rng,
+            pipeline_provider=self._pinned_pipeline_of,
+        )
+        self._rs.freshen = self._freshen_worker_columns
+        self._rs_dirty = bytearray(b"\x01" * len(self.workers))
 
     # ------------------------------------------------------------------ #
     # Iteration lifecycle.                                                 #
@@ -280,6 +317,7 @@ class MasterSimulator:
                 continue
             # Account wasted effort before wiping progress.
             self.report.comm_slots_wasted += worker.prog_received
+            self._rs_dirty[worker.index] = 1  # program + pipeline wiped
             lost = worker.crash()
             for inst in lost:
                 self.report.comm_slots_wasted += inst.data_received
@@ -304,6 +342,9 @@ class MasterSimulator:
 
     def _destroy_instance(self, inst: TaskInstance) -> None:
         if inst.worker is not None:
+            # Destroying a pinned instance moves the worker's delay and
+            # pinned count; marking unconditionally is cheap and idempotent.
+            self._rs_dirty[inst.worker] = 1
             self.workers[inst.worker].remove_instance(inst)
         reset_instance(inst)
         self._instances = [other for other in self._instances if other is not inst]
@@ -312,6 +353,110 @@ class MasterSimulator:
     # Scheduling round.                                                    #
     # ------------------------------------------------------------------ #
     _STATE_TABLE = (ProcState.UP, ProcState.RECLAIMED, ProcState.DOWN)
+
+    def _pinned_pipeline_of(self, q: int) -> tuple:
+        """The worker's pinned pipeline, for lazy ``ProcessorView`` shims."""
+        return tuple(
+            (inst.data_remaining, inst.compute_remaining, inst.computing)
+            for inst in self.workers[q].pinned_instances()
+        )
+
+    def _refresh_round_state(
+        self, slot: int, states: np.ndarray, remaining: int
+    ) -> RoundState:
+        """Bring the incrementally maintained RoundState up to this round.
+
+        O(changed processors): the state column is the (already computed)
+        state vector, and the worker-derived columns — ``delay``,
+        ``pinned_count``, ``has_program``, ``prog_remaining`` — are
+        recomputed only for processors flagged dirty since the last round.
+        The per-worker recompute is the same ``delay_estimate`` the eager
+        legacy snapshot calls, so refreshed columns are bit-identical to a
+        from-scratch rebuild (cross-checked in audit mode).
+        """
+        rs = self._rs
+        rs.slot = slot
+        rs.state = states
+        dirty = self._rs_dirty
+        t_data = self.app.t_data
+        workers = self.workers
+        up = int(ProcState.UP)
+        eager_all = self.options.audit  # the audit cross-check reads all p
+        changed: List[int] = []
+        delays: List[int] = []
+        pinned_counts: List[int] = []
+        prog_remainings: List[int] = []
+        for q in range(len(dirty)):
+            if not dirty[q]:
+                continue
+            if not eager_all and states[q] != up:
+                # Not a scheduling candidate: only the lazy-view shim can
+                # read its columns, and RoundState.freshen covers that.
+                # The flag stays set, so the worker is picked up here once
+                # it re-enters the candidate set.
+                continue
+            worker = workers[q]
+            delay, pinned_count = worker.delay_and_pinned(t_data)
+            changed.append(q)
+            delays.append(delay)
+            pinned_counts.append(pinned_count)
+            prog_remaining = worker.t_prog - worker.prog_received
+            prog_remainings.append(prog_remaining if prog_remaining > 0 else 0)
+            dirty[q] = 0
+        if changed:
+            # One vectorised scatter per column beats per-element numpy
+            # assignments by an order of magnitude at p ≈ 20.
+            index = np.array(changed, dtype=np.intp)
+            rs.delay[index] = delays
+            rs.pinned_count[index] = pinned_counts
+            prog = np.array(prog_remainings, dtype=np.int64)
+            rs.prog_remaining[index] = prog
+            rs.has_program[index] = prog == 0
+        rs.remaining_tasks = remaining
+        rs.invalidate()
+        if self.options.audit:
+            self._audit_round_state()
+        return rs
+
+    def _freshen_worker_columns(self, q: int) -> None:
+        """RoundState.freshen hook: bring one worker's columns current.
+
+        Called when the compatibility shim materialises a
+        :class:`ProcessorView` for a processor the incremental refresh
+        skipped (non-UP workers are outside every scoring path).
+        """
+        dirty = self._rs_dirty
+        if not dirty[q]:
+            return
+        rs = self._rs
+        worker = self.workers[q]
+        delay, pinned_count = worker.delay_and_pinned(self.app.t_data)
+        rs.delay[q] = delay
+        rs.pinned_count[q] = pinned_count
+        prog_remaining = worker.prog_remaining
+        rs.prog_remaining[q] = prog_remaining
+        rs.has_program[q] = prog_remaining == 0
+        dirty[q] = 0
+
+    def _audit_round_state(self) -> None:
+        """Audit-mode cross-check: incremental columns == full rebuild."""
+        rs = self._rs
+        t_data = self.app.t_data
+        for q, worker in enumerate(self.workers):
+            pinned = worker.pinned_instances()
+            assert rs.delay[q] == worker.delay_estimate(t_data, pinned), (
+                f"worker {q}: incremental delay {int(rs.delay[q])} != "
+                f"rebuilt {worker.delay_estimate(t_data, pinned)}"
+            )
+            assert rs.pinned_count[q] == len(pinned), (
+                f"worker {q}: incremental pinned_count drifted"
+            )
+            assert bool(rs.has_program[q]) == worker.has_program, (
+                f"worker {q}: incremental has_program drifted"
+            )
+            assert rs.prog_remaining[q] == worker.prog_remaining, (
+                f"worker {q}: incremental prog_remaining drifted"
+            )
 
     def _build_context(self, slot: int, states: np.ndarray) -> SchedulingContext:
         views = []
@@ -422,6 +567,7 @@ class MasterSimulator:
         for inst in self._proactive_candidates(states):
             self.report.comm_slots_wasted += inst.data_received
             self.report.compute_slots_wasted += inst.compute_done
+            self._rs_dirty[inst.worker] = 1  # pinned work discarded
             self.workers[inst.worker].remove_instance(inst)
             reset_instance(inst)  # back to the pool, progress discarded
             self.log.emit(
@@ -443,29 +589,61 @@ class MasterSimulator:
             self._proactive_round(slot, states)
         self.report.scheduler_rounds += 1
 
-        # Drop unpinned replicas; the replication step below recreates what
-        # is still useful.  (They carry no progress by definition.)
-        for inst in list(self._instances):
-            if inst.is_replica and not inst.pinned:
-                self._destroy_instance(inst)
-
-        # Collect the unpinned originals (planned-on-worker and unplaced).
+        # One pass over the live instances: drop unpinned replicas (the
+        # replication step below recreates what is still useful — they
+        # carry no progress by definition) and collect the unpinned
+        # originals (planned-on-worker and unplaced) for re-placement.
+        # Worker queues are purged once per touched worker — everything
+        # unpinned in a queue is, by construction, in one of the two lists.
+        # None of this moves a RoundState column: unpinned instances have
+        # zero progress, so they appear in neither Delay nor pinned_count.
         unpinned: List[TaskInstance] = []
+        dropped: List[TaskInstance] = []
+        touched_hosts: set = set()
         for inst in self._instances:
-            if inst.is_replica or inst.pinned:
+            if inst.pinned:
                 continue
             if inst.worker is not None:
-                self.workers[inst.worker].remove_instance(inst)
-            unpinned.append(inst)
+                touched_hosts.add(inst.worker)
+                inst.worker = None
+            if inst.is_replica:
+                dropped.append(inst)
+            else:
+                unpinned.append(inst)
+        for host in touched_hosts:
+            worker = self.workers[host]
+            worker.queue = [other for other in worker.queue if other.pinned]
+        if dropped:
+            for inst in dropped:
+                reset_instance(inst)
+            gone = set(map(id, dropped))
+            self._instances = [
+                inst for inst in self._instances if id(inst) not in gone
+            ]
         unpinned.sort(key=lambda inst: inst.task_id)
 
-        ctx = self._build_context(slot, states)
-        placements = self.scheduler.place(ctx, len(unpinned))
+        if self.options.scheduler_api == "array":
+            # With replicas dropped, the unpinned originals are exactly the
+            # context's ``m - m'`` remaining tasks.
+            rs = self._refresh_round_state(slot, states, len(unpinned))
+            scheduler = self.scheduler
+
+            def place_batch(n: int, allowed=None) -> List[Optional[int]]:
+                return scheduler.place_array(rs, n, allowed)
+
+        else:
+            ctx = self._build_context(slot, states)
+            scheduler = self.scheduler
+
+            def place_batch(n: int, allowed=None) -> List[Optional[int]]:
+                return scheduler.place(ctx, n, allowed)
+
+        placements = place_batch(len(unpinned))
         for inst, choice in zip(unpinned, placements):
             self._place(inst, choice, states)
 
         if self.options.replication and self.options.max_replicas > 0:
-            self._replication_round(ctx, states)
+            self._replication_round(place_batch, states)
 
     def _place(
         self, inst: TaskInstance, choice: Optional[int], states: np.ndarray
@@ -486,38 +664,54 @@ class MasterSimulator:
         inst.compute_needed = worker.speed_w
         worker.queue.append(inst)
 
-    def _replication_round(
-        self, ctx: SchedulingContext, states: np.ndarray
-    ) -> None:
-        uncommitted = self._uncommitted_task_ids()
-        if not uncommitted:
+    def _replication_round(self, place_batch, states: np.ndarray) -> None:
+        # Cheap count-based exits before any list is built: mid-iteration
+        # rounds leave here on the paper's trigger nearly every time.
+        n_uncommitted = self.app.tasks_per_iteration - len(self._committed)
+        if n_uncommitted <= 0:
             return
-        up = [q for q in range(len(states)) if states[q] == int(ProcState.UP)]
-        if len(up) <= len(uncommitted):
+        up_state = int(ProcState.UP)
+        if int(np.count_nonzero(states == up_state)) <= n_uncommitted:
             return  # paper's trigger: more UP processors than remaining tasks
-        idle = [q for q in up if not self.workers[q].queue]
+        idle = [
+            q
+            for q in range(len(states))
+            if states[q] == up_state and not self.workers[q].queue
+        ]
         if not idle:
             return
+        uncommitted = self._uncommitted_task_ids()
         max_instances = 1 + self.options.max_replicas
+        # One pass over the live instances replaces the per-candidate
+        # `_live_instances_of` scans: the loop below only ever *adds*
+        # replicas for other task ids, so counts/hosts/replica ids taken
+        # before the loop stay exact for every candidate it visits.
+        counts: Dict[int, int] = {}
+        hosts: Dict[int, set] = {}
+        replica_ids_of: Dict[int, set] = {}
+        for inst in self._instances:
+            task_id = inst.task_id
+            counts[task_id] = counts.get(task_id, 0) + 1
+            if inst.worker is not None:
+                hosts.setdefault(task_id, set()).add(inst.worker)
+            replica_ids_of.setdefault(task_id, set()).add(inst.replica_id)
         # Least-replicated tasks first; ties toward the lowest task id.
         candidates = sorted(
-            uncommitted,
-            key=lambda task_id: (len(self._live_instances_of(task_id)), task_id),
+            uncommitted, key=lambda task_id: (counts.get(task_id, 0), task_id)
         )
         for task_id in candidates:
             if not idle:
                 break
-            siblings = self._live_instances_of(task_id)
-            if len(siblings) >= max_instances:
+            if counts.get(task_id, 0) >= max_instances:
                 continue
-            hosts = {inst.worker for inst in siblings if inst.worker is not None}
-            allowed = [q for q in idle if q not in hosts]
+            task_hosts = hosts.get(task_id, ())
+            allowed = [q for q in idle if q not in task_hosts]
             if not allowed:
                 continue
-            choice = self.scheduler.place(ctx, 1, allowed=allowed)[0]
+            choice = place_batch(1, allowed=allowed)[0]
             if choice is None:
                 continue
-            replica_ids = {inst.replica_id for inst in siblings}
+            replica_ids = replica_ids_of.get(task_id, set())
             replica_id = next(
                 rid for rid in range(1, max_instances + 1) if rid not in replica_ids
             )
@@ -559,6 +753,7 @@ class MasterSimulator:
                     )
                 )
             current.compute_done += 1
+            self._rs_dirty[worker.index] = 1  # delay shrank (or pin began)
             self.report.compute_slots_spent += 1
             if self.timeline is not None:
                 self.timeline.mark_compute(worker.index)
@@ -645,6 +840,7 @@ class MasterSimulator:
         nprog = 0
         for grant in self.network.allocate(slot, requests):
             worker = self.workers[grant.worker]
+            self._rs_dirty[grant.worker] = 1  # prog/data progress moves delay
             self.report.comm_slots_spent += 1
             if self.timeline is not None:
                 self.timeline.mark_transfer(worker.index, grant.kind)
@@ -750,13 +946,17 @@ class MasterSimulator:
     def _step_mode_effective(self) -> str:
         """The stepping mode actually used by the run loop.
 
-        ``replan_every_slot`` makes every slot a scheduling boundary and a
-        timeline recorder observes every slot, so both force the slot
-        loop; span mode would degenerate to zero-length spans anyway.
+        ``replan_every_slot`` makes every slot a scheduling boundary, so it
+        forces the slot loop — span mode would degenerate to zero-length
+        spans anyway.  A timeline recorder no longer does: quiet spans
+        fill the recorder in batch (:meth:`TimelineRecorder.
+        record_quiet_span`), with every availability transition treated as
+        a span boundary so the per-slot rows stay bit-identical to slot
+        mode.
         """
         if self.options.step_mode == "slot":
             return "slot"
-        if self.options.replan_every_slot or self.timeline is not None:
+        if self.options.replan_every_slot:
             return "slot"
         return "span"
 
@@ -874,9 +1074,10 @@ class MasterSimulator:
         horizon = last + 1  # exclusive sentinel: quiet through the budget
         # 1. Availability: the earliest transition that the simulation can
         #    observe.  With the event log enabled every transition is
-        #    observable (it must be logged).  Otherwise observability
-        #    depends on what the worker carries and on whether rounds can
-        #    act (``glide``):
+        #    observable (it must be logged), and likewise with a timeline
+        #    recorder attached (every slot's state lands in a row).
+        #    Otherwise observability depends on what the worker carries
+        #    and on whether rounds can act (``glide``):
         #
         #    * a granted transfer or a frozen (non-UP) queue: every
         #      transition matters — it changes the channel allocation or
@@ -899,8 +1100,8 @@ class MasterSimulator:
         #    Scans use the budget-wide ``last`` (not the running horizon):
         #    cached misses are stored as the sentinel ``last + 1``, which
         #    is only sound when ``last`` is constant across boundaries.
-        log_all = self.log.enabled
-        glide = not log_all and self._round_glidable()
+        observe_all = self.log.enabled or self.timeline is not None
+        glide = not observe_all and self._round_glidable()
         refined = glide and not self.options.audit
         self._span_refined = refined
         grant_index = self._grant_index
@@ -913,7 +1114,7 @@ class MasterSimulator:
         for worker in self.workers:
             q = worker.index
             # kind: 0 = any change, 1 = next UP entry, 2 = next DOWN entry.
-            if log_all:
+            if observe_all:
                 kind = 0
             elif worker.queue:
                 kind = (
@@ -981,6 +1182,10 @@ class MasterSimulator:
         up = int(ProcState.UP)
         report = self.report
         refined = self._span_refined
+        dirty = self._rs_dirty
+        timeline_compute: Optional[List[int]] = (
+            [] if self.timeline is not None else None
+        )
         for worker in self.workers:
             if states[worker.index] != up:
                 continue
@@ -997,16 +1202,34 @@ class MasterSimulator:
                 if ticks:
                     inst.compute_done += ticks
                     report.compute_slots_spent += ticks
+                    dirty[worker.index] = 1
+                if timeline_compute is not None:
+                    # With a recorder attached every transition is a span
+                    # boundary, so the worker computes on every quiet slot.
+                    timeline_compute.append(worker.index)
         for worker, kind, inst in self._grants:
             if kind == "prog":
                 worker.prog_received += count
             else:
                 inst.data_received += count
             report.comm_slots_spent += count
+            dirty[worker.index] = 1
         nprog, ndata, requested = self._grant_counts
         self.network.record_span(
             start, count, nprog=nprog, ndata=ndata, requested=requested
         )
+        if self.timeline is not None:
+            # Batched fill (ROADMAP item): every quiet slot repeats the
+            # boundary activity pattern — states are constant (the recorder
+            # makes every transition observable), the grant set is stable,
+            # and no pipeline crosses a completion threshold — so one row
+            # serves the whole span.
+            self.timeline.record_quiet_span(
+                states,
+                timeline_compute,
+                [(worker.index, kind) for worker, kind, _ in self._grants],
+                count,
+            )
         if self.options.audit:
             self._audit_quiet_advance()
 

@@ -97,6 +97,49 @@ class TimelineRecorder:
             raise RuntimeError("mark before begin_slot")
         self._current[worker] = code
 
+    def record_quiet_span(
+        self,
+        states: np.ndarray,
+        compute_workers,
+        transfer_marks,
+        count: int,
+    ) -> None:
+        """Batch-fill ``count`` identical slot rows for a quiet span.
+
+        The span-stepped master (DESIGN.md §6) calls this instead of
+        ``count`` ``begin_slot``/``mark_*`` cycles: inside a quiet span the
+        states are constant, the same workers compute every slot, and the
+        same channel grants serve every slot, so a single row — built with
+        exactly the per-slot precedence rules (compute over transfer over
+        the availability default) — repeats verbatim.  The row array is
+        shared between the ``count`` entries; rows are never mutated after
+        their slot ends, so :meth:`matrix` copies are unaffected.
+
+        Args:
+            states: the (constant) state vector over the span.
+            compute_workers: indices computing on every span slot.
+            transfer_marks: ``(worker, kind)`` per stable channel grant.
+            count: span length in slots (must be positive).
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        row = np.empty(self.n_workers, dtype=np.uint8)
+        for q in range(self.n_workers):
+            state = int(states[q])
+            if state == int(ProcState.UP):
+                row[q] = Activity.IDLE
+            elif state == int(ProcState.RECLAIMED):
+                row[q] = Activity.RECLAIMED
+            else:
+                row[q] = Activity.DOWN
+        for q in compute_workers:
+            row[q] = Activity.COMPUTE
+        for q, kind in transfer_marks:
+            if row[q] != Activity.COMPUTE:
+                row[q] = Activity.PROGRAM if kind == "prog" else Activity.DATA
+        self._rows.extend([row] * count)
+        self._current = None  # marks require a fresh begin_slot
+
     @property
     def slots_recorded(self) -> int:
         """Number of slot rows captured so far."""

@@ -305,6 +305,44 @@ class WorkerRuntime:
             cpu_free = start + inst.compute_remaining
         return max(comm_free, cpu_free)
 
+    def delay_and_pinned(self, t_data: int) -> tuple:
+        """Fused ``(delay_estimate, pinned_count)`` in one queue walk.
+
+        Hot path of the array scheduler API: the incremental
+        :class:`~repro.core.heuristics.base.RoundState` refresh recomputes
+        both columns for every dirty worker each scheduling round, so this
+        fuses the pinned scan into :meth:`delay_estimate`'s timeline walk
+        (same integer arithmetic, same result — cross-checked against the
+        unfused pair in the master's audit mode) and inlines the
+        per-instance properties.
+
+        Args:
+            t_data: kept for signature symmetry with
+                :meth:`delay_estimate` (unused there too).
+        """
+        comm_free = self.t_prog - self.prog_received
+        if comm_free < 0:
+            comm_free = 0
+        cpu_free = 0
+        pinned_count = 0
+        for inst in self.queue:
+            if inst.data_received == 0 and not inst.computing:
+                continue  # planned, re-plannable: not a current activity
+            pinned_count += 1
+            compute_remaining = inst.compute_needed - inst.compute_done
+            if compute_remaining < 0:
+                compute_remaining = 0
+            if inst.computing:
+                cpu_free += compute_remaining
+                continue
+            data_remaining = inst.data_needed - inst.data_received
+            if data_remaining > 0:
+                comm_free += data_remaining
+            start = comm_free if comm_free > cpu_free else cpu_free
+            cpu_free = start + compute_remaining
+        delay = comm_free if comm_free > cpu_free else cpu_free
+        return delay, pinned_count
+
     # ------------------------------------------------------------------ #
     # State-change effects.                                                #
     # ------------------------------------------------------------------ #

@@ -1,0 +1,316 @@
+"""Unit tests for the array-backed RoundState and the batch contract.
+
+Covers the structure-of-arrays context itself (columns, belief caches,
+candidate selection, lazy shim), the bit-identity of ``score_batch`` /
+``score_one`` against the legacy scalar ``score``, and the determinism fix
+for ``SchedulingContext.rng``.  End-to-end simulator equivalence lives in
+``tests/test_scheduler_api_equivalence.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.expectation import expected_next_up, p_plus
+from repro.core.heuristics.base import (
+    ProcessorView,
+    RoundState,
+    SchedulingContext,
+    completion_time_batch,
+    completion_time_estimate,
+    pow_batch,
+)
+from repro.core.heuristics.lw import LwScheduler
+from repro.core.heuristics.mct import EmctScheduler, MctScheduler
+from repro.core.heuristics.registry import make_scheduler
+from repro.core.heuristics.ud import UdScheduler
+from repro.core.markov import paper_random_model
+from repro.types import ProcState
+
+
+def random_views(rng, p=8, with_belief=True, t_data=3):
+    """Index-ordered random ProcessorViews resembling mid-run snapshots."""
+    views = []
+    for q in range(p):
+        state = ProcState(int(rng.integers(0, 3)))
+        pinned = int(rng.integers(0, 3))
+        prog_remaining = int(rng.integers(0, 4))
+        pipeline = tuple(
+            (int(rng.integers(0, t_data + 1)), int(rng.integers(1, 6)), bool(rng.integers(0, 2)))
+            for _ in range(pinned)
+        )
+        views.append(
+            ProcessorView(
+                index=q,
+                speed_w=int(rng.integers(1, 9)),
+                state=state,
+                belief=paper_random_model(rng) if with_belief else None,
+                has_program=prog_remaining == 0,
+                delay=int(rng.integers(0, 40)),
+                pinned_count=pinned,
+                prog_remaining=prog_remaining,
+                pinned_pipeline=pipeline,
+            )
+        )
+    return views
+
+
+def round_state_from(views, *, seed=5, t_data=3, ncom=4, remaining=6):
+    return RoundState.from_views(
+        views,
+        slot=17,
+        t_prog=5,
+        t_data=t_data,
+        ncom=ncom,
+        remaining_tasks=remaining,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestRoundStateContainer:
+    def test_columns_mirror_views(self):
+        views = random_views(np.random.default_rng(0))
+        rs = round_state_from(views)
+        for q, view in enumerate(views):
+            assert rs.speed_w[q] == view.speed_w
+            assert rs.state[q] == int(view.state)
+            assert rs.delay[q] == view.delay
+            assert rs.pinned_count[q] == view.pinned_count
+            assert bool(rs.has_program[q]) == view.has_program
+            assert rs.prog_remaining[q] == view.prog_remaining
+
+    def test_from_views_rejects_unordered(self):
+        views = random_views(np.random.default_rng(1))
+        with pytest.raises(ValueError, match="index-ordered"):
+            round_state_from(list(reversed(views)))
+
+    def test_up_candidates_match_legacy_filter(self):
+        views = random_views(np.random.default_rng(2), p=12)
+        rs = round_state_from(views)
+        expected = [v.index for v in views if v.state == ProcState.UP]
+        assert rs.up_candidates().tolist() == expected
+        allowed = [1, 3, 5, 7, 9, 11]
+        assert rs.up_candidates(allowed).tolist() == [
+            q for q in expected if q in allowed
+        ]
+
+    def test_belief_columns_match_scalar_functions(self):
+        views = random_views(np.random.default_rng(3))
+        rs = round_state_from(views)
+        for q, view in enumerate(views):
+            model = view.belief
+            assert rs.belief_column("p_uu")[q] == model.p_uu
+            assert rs.belief_column("p_plus")[q] == p_plus(model)
+            assert rs.belief_column("pi_u")[q] == model.pi_u
+            assert rs.belief_column("pi_d")[q] == model.pi_d
+            assert rs.belief_column("e_up")[q] == expected_next_up(model)
+            assert rs.belief_column("ud_base")[q] == 1.0 - model.p_ud
+
+    def test_unknown_belief_column_rejected(self):
+        rs = round_state_from(random_views(np.random.default_rng(4)))
+        with pytest.raises(KeyError, match="unknown belief column"):
+            rs.belief_column("nope")
+
+    def test_missing_belief_raises_legacy_error(self):
+        views = random_views(np.random.default_rng(5), with_belief=False)
+        rs = round_state_from(views)
+        assert np.isnan(rs.belief_column("e_up")).all()
+        with pytest.raises(ValueError, match="processor 0 has no Markov belief"):
+            rs.require_beliefs(np.arange(len(views)), "EMCT needs one")
+
+
+class TestLazyShim:
+    def test_lazy_views_equal_eager_views(self):
+        views = random_views(np.random.default_rng(6))
+        rs = round_state_from(views)
+        ctx = rs.as_context()
+        assert len(ctx.processors) == len(views)
+        for q, view in enumerate(views):
+            assert ctx.processors[q] == view
+        assert list(ctx.processors) == views
+        assert ctx.processors[-1] == views[-1]
+        assert ctx.processors[2:4] == views[2:4]
+
+    def test_context_scalars(self):
+        rs = round_state_from(random_views(np.random.default_rng(7)))
+        ctx = rs.as_context()
+        assert (ctx.slot, ctx.t_prog, ctx.t_data, ctx.ncom) == (17, 5, 3, 4)
+        assert ctx.remaining_tasks == 6
+        assert ctx.rng is rs.rng
+        assert rs.as_context() is ctx  # cached until invalidate
+        rs.invalidate()
+        assert rs.as_context() is not ctx
+
+    def test_view_cache_invalidated(self):
+        rs = round_state_from(random_views(np.random.default_rng(8)))
+        before = rs.view(0)
+        rs.delay[0] += 11
+        rs.invalidate()
+        after = rs.view(0)
+        assert after.delay == before.delay + 11
+
+
+class TestBatchScalarBitIdentity:
+    """score_batch == score_one == legacy score, bit for bit."""
+
+    # Factories, not instances: these schedulers cache per-processor belief
+    # quantities keyed by index, so instances must not be shared between
+    # (randomly generated) platforms — the registry contract.
+    HEURISTICS = [
+        lambda: MctScheduler(contention=False),
+        lambda: MctScheduler(contention=True),
+        lambda: EmctScheduler(contention=False),
+        lambda: EmctScheduler(contention=True),
+        lambda: LwScheduler(contention=False),
+        lambda: LwScheduler(contention=True),
+        lambda: UdScheduler(contention=False),
+        lambda: UdScheduler(contention=True),
+    ]
+
+    @pytest.mark.parametrize("factory", HEURISTICS, ids=lambda f: f().name)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_three_way_identity(self, factory, seed):
+        sched = factory()
+        rng = np.random.default_rng(100 + seed)
+        views = random_views(rng, p=10)
+        rs = round_state_from(views)
+        ctx = rs.as_context()
+        indices = rs.up_candidates()
+        if indices.size == 0:
+            indices = np.arange(len(views))
+        for nq_plus_one in (1, 2, 5):
+            for factor in (1, 2, 3):
+                batch = sched.score_batch(
+                    rs,
+                    indices,
+                    np.full(indices.size, nq_plus_one, dtype=np.int64),
+                    np.full(indices.size, factor, dtype=np.int64),
+                )
+                for pos, q in enumerate(indices.tolist()):
+                    one = sched.score_one(rs, q, nq_plus_one, factor)
+                    legacy = sched.score(ctx, views[q], nq_plus_one, factor)
+                    assert batch[pos] == one == legacy, (
+                        f"{sched.name}: q={q} nq+1={nq_plus_one} f={factor}"
+                    )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_completion_time_batch_matches_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        views = random_views(rng, p=10)
+        rs = round_state_from(views)
+        indices = np.arange(10)
+        nq1 = rng.integers(1, 6, 10)
+        factor = rng.integers(1, 4, 10)
+        batch = completion_time_batch(rs, indices, nq1, factor)
+        for q in range(10):
+            assert batch[q] == completion_time_estimate(
+                views[q], int(nq1[q]), rs.t_data, contention_factor=int(factor[q])
+            )
+
+    def test_pow_batch_matches_python_pow(self):
+        rng = np.random.default_rng(9)
+        base = rng.uniform(0.0, 1.0, 256)
+        expo = rng.uniform(0.0, 400.0, 256)
+        out = pow_batch(base, expo)
+        for b, e, r in zip(base, expo, out):
+            assert r == float(b) ** float(e)
+
+
+class TestPlaceArrayAgainstLegacyPlace:
+    """place_array == place over randomized standalone round states."""
+
+    NAMES = [
+        "mct", "mct*", "emct", "emct*", "lw", "lw*", "ud", "ud*",
+        "ud-exact", "ud*-exact", "random", "random1", "random2w",
+        "random3", "random4w", "passive",
+    ]
+
+    @pytest.mark.parametrize("name", NAMES)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_same_placements(self, name, seed):
+        rng = np.random.default_rng(300 + seed)
+        views = random_views(rng, p=9)
+        n_tasks = int(rng.integers(1, 12))
+        # Two independent but identically seeded draw streams so the
+        # random heuristics consume identical randomness on both paths.
+        rs = round_state_from(views, seed=42)
+        legacy_ctx = round_state_from(views, seed=42).as_context()
+        array_path = make_scheduler(name).place_array(rs, n_tasks)
+        legacy_path = make_scheduler(name).place(legacy_ctx, n_tasks)
+        assert array_path == legacy_path
+
+    @pytest.mark.parametrize("name", ["mct", "emct*", "random2w", "passive"])
+    def test_same_placements_restricted(self, name):
+        rng = np.random.default_rng(77)
+        views = random_views(rng, p=9)
+        allowed = [0, 2, 4, 6, 8]
+        rs = round_state_from(views, seed=13)
+        legacy_ctx = round_state_from(views, seed=13).as_context()
+        assert make_scheduler(name).place_array(rs, 4, allowed) == make_scheduler(
+            name
+        ).place(legacy_ctx, 4, allowed)
+
+    def test_no_up_candidates(self):
+        views = random_views(np.random.default_rng(11))
+        for view in views:
+            view.state = ProcState.DOWN
+        rs = round_state_from(views)
+        assert make_scheduler("emct").place_array(rs, 3) == [None, None, None]
+
+    @pytest.mark.parametrize("name", ["emct", "emct*", "lw", "ud", "random2w"])
+    def test_beliefless_processor_outside_candidates_is_tolerated(self, name):
+        """Belief checks are candidate-scoped, exactly like the scalar
+        loop: a belief-less UP processor outside ``allowed`` must not
+        raise, and placements must still match the legacy path."""
+        views = random_views(np.random.default_rng(12), p=6)
+        views[2].belief = None  # UP but excluded from every call below
+        for view in views:
+            view.state = ProcState.UP
+        allowed = [0, 1, 3, 4, 5]
+        rs = round_state_from(views, seed=9)
+        legacy_ctx = round_state_from(views, seed=9).as_context()
+        for n_tasks in (1, 4):
+            assert make_scheduler(name).place_array(
+                rs, n_tasks, allowed
+            ) == make_scheduler(name).place(legacy_ctx, n_tasks, allowed)
+
+    @pytest.mark.parametrize("name", ["emct", "lw", "ud", "random2w"])
+    def test_beliefless_candidate_raises_like_legacy(self, name):
+        views = random_views(np.random.default_rng(13), p=4)
+        views[1].belief = None
+        for view in views:
+            view.state = ProcState.UP
+        rs = round_state_from(views, seed=9)
+        legacy_ctx = round_state_from(views, seed=9).as_context()
+        with pytest.raises(ValueError, match="processor 1 has no Markov belief"):
+            make_scheduler(name).place(legacy_ctx, 2)
+        with pytest.raises(ValueError, match="processor 1 has no Markov belief"):
+            make_scheduler(name).place_array(rs, 2)
+        # The single-placement fused path must raise identically.
+        with pytest.raises(ValueError, match="processor 1 has no Markov belief"):
+            make_scheduler(name).place_array(rs, 1, allowed=[1, 2])
+
+
+class TestSchedulingContextRngDefault:
+    """The determinism fix: the default rng is the seeded scheduler stream."""
+
+    def _context(self):
+        return SchedulingContext(
+            slot=0,
+            t_prog=2,
+            t_data=1,
+            ncom=2,
+            processors=random_views(np.random.default_rng(21), p=4),
+            remaining_tasks=2,
+        )
+
+    def test_default_rng_is_reproducible(self):
+        a, b = self._context(), self._context()
+        assert a.rng is not b.rng  # independent objects...
+        assert [a.rng.random() for _ in range(5)] == [
+            b.rng.random() for _ in range(5)
+        ]  # ...same seeded stream
+
+    def test_default_rng_matches_simulator_fallback(self):
+        from repro.rng import default_scheduler_rng
+
+        assert self._context().rng.random() == default_scheduler_rng().random()
