@@ -108,10 +108,26 @@ def run_benchmark(
             )
 
     serial_rate = rows[0]["runs_per_sec"]
+    cpu_count = os.cpu_count() or 1
+    # cpu_count-aware per-job scaling: a parallel row can at best run
+    # min(jobs, physical cores) units concurrently, so its *parallel
+    # efficiency* is speedup / that bound.  On a single-CPU container the
+    # bound is 1 and the rows measure pure backend overhead (efficiency ~=
+    # speedup); on a multi-core runner the same document shows the real
+    # scaling shape with no code changes (ROADMAP open item).
+    scaling = {}
+    for row in rows[1:]:
+        speedup = round(row["runs_per_sec"] / serial_rate, 3)
+        bound = min(row["jobs"], cpu_count)
+        scaling[f"{row['backend']}-{row['jobs']}"] = {
+            "speedup_vs_serial": speedup,
+            "ideal_speedup": bound,
+            "parallel_efficiency": round(speedup / bound, 3),
+        }
     return {
         "benchmark": "campaign-backends",
         "unix_time": int(time.time()),
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
         "config": {
             "scenarios_per_cell": scenarios_per_cell,
             "trials": trials,
@@ -121,11 +137,9 @@ def run_benchmark(
         },
         "results": rows,
         "speedup_vs_serial": {
-            f"{row['backend']}-{row['jobs']}": round(
-                row["runs_per_sec"] / serial_rate, 3
-            )
-            for row in rows[1:]
+            key: value["speedup_vs_serial"] for key, value in scaling.items()
         },
+        "scaling": scaling,
         "statistics_identical": True,
     }
 

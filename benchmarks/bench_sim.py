@@ -1,4 +1,4 @@
-"""Simulator-core stepping + scheduling-round benchmark (exp. id ``bench-sim``).
+"""Simulator-core stepping + scheduling + body benchmark (exp. id ``bench-sim``).
 
 Measures the per-run hot path of :class:`~repro.sim.master.MasterSimulator`
 on a declared sample of the paper's Table 2 grid, and emits a JSON document
@@ -6,43 +6,52 @@ so successive PRs accumulate a perf trajectory::
 
     PYTHONPATH=src python benchmarks/bench_sim.py --out BENCH_sim.json
 
-Two comparisons are timed, over the same (cell, scenario, trial,
-heuristic, objective) population:
+Three comparisons are timed, over the same (cell, scenario, trial,
+heuristic, objective) population, all within one process with the
+configurations interleaved per run (the only timing methodology that
+survives noisy shared runners):
 
 * **stepping** — the slot-stepped oracle loop vs the span-stepped default
-  (DESIGN.md §6), both on the array scheduler API;
-* **scheduling API** — the legacy scalar scheduler path (eager
-  ``ProcessorView`` snapshots, one Python ``score`` call per candidate)
-  vs the array-backed batch path (incrementally maintained ``RoundState``
-  + vectorised ``score_batch``, DESIGN.md §8), both span-stepped.  The
-  scheduling-round time is measured directly by wrapping the round driver,
-  so each cell reports ``round_time_share`` (fraction of wall-clock spent
-  in rounds) and ``rounds_per_sec`` for both APIs, plus their ratio
-  ``sched_speedup``.
+  (DESIGN.md §6), both on the array scheduler API and array instance
+  store;
+* **scheduling API** — the legacy scalar scheduler path vs the
+  array-backed batch path (incrementally maintained ``RoundState`` +
+  vectorised ``score_batch``, DESIGN.md §8), both span-stepped on the
+  array store.  The scheduling-round time is measured directly by
+  wrapping the round driver, so each cell reports ``round_time_share``
+  and ``rounds_per_sec`` for both APIs plus their ratio ``sched_speedup``;
+* **instance store / simulator body** — the legacy Python-list instance
+  store vs the structure-of-arrays ``InstanceTable`` with the vectorised
+  body (DESIGN.md §9), both span-stepped on the array scheduler API.
+  ``store_speedup`` is the end-to-end ratio; ``body_speedup`` compares
+  the *body* seconds (wall-clock minus the measured round seconds), the
+  share this PR's redesign targets.  ``instance_ops`` counts the table's
+  structural mutations and ``trace_bytes`` records the RLE availability
+  storage against the dense trace + UP-prefix representation it replaced.
 
-Every simulated instance is asserted **bit-identical** across all three
+A **long-horizon deadline cell** (``run_slots`` over ≥100k slots) rides
+along to exercise the run-length-encoded availability sources where the
+dense representation hurts most; its row reports the same store/body
+metrics plus the measured ``trace_compression``.
+
+Every simulated instance is asserted **bit-identical** across all four
 configurations before any number is reported; both objectives are covered
 (``run`` for the makespan protocol, ``run_slots`` for the Section 3.4
 deadline form).  A speedup that changed the science would be worthless.
 
-Context for the stepping numbers: the span-stepped loop can only skip
-slots in which *nothing observable* happens.  Per processor the paper's
-chains hold state for 10–100 slots, but the evaluation protocol runs
-p = 20 processors jointly and re-plans on every UP-set change, so the
-joint event density is close to one per slot and the measured ``mean_span``
-sits far below the single-processor sojourn bound — which is exactly why
-making the mandatory round cheap (the ``sched_speedup`` column) is the
-lever that moves wall-clock.
-
-CI gates: ``--min-speedup`` (default 0.90) fails the job when span mode is
-slower than slot mode beyond wall-clock noise; ``--min-sched-speedup``
-(default 1.0) fails it when the batch path's scheduling throughput
-regresses below the legacy scalar path.
+CI gates: ``--min-speedup`` (default 0.90) fails the job when span mode
+is slower than slot mode beyond wall-clock noise; ``--min-sched-speedup``
+(default 1.0) fails it when the batch scheduler path regresses below the
+legacy scalar path; ``--min-body-speedup`` (default 1.0) fails it when
+the array instance store's body regresses below the legacy list store;
+``--min-trace-compression`` (default 6.0) fails it when the RLE sources
+stop beating the dense representation on the long-horizon cell.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -68,27 +77,41 @@ TABLE2_SAMPLE: Tuple[Tuple[int, int, int], ...] = (
 HEURISTICS: Tuple[str, ...] = ("emct*", "mct")
 DEADLINE_SLOTS = 2000
 
-#: (step_mode, scheduler_api) configurations timed per run.
-CONFIGS: Tuple[Tuple[str, str], ...] = (
-    ("slot", "array"),
-    ("span", "array"),
-    ("span", "legacy"),
+#: Long-horizon deadline cell (satellite): ``run_slots`` over a horizon
+#: long enough that dense availability storage (1 B/slot trace + 8 B/slot
+#: UP prefix) would dominate memory; exercises the RLE representation.
+LONG_DEADLINE_CELL: Tuple[int, int, int] = (5, 5, 1)
+LONG_DEADLINE_SLOTS = 150_000
+
+#: (step_mode, scheduler_api, instance_store) configurations per run.
+#: The first is the bit-identity reference; the second is the default.
+CONFIGS: Tuple[Tuple[str, str, str], ...] = (
+    ("slot", "array", "array"),
+    ("span", "array", "array"),
+    ("span", "legacy", "array"),
+    ("span", "array", "legacy"),
 )
 
+DEFAULT = ("span", "array", "array")
+LEGACY_STORE = ("span", "array", "legacy")
 
-def _simulate(scenario, trial: int, heuristic: str, mode: str, api: str,
-              objective: str):
+
+def _simulate(scenario, trial: int, heuristic: str, config, objective: str,
+              deadline_slots: int = DEADLINE_SLOTS):
+    mode, api, store = config
     platform = scenario.build_platform(trial)
     sim = MasterSimulator(
         platform,
         scenario.app,
         make_scheduler(heuristic, platform=platform),
-        options=SimulatorOptions(step_mode=mode, scheduler_api=api),
+        options=SimulatorOptions(
+            step_mode=mode, scheduler_api=api, instance_store=store
+        ),
         rng=scenario.scheduler_rng(trial, heuristic),
     )
     # Wrap the round driver so the scheduling share of wall-clock is
     # measured directly (includes the triviality check and context
-    # refresh/build — the full per-round cost either API pays).
+    # refresh/build — the full per-round cost any configuration pays).
     round_clock = {"seconds": 0.0}
     inner_round = sim._scheduling_round
 
@@ -102,9 +125,23 @@ def _simulate(scenario, trial: int, heuristic: str, mode: str, api: str,
     if objective == "run":
         report = sim.run(max_slots=500_000)
     else:
-        report = sim.run_slots(DEADLINE_SLOTS)
+        report = sim.run_slots(deadline_slots)
     elapsed = time.perf_counter() - start
-    return report, elapsed, sim.steps_executed, round_clock["seconds"]
+    trace_bytes = sum(
+        proc.availability.storage_bytes() for proc in platform
+    )
+    dense_bytes = sum(
+        proc.availability.dense_bytes() for proc in platform
+    )
+    return {
+        "report": report,
+        "elapsed": elapsed,
+        "steps": sim.steps_executed,
+        "round_seconds": round_clock["seconds"],
+        "instance_ops": sim.instance_ops,
+        "trace_bytes": trace_bytes,
+        "dense_bytes": dense_bytes,
+    }
 
 
 def _mean_sojourn_bound(scenario) -> float:
@@ -134,30 +171,36 @@ def _bench_cell(
         for heuristic in heuristics
         for objective in ("run", "run_slots")
     ]
-    best: Dict[Tuple[str, str], Dict[str, float]] = {
+    best: Dict[Tuple[str, str, str], Dict[str, float]] = {
         config: {"seconds": float("inf"), "round_seconds": float("inf")}
         for config in CONFIGS
     }
-    slots_total = 0
-    boundaries_total = 0
-    rounds_total = 0
-    for _rep in range(repetitions):
-        rep = {config: {"seconds": 0.0, "round_seconds": 0.0} for config in CONFIGS}
+    # Non-timing totals (slots, rounds, ops, bytes) are identical across
+    # repetitions — the simulations are deterministic — so the per-rep
+    # recount simply overwrites them; only timings take the best-of.
+    for _rep in range(max(1, repetitions)):
+        rep = {
+            config: {"seconds": 0.0, "round_seconds": 0.0} for config in CONFIGS
+        }
         slots_total = 0
         boundaries_total = 0
         rounds_total = 0
+        instance_ops_total = 0
+        trace_bytes_total = 0
+        dense_bytes_total = 0
         for scenario, trial, heuristic, objective in runs:
             reports = {}
-            for mode, api in CONFIGS:
-                report, elapsed, steps, round_seconds = _simulate(
-                    scenario, trial, heuristic, mode, api, objective
-                )
-                reports[(mode, api)] = report
-                rep[(mode, api)]["seconds"] += elapsed
-                rep[(mode, api)]["round_seconds"] += round_seconds
-                if (mode, api) == ("span", "array"):
-                    boundaries_total += steps
-                    rounds_total += report.scheduler_rounds
+            for config in CONFIGS:
+                out = _simulate(scenario, trial, heuristic, config, objective)
+                reports[config] = out["report"]
+                rep[config]["seconds"] += out["elapsed"]
+                rep[config]["round_seconds"] += out["round_seconds"]
+                if config == DEFAULT:
+                    boundaries_total += out["steps"]
+                    rounds_total += out["report"].scheduler_rounds
+                    instance_ops_total += out["instance_ops"]
+                    trace_bytes_total += out["trace_bytes"]
+                    dense_bytes_total += out["dense_bytes"]
             reference = reports[CONFIGS[0]]
             for config, report in reports.items():  # pragma: no branch
                 if report != reference:  # pragma: no cover
@@ -172,38 +215,121 @@ def _bench_cell(
         for config in CONFIGS:
             if rep[config]["seconds"] < best[config]["seconds"]:
                 best[config] = rep[config]
-    slot_s = best[("slot", "array")]["seconds"]
-    span_s = best[("span", "array")]["seconds"]
-    legacy_span_s = best[("span", "legacy")]["seconds"]
-    array_round_s = best[("span", "array")]["round_seconds"]
-    legacy_round_s = best[("span", "legacy")]["round_seconds"]
+    slot_s = best[("slot", "array", "array")]["seconds"]
+    span_s = best[DEFAULT]["seconds"]
+    legacy_api_s = best[("span", "legacy", "array")]["seconds"]
+    legacy_store_s = best[LEGACY_STORE]["seconds"]
+    array_round_s = best[DEFAULT]["round_seconds"]
+    legacy_api_round_s = best[("span", "legacy", "array")]["round_seconds"]
+    legacy_store_round_s = best[LEGACY_STORE]["round_seconds"]
+    array_body_s = span_s - array_round_s
+    legacy_store_body_s = legacy_store_s - legacy_store_round_s
     return {
         "cell": {"n": n, "ncom": ncom, "wmin": wmin},
         "runs": len(runs),
         "slots": slots_total,
         "slot_seconds": round(slot_s, 4),
         "span_seconds": round(span_s, 4),
-        "legacy_span_seconds": round(legacy_span_s, 4),
+        "legacy_api_seconds": round(legacy_api_s, 4),
+        "legacy_store_seconds": round(legacy_store_s, 4),
         "slots_per_sec_slot": round(slots_total / slot_s, 1),
         "slots_per_sec_span": round(slots_total / span_s, 1),
+        "slots_per_sec_legacy_store": round(slots_total / legacy_store_s, 1),
         "speedup": round(slot_s / span_s, 3),
         "rounds": rounds_total,
         "round_seconds": {
             "array": round(array_round_s, 4),
-            "legacy": round(legacy_round_s, 4),
+            "legacy_api": round(legacy_api_round_s, 4),
+            "legacy_store": round(legacy_store_round_s, 4),
         },
         "round_time_share": {
             "array": round(array_round_s / span_s, 3),
-            "legacy": round(legacy_round_s / legacy_span_s, 3),
+            "legacy_api": round(legacy_api_round_s / legacy_api_s, 3),
         },
         "rounds_per_sec": {
             "array": round(rounds_total / array_round_s, 1),
-            "legacy": round(rounds_total / legacy_round_s, 1),
+            "legacy_api": round(rounds_total / legacy_api_round_s, 1),
         },
-        "sched_speedup": round(legacy_round_s / array_round_s, 3),
+        "sched_speedup": round(legacy_api_round_s / array_round_s, 3),
+        # Simulator body (DESIGN.md §9): everything outside the rounds.
+        "body_seconds": {
+            "array": round(array_body_s, 4),
+            "legacy_store": round(legacy_store_body_s, 4),
+        },
+        "body_time_share": {
+            "array": round(array_body_s / span_s, 3),
+            "legacy_store": round(legacy_store_body_s / legacy_store_s, 3),
+        },
+        "body_speedup": round(legacy_store_body_s / array_body_s, 3),
+        "store_speedup": round(legacy_store_s / span_s, 3),
+        "instance_ops": instance_ops_total,
+        "trace_bytes": trace_bytes_total,
+        "trace_dense_bytes": dense_bytes_total,
+        "trace_compression": round(dense_bytes_total / trace_bytes_total, 2),
         "mean_span": round(slots_total / boundaries_total, 2),
         "mean_up_sojourn": round(
             sum(_mean_sojourn_bound(s) for s in population) / len(population), 1
+        ),
+    }
+
+
+def _bench_long_deadline(
+    generator: ScenarioGenerator,
+    *,
+    repetitions: int,
+    heuristic: str = "emct*",
+) -> Dict:
+    """The ≥100k-slot deadline cell: RLE storage under a long horizon.
+
+    Times only the two store configurations (the stepping/scheduling
+    comparisons are covered by the Table 2 cells) and asserts their
+    reports identical.  As in the deadline study, the iteration target is
+    raised far beyond what the budget can fit, so the slot budget binds
+    and the availability traces genuinely span the horizon.
+    """
+    n, ncom, wmin = LONG_DEADLINE_CELL
+    scenario = generator.scenario(n, ncom, wmin, 0)
+    scenario = dataclasses.replace(
+        scenario,
+        app=dataclasses.replace(scenario.app, iterations=1_000_000),
+    )
+    configs = (LEGACY_STORE, DEFAULT)
+    best = {config: float("inf") for config in configs}
+    default_out: Dict = {}
+    for _rep in range(max(1, repetitions)):
+        outs = {}
+        for config in configs:
+            outs[config] = _simulate(
+                scenario, 0, heuristic, config, "run_slots",
+                deadline_slots=LONG_DEADLINE_SLOTS,
+            )
+        if outs[DEFAULT]["report"] != outs[LEGACY_STORE]["report"]:
+            raise AssertionError(  # pragma: no cover
+                "store configurations diverged on the long deadline cell"
+            )
+        for config in configs:
+            if outs[config]["elapsed"] < best[config]:
+                best[config] = outs[config]["elapsed"]
+        if not default_out:
+            # Diagnostics (slots, ops, bytes) are deterministic across
+            # repetitions; capture them once, timings take the best-of.
+            default_out = outs[DEFAULT]
+    slots = default_out["report"].slots_simulated
+    return {
+        "cell": {"n": n, "ncom": ncom, "wmin": wmin},
+        "objective": "run_slots",
+        "deadline_slots": LONG_DEADLINE_SLOTS,
+        "heuristic": heuristic,
+        "slots": slots,
+        "span_seconds": round(best[DEFAULT], 4),
+        "legacy_store_seconds": round(best[LEGACY_STORE], 4),
+        "slots_per_sec_span": round(slots / best[DEFAULT], 1),
+        "store_speedup": round(best[LEGACY_STORE] / best[DEFAULT], 3),
+        "instance_ops": default_out["instance_ops"],
+        "trace_bytes": default_out["trace_bytes"],
+        "trace_dense_bytes": default_out["dense_bytes"],
+        "trace_compression": round(
+            default_out["dense_bytes"] / default_out["trace_bytes"], 2
         ),
     }
 
@@ -216,8 +342,10 @@ def run_benchmark(
     seed: int = 12061,
     repetitions: int = 2,
     cells: Sequence[Tuple[int, int, int]] = TABLE2_SAMPLE,
+    long_deadline: bool = True,
 ) -> Dict:
-    """Time the stepping modes and scheduler APIs over the Table 2 sample.
+    """Time stepping modes, scheduler APIs and instance stores over the
+    Table 2 sample (plus the long-horizon deadline cell).
 
     Returns the JSON-ready document; reports are asserted bit-identical
     between all configurations for every simulated instance before
@@ -238,9 +366,16 @@ def run_benchmark(
         )
     slot_total = sum(row["slot_seconds"] for row in rows)
     span_total = sum(row["span_seconds"] for row in rows)
-    legacy_round_total = sum(row["round_seconds"]["legacy"] for row in rows)
+    legacy_api_round_total = sum(
+        row["round_seconds"]["legacy_api"] for row in rows
+    )
     array_round_total = sum(row["round_seconds"]["array"] for row in rows)
-    return {
+    legacy_store_total = sum(row["legacy_store_seconds"] for row in rows)
+    array_body_total = sum(row["body_seconds"]["array"] for row in rows)
+    legacy_body_total = sum(
+        row["body_seconds"]["legacy_store"] for row in rows
+    )
+    document = {
         "benchmark": "sim-span-stepping",
         "unix_time": int(time.time()),
         "cpu_count": os.cpu_count(),
@@ -261,11 +396,19 @@ def run_benchmark(
         "speedup": round(slot_total / span_total, 3),
         "round_seconds_total": {
             "array": round(array_round_total, 4),
-            "legacy": round(legacy_round_total, 4),
+            "legacy_api": round(legacy_api_round_total, 4),
         },
-        "sched_speedup": round(legacy_round_total / array_round_total, 3),
+        "sched_speedup": round(legacy_api_round_total / array_round_total, 3),
+        "legacy_store_seconds_total": round(legacy_store_total, 4),
+        "store_speedup": round(legacy_store_total / span_total, 3),
+        "body_speedup": round(legacy_body_total / array_body_total, 3),
         "reports_identical": True,
     }
+    if long_deadline:
+        document["long_deadline"] = _bench_long_deadline(
+            generator, repetitions=min(repetitions, 2)
+        )
+    return document
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -293,8 +436,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         help=(
             "exit non-zero when the batch (array) scheduler path's "
             "round throughput falls below the legacy scalar path "
-            "(legacy_round_seconds / array_round_seconds)"
+            "(legacy_api round seconds / array round seconds)"
         ),
+    )
+    parser.add_argument(
+        "--min-body-speedup",
+        type=float,
+        default=1.0,
+        help=(
+            "exit non-zero when the array instance store's simulator "
+            "body falls below the legacy list store "
+            "(legacy-store body seconds / array-store body seconds)"
+        ),
+    )
+    parser.add_argument(
+        "--min-trace-compression",
+        type=float,
+        default=6.0,
+        help=(
+            "exit non-zero when the long-deadline cell's RLE availability "
+            "storage stops beating the dense trace + UP-prefix "
+            "representation by at least this factor"
+        ),
+    )
+    parser.add_argument(
+        "--skip-long-deadline",
+        action="store_true",
+        help="skip the >=100k-slot deadline cell (quick local runs)",
     )
     parser.add_argument(
         "--out", default=None, metavar="PATH", help="write JSON here (else stdout)"
@@ -306,6 +474,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         trials=args.trials,
         seed=args.seed,
         repetitions=args.repetitions,
+        long_deadline=not args.skip_long_deadline,
     )
     text = json.dumps(document, indent=2)
     if args.out:
@@ -313,13 +482,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             handle.write(text + "\n")
         cells = ", ".join(
             f"{tuple(row['cell'].values())}: {row['speedup']}x/"
-            f"{row['sched_speedup']}x"
+            f"{row['sched_speedup']}x/{row['body_speedup']}x"
             for row in document["results"]
         )
         print(
             f"wrote {args.out} (overall span {document['speedup']}x, "
-            f"sched {document['sched_speedup']}x; per-cell span/sched: "
-            f"{cells})",
+            f"sched {document['sched_speedup']}x, store "
+            f"{document['store_speedup']}x, body {document['body_speedup']}x; "
+            f"per-cell span/sched/body: {cells})",
             file=sys.stderr,
         )
     else:
@@ -338,6 +508,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"FAIL: batch scheduling speedup {document['sched_speedup']} < "
             f"{args.min_sched_speedup} (array RoundState path regressed "
             "below the legacy scalar scheduler path)",
+            file=sys.stderr,
+        )
+        failed = True
+    if document["body_speedup"] < args.min_body_speedup:
+        print(
+            f"FAIL: simulator body speedup {document['body_speedup']} < "
+            f"{args.min_body_speedup} (array InstanceTable body regressed "
+            "below the legacy list-store body)",
+            file=sys.stderr,
+        )
+        failed = True
+    long_row = document.get("long_deadline")
+    if (
+        long_row is not None
+        and long_row["trace_compression"] < args.min_trace_compression
+    ):
+        print(
+            f"FAIL: RLE trace compression {long_row['trace_compression']} < "
+            f"{args.min_trace_compression} on the long-horizon deadline "
+            "cell (availability storage regressed toward dense)",
             file=sys.stderr,
         )
         failed = True

@@ -181,6 +181,15 @@ class RoundState:
         #: counter so tokens never collide across RoundState instances.
         self.version = next(_VERSION_COUNTER)
 
+        #: Per-processor dirty flags for the owner's incremental refresh
+        #: (DESIGN.md §8/§9): the owner sets ``dirty[q] = 1`` at every
+        #: mutation that can move processor ``q``'s worker-derived columns
+        #: and clears flags as it recomputes them.  Owned here so the
+        #: maintenance contract travels with the state object; hot paths
+        #: may hold a local alias (it is a plain mutable ``bytearray``).
+        #: Starts all-dirty: no column is current until first refreshed.
+        self.dirty = bytearray(b"\x01" * p)
+
         self._pipeline_provider = pipeline_provider or (lambda q: ())
         #: Optional owner hook called with a processor index before a lazy
         #: ``ProcessorView`` materialises: owners that defer column updates

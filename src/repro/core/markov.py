@@ -265,25 +265,61 @@ class MarkovAvailabilityModel:
         trace[0] = initial
         if length == 1:
             return trace
-        # Vectorised inverse-CDF walk: pre-draw all uniforms, then walk the
-        # chain with one searchsorted per slot on the cached cumulative rows.
+        # Vectorised inverse-CDF walk.  All uniforms are pre-drawn in one
+        # batch (identical stream to per-slot draws), then the chain is
+        # walked *run by run*: ``nxt[s][k]`` is the state slot ``k+1``
+        # would enter if slot ``k`` were in state ``s`` (the same
+        # two-threshold comparison the scalar loop made), and
+        # ``changes[s]`` the slots where that differs from ``s`` — so each
+        # sojourn costs one binary search plus one slice fill instead of a
+        # Python iteration per slot.
         uniforms = rng.random(length - 1)
         cum = self._cumulative
-        state = initial
-        for t in range(1, length):
-            row = cum[state]
-            u = uniforms[t - 1]
-            state = 0 if u < row[0] else (1 if u < row[1] else 2)
-            trace[t] = state
+        nxt = []
+        changes = []
+        for s in range(3):
+            row = cum[s]
+            nxt_s = (uniforms >= row[0]).view(np.uint8) + (
+                uniforms >= row[1]
+            ).view(np.uint8)
+            nxt.append(nxt_s)
+            changes.append(np.nonzero(nxt_s != s)[0])
+        t = 0  # trace filled through index t
+        state = int(initial)
+        last = length - 1
+        while t < last:
+            jumps = changes[state]
+            pos = int(np.searchsorted(jumps, t, side="left"))
+            if pos == len(jumps):
+                trace[t + 1 :] = state
+                break
+            j = int(jumps[pos])  # uniforms[j] leaves ``state``
+            trace[t + 1 : j + 1] = state
+            state = int(nxt[state][j])
+            trace[j + 1] = state
+            t = j + 1
         return trace
+
+    def continue_trace(
+        self, last_state: int, extra: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """The next ``extra`` slots after a trace ending in ``last_state``.
+
+        The draw protocol — sample ``extra + 1`` slots seeded with the
+        last state, drop the seed slot — is the single place the
+        continuation rule lives; :meth:`extend_trace` and the RLE
+        :class:`~repro.sim.availability.MarkovSource` both build on it,
+        so their draw streams can never diverge.
+        """
+        extra = require_positive_int(extra, "extra")
+        return self.sample_trace(extra + 1, rng, initial=int(last_state))[1:]
 
     def extend_trace(
         self, trace: np.ndarray, extra: int, rng: np.random.Generator
     ) -> np.ndarray:
         """Append ``extra`` freshly sampled slots to an existing trace."""
-        extra = require_positive_int(extra, "extra")
-        tail = self.sample_trace(extra + 1, rng, initial=int(trace[-1]))
-        return np.concatenate([trace, tail[1:]])
+        tail = self.continue_trace(int(trace[-1]), extra, rng)
+        return np.concatenate([trace, tail])
 
     # ------------------------------------------------------------------ #
     # Construction helpers.                                                #

@@ -9,6 +9,7 @@ from .availability import (
 )
 from .engine import Environment, Event, Interrupt, Process, Timeout
 from .events import EventKind, EventLog, SimEvent
+from .instance_table import InstanceTable
 from .master import MasterSimulator, SimulatorOptions, simulate
 from .metrics import SimulationReport
 from .network import BoundedMultiportNetwork, TransferRequest
@@ -30,6 +31,7 @@ __all__ = [
     "EventLog",
     "EventKind",
     "SimEvent",
+    "InstanceTable",
     "MasterSimulator",
     "SimulatorOptions",
     "simulate",

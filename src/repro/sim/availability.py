@@ -23,17 +23,30 @@ All sources share one contract (:class:`AvailabilitySource`):
   the callers, never here.
 * ``next_change_after(slot, limit=...)`` — the run-length query the
   span-stepped simulator core is built on (DESIGN.md §6): the first slot
-  after ``slot`` whose state differs from ``state_at(slot)``.  Cheap for
-  every family because all three hold materialised traces.
+  after ``slot`` whose state differs from ``state_at(slot)``.
 * ``block(start, stop)`` / ``materialized(length)`` — batched state
   reads (tests, belief fitting, :meth:`~repro.sim.platform.Platform.
   states_block`).
+* ``up_count_in`` / ``nth_up_after`` — UP-slot arithmetic for the
+  span-stepped refined-glide path.
+
+**Storage** (DESIGN.md §6/§9): the lazy families hold the generated
+trace *run-length encoded* — ``(start, state)`` runs plus a cumulative
+UP-slot count per run — so memory is O(transitions) rather than
+O(slots), ``next_change_after`` is the end of the current run, and
+``up_count_in``/``nth_up_after`` are binary searches over the per-run
+UP counts instead of densely materialised prefix sums.  A per-source
+cursor caches the bounds of the most recently read run, making the
+simulator's monotone access pattern O(1) per query.
+:class:`TraceSource` keeps the caller's dense vector (it is externally
+owned and finite).
 
 All sources are deterministic given their RNG/trace.  For the lazy
 families the trace content is independent of the access pattern: every
 generated slot consumes exactly one underlying draw in slot order, so a
 span-stepped run that scans ahead sees the same states a slot-stepped run
-does.
+does (and the run-length encoding never changes what is drawn — dense
+chunks are sampled exactly as before and compressed on append).
 """
 
 from __future__ import annotations
@@ -54,9 +67,14 @@ __all__ = [
     "WeibullSource",
 ]
 
-#: Initial scan window for ``next_change_after`` (doubles per miss).
-_SCAN_CHUNK = 64
-_SCAN_CHUNK_MAX = 1 << 16
+#: Bytes per stored run in the RLE representation: int64 start + uint8
+#: state + int64 cumulative UP count (see ``storage_bytes``).
+_RLE_BYTES_PER_RUN = 8 + 1 + 8
+
+#: Bytes per slot of the dense representation the RLE storage replaces:
+#: uint8 trace plus the int64 UP prefix sum the span-stepped queries
+#: used to materialise (see ``dense_bytes``).
+_DENSE_BYTES_PER_SLOT = 1 + 8
 
 
 class AvailabilitySource(Protocol):
@@ -122,77 +140,232 @@ class AvailabilitySource(Protocol):
         """
         ...
 
+    def storage_bytes(self) -> int:
+        """Live bytes of the source's state storage (benchmark metric)."""
+        ...
 
-class _LazyTraceSource:
-    """Shared machinery for sources backed by a lazily grown state trace.
+    def dense_bytes(self) -> int:
+        """Bytes a dense representation of the same coverage would hold
+        (uint8 state per slot + int64 UP prefix): the denominator of the
+        benchmark's ``trace_compression``."""
+        ...
 
-    Subclasses hold the materialised trace in ``self._trace`` and
-    implement :meth:`_grow_to`, extending the trace to at least the given
-    length (consuming exactly one underlying draw per generated slot, so
-    trace content never depends on the growth schedule).
+
+class _RleTraceSource:
+    """Shared machinery for sources storing a run-length-encoded trace.
+
+    The materialised trace is held as runs: ``_run_starts[i]`` is the
+    first slot of run ``i``, ``_run_states[i]`` its state, and
+    ``_run_up[i]`` the number of UP slots in runs ``0..i-1`` (the per-run
+    UP prefix sum).  ``_length`` slots are materialised in total, so run
+    ``i`` covers ``[_run_starts[i], _run_starts[i+1])`` (the last run
+    ends at ``_length`` and may still be extended by growth).
+
+    Subclasses implement :meth:`_grow_to`, extending coverage to at least
+    the given length by appending runs via :meth:`_append_run` /
+    :meth:`_append_dense` (consuming exactly one underlying draw per
+    generated slot, in slot order, so trace content never depends on the
+    growth schedule).
+
+    A cursor (``_cur_start``/``_cur_end``/``_cur_state``) caches the
+    bounds of the most recently located run; the simulator's monotone
+    access pattern hits it almost always, making ``state_at`` a pair of
+    int comparisons.  A cursor on the last run may go stale-short when
+    the run is later extended — that is safe: the miss re-locates the
+    same run with the fresh end.
     """
 
-    _trace: np.ndarray
-    _up_prefix: Optional[np.ndarray] = None
+    _INITIAL_RUN_CAPACITY = 64
+
+    def _init_rle(self) -> None:
+        cap = self._INITIAL_RUN_CAPACITY
+        self._run_starts = np.empty(cap, dtype=np.int64)
+        self._run_states = np.empty(cap, dtype=np.uint8)
+        self._run_up = np.empty(cap, dtype=np.int64)
+        self._n_runs = 0
+        self._length = 0
+        self._hint = 0
+        self._cur_start = 0
+        self._cur_end = 0  # exclusive; 0 = cursor invalid
+        self._cur_state = -1
 
     def _grow_to(self, length: int) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
     def _ensure(self, length: int) -> None:
-        if length > len(self._trace):
+        if length > self._length:
             self._grow_to(length)
 
-    def _prefix_to(self, length: int) -> np.ndarray:
-        """The UP prefix-sum array covering at least ``trace[:length]``.
+    # ------------------------------------------------------------------ #
+    # Run appends (subclass generators call these).                        #
+    # ------------------------------------------------------------------ #
+    def _reserve(self, extra: int) -> None:
+        """Ensure capacity for ``extra`` more runs (geometric doubling)."""
+        n = self._n_runs
+        if n + extra <= len(self._run_starts):
+            return
+        new_cap = max(2 * len(self._run_starts), n + extra)
+        for name in ("_run_starts", "_run_states", "_run_up"):
+            old = getattr(self, name)
+            grown = np.empty(new_cap, dtype=old.dtype)
+            grown[:n] = old[:n]
+            setattr(self, name, grown)
 
-        ``prefix[i]`` is the number of UP slots among slots ``0..i-1``.
-        The trace only ever grows by appending, so the prefix extends
-        incrementally.
-        """
-        self._ensure(length)
-        up = int(ProcState.UP)
-        if self._up_prefix is None:
-            self._up_prefix = np.concatenate(
-                [[0], np.cumsum(self._trace == up, dtype=np.int64)]
-            )
-        elif len(self._up_prefix) <= len(self._trace):
-            done = len(self._up_prefix) - 1
-            extra = np.cumsum(self._trace[done:] == up, dtype=np.int64)
-            self._up_prefix = np.concatenate(
-                [self._up_prefix, extra + self._up_prefix[-1]]
-            )
-        return self._up_prefix
+    def _append_run(self, state: int, count: int) -> None:
+        """Append ``count`` slots of ``state``, merging with the last run."""
+        n = self._n_runs
+        if n and self._run_states[n - 1] == state:
+            self._length += count
+            return
+        self._reserve(1)
+        self._run_starts[n] = self._length
+        self._run_states[n] = state
+        if n:
+            prev_len = self._length - self._run_starts[n - 1]
+            up_gain = prev_len if self._run_states[n - 1] == int(ProcState.UP) else 0
+            self._run_up[n] = self._run_up[n - 1] + up_gain
+        else:
+            self._run_up[0] = 0
+        self._n_runs = n + 1
+        self._length += count
 
+    def _append_dense(self, states: np.ndarray) -> None:
+        """Compress a freshly generated dense chunk into runs (vectorised:
+        one boundary scan + three slice writes per chunk)."""
+        m = len(states)
+        if m == 0:
+            return
+        bounds = np.flatnonzero(states[1:] != states[:-1]) + 1
+        starts_rel = np.empty(len(bounds) + 1, dtype=np.int64)
+        starts_rel[0] = 0
+        starts_rel[1:] = bounds
+        run_states = states[starts_rel]
+        base = self._length
+        n = self._n_runs
+        first = 0
+        if n and self._run_states[n - 1] == run_states[0]:
+            # The leading segment extends the trailing stored run.
+            first = 1
+            if len(starts_rel) == 1:
+                self._length = base + m
+                return
+        count = len(starts_rel) - first
+        self._reserve(count)
+        ends_rel = np.empty(len(starts_rel), dtype=np.int64)
+        ends_rel[:-1] = starts_rel[1:]
+        ends_rel[-1] = m
+        segment_up = (run_states == int(ProcState.UP)) * (ends_rel - starts_rel)
+        cumulative = np.concatenate([[0], np.cumsum(segment_up)])
+        total_up = self._total_up()
+        self._run_starts[n : n + count] = base + starts_rel[first:]
+        self._run_states[n : n + count] = run_states[first:]
+        self._run_up[n : n + count] = total_up + cumulative[first : first + count]
+        self._n_runs = n + count
+        self._length = base + m
+
+    # ------------------------------------------------------------------ #
+    # Run lookup.                                                          #
+    # ------------------------------------------------------------------ #
+    def _run_index(self, slot: int) -> int:
+        """Index of the run containing ``slot`` (< ``_length``), with the
+        cursor updated to it."""
+        hint = self._hint
+        starts = self._run_starts
+        n = self._n_runs
+        if starts[hint] <= slot:
+            # Monotone access: the answer is almost always the hinted run
+            # or one of the next two; fall back to binary search only on
+            # genuine jumps.
+            if hint + 1 == n or slot < starts[hint + 1]:
+                index = hint
+            elif hint + 2 == n or slot < starts[hint + 2]:
+                index = hint + 1
+            elif hint + 3 == n or slot < starts[hint + 3]:
+                index = hint + 2
+            else:
+                index = int(starts[:n].searchsorted(slot, side="right")) - 1
+        else:
+            index = int(starts[:n].searchsorted(slot, side="right")) - 1
+        self._hint = index
+        self._cur_start = int(starts[index])
+        self._cur_state = int(self._run_states[index])
+        self._cur_end = (
+            int(starts[index + 1]) if index + 1 < n else self._length
+        )
+        return index
+
+    def _up_before(self, stop: int) -> int:
+        """UP slots in ``[0, stop)``; requires ``0 <= stop <= _length``."""
+        if stop <= 0:
+            return 0
+        index = self._run_index(stop - 1)
+        count = int(self._run_up[index])
+        if self._cur_state == int(ProcState.UP):
+            count += stop - self._cur_start
+        return count
+
+    def _total_up(self) -> int:
+        n = self._n_runs
+        if n == 0:
+            return 0
+        tail = 0
+        if self._run_states[n - 1] == int(ProcState.UP):
+            tail = self._length - int(self._run_starts[n - 1])
+        return int(self._run_up[n - 1]) + tail
+
+    # ------------------------------------------------------------------ #
+    # AvailabilitySource contract.                                         #
+    # ------------------------------------------------------------------ #
     def state_at(self, slot: int) -> int:
-        # Hot path (called once per processor per boundary): no validation.
-        if slot >= len(self._trace):
+        # Hot path (called once per processor per boundary): no validation,
+        # and the cursor answers without touching numpy at all.
+        if self._cur_start <= slot < self._cur_end:
+            return self._cur_state
+        if slot >= self._length:
             self._grow_to(slot + 1)
-        return int(self._trace[slot])
+        self._run_index(slot)
+        return self._cur_state
 
     def next_change_after(
         self, slot: int, *, limit: Optional[int] = None
     ) -> Optional[int]:
-        current = self.state_at(slot)
-        start = slot + 1
-        chunk = _SCAN_CHUNK
-        while limit is None or start <= limit:
-            stop = start + chunk
-            if limit is not None:
-                stop = min(stop, limit + 1)
-            self._ensure(stop)
-            hits = np.flatnonzero(self._trace[start:stop] != current)
-            if hits.size:
-                return start + int(hits[0])
-            start = stop
-            chunk = min(chunk * 2, _SCAN_CHUNK_MAX)
-        return None
+        if slot >= self._length:
+            self._grow_to(slot + 1)
+        if not (self._cur_start <= slot < self._cur_end):
+            self._run_index(slot)
+        index = self._hint
+        while True:
+            if index + 1 < self._n_runs:
+                change = int(self._run_starts[index + 1])
+                if limit is not None and change > limit:
+                    return None
+                return change
+            # ``slot`` lies in the last materialised run: grow — in
+            # geometric steps, never straight to a large ``limit`` — until
+            # a new run appears (the run may first extend) or the limit is
+            # spanned.
+            if limit is not None and self._length > limit:
+                return None
+            self._grow_to(max(self._length + 64, 2 * self._length))
 
     def block(self, start: int, stop: int) -> np.ndarray:
         start = require_nonnegative_int(start, "start")
         if stop < start:
             raise ValueError(f"stop must be >= start, got [{start}, {stop})")
+        out = np.empty(stop - start, dtype=np.uint8)
+        if stop == start:
+            return out
         self._ensure(stop)
-        return self._trace[start:stop].copy()
+        position = start
+        index = self._run_index(start)
+        starts = self._run_starts
+        while position < stop:
+            end = int(starts[index + 1]) if index + 1 < self._n_runs else self._length
+            segment = end if end < stop else stop
+            out[position - start : segment - start] = self._run_states[index]
+            position = segment
+            index += 1
+        return out
 
     def materialized(self, length: int) -> np.ndarray:
         length = require_positive_int(length, "length")
@@ -201,34 +374,64 @@ class _LazyTraceSource:
     def up_count_in(self, start: int, stop: int) -> int:
         if stop <= start:
             return 0
-        prefix = self._prefix_to(stop)
-        return int(prefix[stop] - prefix[start])
+        self._ensure(stop)
+        return self._up_before(stop) - self._up_before(start)
 
     def nth_up_after(
         self, slot: int, k: int, *, limit: Optional[int] = None
     ) -> Optional[int]:
         if k <= 0:
             raise ValueError(f"k must be >= 1, got {k}")
-        probe = slot + k  # cannot arrive sooner than k consecutive UP slots
-        while True:
-            if limit is not None:
-                probe = min(probe, limit)
-            prefix = self._prefix_to(probe + 1)
-            target = prefix[slot + 1] + k
-            if prefix[probe + 1] >= target:
-                found = int(np.searchsorted(prefix, target, side="left")) - 1
-                return found if (limit is None or found <= limit) else None
-            if limit is not None and probe >= limit:
+        self._ensure(slot + 1)
+        target = self._up_before(slot + 1) + k
+        # Grow geometrically until the target-th UP slot is materialised
+        # (never straight to a large ``limit``: the answer is usually a
+        # few sojourns away).
+        while self._total_up() < target:
+            if limit is not None and self._length > limit:
                 return None
-            probe = 2 * probe + 1
+            self._grow_to(max(self._length + 64, 2 * self._length))
+        # The target-th UP slot lies in the (UP) run j with
+        # ``_run_up[j] < target`` and ``_run_up[j+1] >= target``.
+        n = self._n_runs
+        j = int(self._run_up[:n].searchsorted(target, side="left")) - 1
+        found = int(self._run_starts[j]) + (target - int(self._run_up[j])) - 1
+        if limit is not None and found > limit:
+            return None
+        return found
+
+    # ------------------------------------------------------------------ #
+    # Storage diagnostics (benchmarks, DESIGN.md §9 memory bound).         #
+    # ------------------------------------------------------------------ #
+    @property
+    def run_count(self) -> int:
+        """Number of stored runs (state transitions + 1)."""
+        return self._n_runs
+
+    @property
+    def slots_materialized(self) -> int:
+        """Slots generated so far (the dense-equivalent trace length)."""
+        return self._length
+
+    def storage_bytes(self) -> int:
+        """Live bytes of the RLE representation (runs × 17)."""
+        return self._n_runs * _RLE_BYTES_PER_RUN
+
+    def dense_bytes(self) -> int:
+        """Bytes the replaced dense representation would hold for the
+        same coverage: a uint8 state per slot plus the int64 UP prefix
+        sum the span-stepped queries used to materialise."""
+        return self._length * _DENSE_BYTES_PER_SLOT
 
 
-class MarkovSource(_LazyTraceSource):
+class MarkovSource(_RleTraceSource):
     """Lazily sampled Markov availability (the paper's ground truth).
 
     The trace is extended in geometric chunks as the simulation advances,
     so the cost of a run is proportional to its makespan, not to a guessed
-    horizon.
+    horizon.  Chunks are sampled densely — exactly the draws the dense
+    implementation made, in the same order — and stored run-length
+    encoded, so memory is O(transitions).
     """
 
     _CHUNK = 1024
@@ -242,7 +445,10 @@ class MarkovSource(_LazyTraceSource):
     ):
         self._model = model
         self._rng = rng
-        self._trace = model.sample_trace(self._CHUNK, rng, initial=initial)
+        self._init_rle()
+        chunk = model.sample_trace(self._CHUNK, rng, initial=initial)
+        self._last_state = int(chunk[-1])
+        self._append_dense(chunk)
 
     @property
     def model(self) -> MarkovAvailabilityModel:
@@ -250,9 +456,14 @@ class MarkovSource(_LazyTraceSource):
         return self._model
 
     def _grow_to(self, length: int) -> None:
-        while len(self._trace) < length:
-            grow = max(self._CHUNK, len(self._trace))  # double each time
-            self._trace = self._model.extend_trace(self._trace, grow, self._rng)
+        while self._length < length:
+            grow = max(self._CHUNK, self._length)  # double each time
+            # Shares ``model.extend_trace``'s draw protocol exactly.
+            chunk = self._model.continue_trace(
+                self._last_state, grow, self._rng
+            )
+            self._last_state = int(chunk[-1])
+            self._append_dense(chunk)
 
 
 class TraceSource:
@@ -360,8 +571,19 @@ class TraceSource:
             return None
         return found
 
+    # Storage diagnostics (symmetry with the RLE sources; the vector is
+    # externally supplied, so dense *is* this source's representation).
+    def storage_bytes(self) -> int:
+        """Live bytes: the dense vector plus the UP prefix if built."""
+        prefix = self._up_prefix
+        return int(self._trace.nbytes) + (0 if prefix is None else int(prefix.nbytes))
 
-class SemiMarkovSource(_LazyTraceSource):
+    def dense_bytes(self) -> int:
+        """Dense-equivalent bytes (same formula as the RLE sources)."""
+        return len(self._trace) * _DENSE_BYTES_PER_SLOT
+
+
+class SemiMarkovSource(_RleTraceSource):
     """Sojourn-time-driven availability (non-memoryless future work).
 
     The process alternates states according to an *embedded* transition
@@ -403,30 +625,26 @@ class SemiMarkovSource(_LazyTraceSource):
         self._samplers = sojourn_samplers
         self._rng = rng
         self._state = int(initial)
-        self._trace = np.empty(0, dtype=np.uint8)
+        self._init_rle()
         self._grow_to(self._GROW)
 
     def _grow_to(self, length: int) -> None:
-        # Geometric growth: monotone access patterns miss roughly once per
-        # sojourn, and each miss re-concatenates the trace, so growing to
-        # exactly the requested length would be quadratic in run length.
-        length = max(length, 2 * len(self._trace))
-        pieces = [self._trace]
-        total = len(self._trace)
-        while total < length:
+        # Geometric growth (monotone access misses roughly once per
+        # sojourn); each sojourn is appended directly as one run — the
+        # process *is* its run-length encoding.
+        length = max(length, 2 * self._length)
+        while self._length < length:
             sojourn = int(self._samplers[self._state](self._rng))
             if sojourn < 1:
                 raise ValueError(
                     f"sojourn sampler for state {self._state} returned {sojourn}; "
                     "sojourns must be >= 1 slot"
                 )
-            pieces.append(np.full(sojourn, self._state, dtype=np.uint8))
-            total += sojourn
+            self._append_run(self._state, sojourn)
             row = self._embedded[self._state]
             self._state = int(
                 np.searchsorted(np.cumsum(row), self._rng.random(), side="right")
             )
-        self._trace = np.concatenate(pieces) if len(pieces) > 1 else pieces[0]
 
 
 class WeibullSource(SemiMarkovSource):

@@ -48,6 +48,17 @@ semantics are preserved exactly: ``step_mode="slot"`` keeps the original
 one-slot-at-a-time loop as the oracle, and the two modes produce
 bit-identical reports, event logs, and audit trails (enforced by
 ``tests/test_span_equivalence.py``).
+
+**Instance stores** (DESIGN.md §9).  The default
+``instance_store="array"`` keeps the live instances in the
+structure-of-arrays :class:`~repro.sim.instance_table.InstanceTable` —
+incrementally maintained aggregates turn the body's per-boundary and
+per-round scans (crash sweep, round triviality, glide analysis,
+replication bookkeeping, sibling lookups) into O(1) reads or short
+candidate loops over a once-per-boundary state list.
+``instance_store="legacy"`` preserves the original Python-list store as
+the oracle; the two stores are bit-identical (enforced by
+``tests/test_instance_table.py``).
 """
 
 from __future__ import annotations
@@ -68,6 +79,7 @@ from ..rng import DEFAULT_SCHEDULER_SEED, default_scheduler_rng
 from ..types import ProcState
 from ..workload.application import IterativeApplication
 from .events import EventKind, EventLog, SimEvent
+from .instance_table import InstanceTable
 from .metrics import SimulationReport
 from .network import BoundedMultiportNetwork, TransferRequest
 from .platform import Platform
@@ -125,6 +137,15 @@ class SimulatorOptions:
             ``tests/test_scheduler_api_equivalence.py``); the legacy path
             is kept as the oracle for that suite and the benchmark
             baseline.
+        instance_store: ``"array"`` (default) keeps the live instances in
+            the structure-of-arrays
+            :class:`~repro.sim.instance_table.InstanceTable` —
+            vectorised body scans, O(1) triviality/saturation checks,
+            free-list slot reuse (DESIGN.md §9); ``"legacy"`` keeps the
+            original Python-list store.  Bit-identical reports, event
+            logs and audit trails either way (enforced by
+            ``tests/test_instance_table.py``); the legacy store is the
+            oracle for that suite and the benchmark baseline.
     """
 
     replication: bool = True
@@ -135,6 +156,7 @@ class SimulatorOptions:
     max_slots: int = 10_000_000
     step_mode: str = "span"
     scheduler_api: str = "array"
+    instance_store: str = "array"
 
     def __post_init__(self) -> None:
         require_nonnegative_int(self.max_replicas, "max_replicas")
@@ -147,6 +169,11 @@ class SimulatorOptions:
             raise ValueError(
                 "scheduler_api must be 'array' or 'legacy', "
                 f"got {self.scheduler_api!r}"
+            )
+        if self.instance_store not in ("array", "legacy"):
+            raise ValueError(
+                "instance_store must be 'array' or 'legacy', "
+                f"got {self.instance_store!r}"
             )
 
 
@@ -206,13 +233,35 @@ class MasterSimulator:
             target_iterations=app.iterations, heuristic_name=scheduler.name
         )
 
-        # Iteration state.
+        # Iteration state.  The live-instance store is either the
+        # structure-of-arrays InstanceTable (DESIGN.md §9, the default) or
+        # the legacy Python list kept as the bit-identical oracle; exactly
+        # one of ``_tbl``/``_instances`` is in use.
         self.iteration = 0
-        self._instances: List[TaskInstance] = []  # live instances, this iteration
+        self._tbl: Optional[InstanceTable] = None
+        if self.options.instance_store == "array":
+            self._tbl = InstanceTable(
+                app.tasks_per_iteration,
+                len(self.workers),
+                1 + self.options.max_replicas,
+            )
+            #: Mirrors ``prog_received > 0`` per worker (crash-sweep filter).
+            self._prog_started = [False] * len(self.workers)
+            #: Per-worker reuse cache for frozen TransferRequest objects,
+            #: keyed by (kind, started, is_replica) — see _gather_requests.
+            self._request_cache: List[dict] = [{} for _ in self.workers]
+        self._instances: List[TaskInstance] = []  # legacy store only
         self._committed: set[int] = set()  # committed task_ids, this iteration
         self._start_iteration(0)
 
         self._prev_states: Optional[np.ndarray] = None
+        # Array-store body fast path: the state vector converted once per
+        # boundary to a plain Python list (``states.tolist()`` is ~0.2µs;
+        # after that, int loops beat per-element numpy reads ~2× at the
+        # paper's p = 20 — DESIGN.md §9).  ``None`` on the legacy store.
+        self._states_list: Optional[list] = None
+        self._prev_states_list: Optional[list] = None
+        self._avail = [proc.availability for proc in platform]
         self._need_replan = True
 
         #: Fully simulated slots (diagnostic, not part of the report): in
@@ -252,7 +301,10 @@ class MasterSimulator:
             pipeline_provider=self._pinned_pipeline_of,
         )
         self._rs.freshen = self._freshen_worker_columns
-        self._rs_dirty = bytearray(b"\x01" * len(self.workers))
+        #: Local alias of the RoundState's dirty flags (same bytearray):
+        #: the flags live on the state object (DESIGN.md §8), the master
+        #: writes them at every mutating touch point.
+        self._rs_dirty = self._rs.dirty
 
     # ------------------------------------------------------------------ #
     # Iteration lifecycle.                                                 #
@@ -260,7 +312,7 @@ class MasterSimulator:
     def _start_iteration(self, iteration: int) -> None:
         self.iteration = iteration
         self._committed = set()
-        self._instances = [
+        originals = [
             TaskInstance(
                 iteration=iteration,
                 task_id=task_id,
@@ -269,10 +321,30 @@ class MasterSimulator:
             )
             for task_id in range(self.app.tasks_per_iteration)
         ]
+        if self._tbl is not None:
+            self._tbl.reset()
+            for inst in originals:
+                self._tbl.add(inst)
+        else:
+            self._instances = originals
+            for position, inst in enumerate(originals):
+                inst.row = position
         self._need_replan = True
 
     def _live_instances_of(self, task_id: int) -> List[TaskInstance]:
         return [inst for inst in self._instances if inst.task_id == task_id]
+
+    def _list_remove(self, inst: TaskInstance) -> None:
+        """Legacy-store removal: O(1) swap-remove by the instance's
+        tracked list position (order is never observable — the commit and
+        proactive paths iterate in canonical creation/task order)."""
+        instances = self._instances
+        position = inst.row
+        last = instances.pop()
+        if last is not inst:
+            instances[position] = last
+            last.row = position
+        inst.row = -1
 
     def _uncommitted_task_ids(self) -> List[int]:
         return [
@@ -281,52 +353,109 @@ class MasterSimulator:
             if task_id not in self._committed
         ]
 
+    @property
+    def instance_ops(self) -> int:
+        """Structural instance-store mutations so far (benchmark metric;
+        0 on the legacy store, which does not count them)."""
+        return self._tbl.ops if self._tbl is not None else 0
+
     # ------------------------------------------------------------------ #
     # Crash / state handling.                                              #
     # ------------------------------------------------------------------ #
     def _handle_states(self, slot: int, states: np.ndarray) -> None:
-        if self._prev_states is not None and not np.array_equal(
-            states, self._prev_states
-        ):
-            # Re-plan only when the UP set changed: transitions among
-            # RECLAIMED/DOWN of unused processors alter neither the
-            # candidate set nor any Delay estimate.
-            if not np.array_equal(
-                states == int(ProcState.UP),
-                self._prev_states == int(ProcState.UP),
-            ):
-                self._need_replan = True
-            if self.log.enabled:
-                for q in range(len(states)):
-                    if states[q] != self._prev_states[q]:
+        prev = self._prev_states
+        if prev is not None and self._tbl is not None:
+            # Fused change detection (array store): one pass over the
+            # plain-list state vectors feeds the re-plan trigger and the
+            # log loop — same trigger, same events (ascending worker
+            # order) as the legacy double ``array_equal``.
+            slist = self._states_list
+            prev_list = self._prev_states_list
+            changed = [
+                q for q in range(len(slist)) if slist[q] != prev_list[q]
+            ]
+            if changed:
+                up = int(ProcState.UP)
+                # Re-plan only when the UP set changed: transitions among
+                # RECLAIMED/DOWN of unused processors alter neither the
+                # candidate set nor any Delay estimate.
+                if any(
+                    (slist[q] == up) != (prev_list[q] == up) for q in changed
+                ):
+                    self._need_replan = True
+                if self.log.enabled:
+                    for q in changed:
                         self.log.emit(
                             SimEvent(
                                 slot,
                                 EventKind.PROC_STATE_CHANGE,
                                 worker=q,
                                 detail=(
-                                    f"{ProcState(int(self._prev_states[q])).code}"
+                                    f"{ProcState(prev_list[q]).code}"
+                                    f"->{ProcState(slist[q]).code}"
+                                ),
+                            )
+                        )
+        elif prev is not None and not np.array_equal(states, prev):
+            if not np.array_equal(
+                states == int(ProcState.UP), prev == int(ProcState.UP)
+            ):
+                self._need_replan = True
+            if self.log.enabled:
+                for q in range(len(states)):
+                    if states[q] != prev[q]:
+                        self.log.emit(
+                            SimEvent(
+                                slot,
+                                EventKind.PROC_STATE_CHANGE,
+                                worker=q,
+                                detail=(
+                                    f"{ProcState(int(prev[q])).code}"
                                     f"->{ProcState(int(states[q])).code}"
                                 ),
                             )
                         )
-        for worker in self.workers:
-            if states[worker.index] != int(ProcState.DOWN):
-                continue
-            if worker.prog_received == 0 and not worker.queue:
-                continue
+        tbl = self._tbl
+        down = int(ProcState.DOWN)
+        if tbl is not None:
+            # Only workers carrying progress can crash; the filters mirror
+            # ``prog_received > 0`` / non-empty queues exactly, so this is
+            # the same sweep the legacy loop does, minus the idle workers.
+            slist = self._states_list
+            prog_started = self._prog_started
+            workers = self.workers
+            candidates = [
+                q
+                for q in range(len(slist))
+                if slist[q] == down and (prog_started[q] or workers[q].queue)
+            ]
+        else:
+            candidates = [
+                q
+                for q in range(len(self.workers))
+                if states[q] == down
+                and (self.workers[q].prog_received or self.workers[q].queue)
+            ]
+        for q in candidates:
+            worker = self.workers[q]
             # Account wasted effort before wiping progress.
             self.report.comm_slots_wasted += worker.prog_received
-            self._rs_dirty[worker.index] = 1  # program + pipeline wiped
+            self._rs_dirty[q] = 1  # program + pipeline wiped
             lost = worker.crash()
+            if tbl is not None:
+                tbl.on_crash(q)
+                self._prog_started[q] = False
             for inst in lost:
                 self.report.comm_slots_wasted += inst.data_received
                 self.report.compute_slots_wasted += inst.compute_done
                 self.report.instances_lost_to_crash += 1
                 if inst.is_replica:
                     self._destroy_instance(inst)
-                else:
+                elif tbl is not None:
                     reset_instance(inst)  # original returns to the pool
+                    tbl.release(inst)
+                else:
+                    reset_instance(inst)
                 self.log.emit(
                     SimEvent(
                         slot,
@@ -341,13 +470,18 @@ class MasterSimulator:
             self._need_replan = True
 
     def _destroy_instance(self, inst: TaskInstance) -> None:
+        if self._tbl is not None:
+            # Before the queue detach below: destroy reads ``inst.worker``
+            # for the computing-row rollback.
+            self._tbl.destroy(inst)
         if inst.worker is not None:
             # Destroying a pinned instance moves the worker's delay and
             # pinned count; marking unconditionally is cheap and idempotent.
             self._rs_dirty[inst.worker] = 1
             self.workers[inst.worker].remove_instance(inst)
         reset_instance(inst)
-        self._instances = [other for other in self._instances if other is not inst]
+        if self._tbl is None:
+            self._list_remove(inst)
 
     # ------------------------------------------------------------------ #
     # Scheduling round.                                                    #
@@ -382,6 +516,8 @@ class MasterSimulator:
         workers = self.workers
         up = int(ProcState.UP)
         eager_all = self.options.audit  # the audit cross-check reads all p
+        # Plain-list state reads where the array store maintains the list.
+        slist = self._states_list if self._tbl is not None else states
         changed: List[int] = []
         delays: List[int] = []
         pinned_counts: List[int] = []
@@ -389,7 +525,7 @@ class MasterSimulator:
         for q in range(len(dirty)):
             if not dirty[q]:
                 continue
-            if not eager_all and states[q] != up:
+            if not eager_all and slist[q] != up:
                 # Not a scheduling candidate: only the lazy-view shim can
                 # read its columns, and RoundState.freshen covers that.
                 # The flag stays set, so the worker is picked up here once
@@ -479,11 +615,17 @@ class MasterSimulator:
                     ),
                 )
             )
-        remaining = sum(
-            1
-            for inst in self._instances
-            if not inst.is_replica and not inst.pinned
-        )
+        tbl = self._tbl
+        if tbl is not None:
+            remaining = int(
+                np.count_nonzero(tbl.alive & ~tbl.pinned & (tbl.replica_id == 0))
+            )
+        else:
+            remaining = sum(
+                1
+                for inst in self._instances
+                if not inst.is_replica and not inst.pinned
+            )
         return SchedulingContext(
             slot=slot,
             t_prog=self.app.t_prog,
@@ -499,24 +641,43 @@ class MasterSimulator:
 
         A round matters only if there is an unpinned original to (re)place,
         an unpinned replica to reconsider, or the replication trigger can
-        fire.  Checking this first keeps event-dense runs cheap.
+        fire.  Checking this first keeps event-dense runs cheap.  With the
+        array store the unpinned and saturation checks read incrementally
+        maintained counters (O(1)) instead of scanning the instances.
         """
-        for inst in self._instances:
-            if not inst.pinned:
+        tbl = self._tbl
+        if tbl is not None:
+            if tbl.n_unpinned:
                 return False  # something to place or reconsider
+        else:
+            for inst in self._instances:
+                if not inst.pinned:
+                    return False
         if self.options.proactive and self._proactive_candidates(states):
             return False
         if not self.options.replication or self.options.max_replicas == 0:
             return True
-        n_uncommitted = self.app.tasks_per_iteration - len(self._committed)
-        up = int(np.count_nonzero(states == int(ProcState.UP)))
-        if up <= n_uncommitted:
-            return True  # replication trigger cannot fire
-        idle = any(
-            not self.workers[q].queue
-            for q in range(len(self.workers))
-            if states[q] == int(ProcState.UP)
-        )
+        up_state = int(ProcState.UP)
+        if tbl is not None:
+            n_uncommitted = tbl.n_uncommitted
+            slist = self._states_list
+            if slist.count(up_state) <= n_uncommitted:
+                return True  # replication trigger cannot fire
+            workers = self.workers
+            idle = any(
+                slist[q] == up_state and not workers[q].queue
+                for q in range(len(slist))
+            )
+        else:
+            n_uncommitted = self.app.tasks_per_iteration - len(self._committed)
+            up = int(np.count_nonzero(states == up_state))
+            if up <= n_uncommitted:
+                return True  # replication trigger cannot fire
+            idle = any(
+                not self.workers[q].queue
+                for q in range(len(self.workers))
+                if states[q] == up_state
+            )
         if not idle:
             return True
         return self._replication_saturated()
@@ -526,7 +687,10 @@ class MasterSimulator:
         ``1 + max_replicas`` live instances, so the replication trigger
         has no capacity left regardless of the UP set.  Shared by the
         per-round triviality check and the span glide condition
-        (:meth:`_round_glidable`), which must agree on it."""
+        (:meth:`_round_glidable`), which must agree on it.  O(1) on the
+        array store (the incrementally maintained replication deficit)."""
+        if self._tbl is not None:
+            return self._tbl.replication_saturated
         max_instances = 1 + self.options.max_replicas
         counts: Dict[int, int] = {}
         for inst in self._instances:
@@ -546,21 +710,46 @@ class MasterSimulator:
         regime holds (at least as many UP processors as uncommitted tasks),
         the instance's worker is RECLAIMED, and the instance has not
         accumulated the majority of its computation (killing a nearly-done
-        task is rarely worth the resent data).
+        task is rarely worth the resent data).  Candidates are returned in
+        ascending task order (canonical on both stores: originals are
+        unique per task).
         """
         uncommitted = self.app.tasks_per_iteration - len(self._committed)
-        up = int(np.count_nonzero(states == int(ProcState.UP)))
+        tbl = self._tbl
+        if tbl is not None:
+            up = self._states_list.count(int(ProcState.UP))
+        else:
+            up = int(np.count_nonzero(states == int(ProcState.UP)))
         if up < uncommitted or up == 0:
             return []
         candidates = []
+        reclaimed = int(ProcState.RECLAIMED)
+        if tbl is not None:
+            slist = self._states_list
+            for task_id in tbl.uncommitted_tasks().tolist():
+                row = int(tbl.original_row[task_id])
+                if row < 0 or not tbl.pinned[row]:
+                    continue
+                inst = tbl.objects[row]
+                host = inst.worker
+                if host is None or slist[host] != reclaimed:
+                    continue
+                if (
+                    inst.compute_needed
+                    and inst.compute_done * 2 > inst.compute_needed
+                ):
+                    continue
+                candidates.append(inst)
+            return candidates
         for inst in self._instances:
             if inst.is_replica or not inst.pinned or inst.worker is None:
                 continue
-            if states[inst.worker] != int(ProcState.RECLAIMED):
+            if states[inst.worker] != reclaimed:
                 continue
             if inst.compute_needed and inst.compute_done * 2 > inst.compute_needed:
                 continue
             candidates.append(inst)
+        candidates.sort(key=lambda inst: inst.task_id)
         return candidates
 
     def _proactive_round(self, slot: int, states: np.ndarray) -> None:
@@ -568,6 +757,8 @@ class MasterSimulator:
             self.report.comm_slots_wasted += inst.data_received
             self.report.compute_slots_wasted += inst.compute_done
             self._rs_dirty[inst.worker] = 1  # pinned work discarded
+            if self._tbl is not None:
+                self._tbl.release(inst)  # reads inst.worker: before detach
             self.workers[inst.worker].remove_instance(inst)
             reset_instance(inst)  # back to the pool, progress discarded
             self.log.emit(
@@ -589,37 +780,51 @@ class MasterSimulator:
             self._proactive_round(slot, states)
         self.report.scheduler_rounds += 1
 
-        # One pass over the live instances: drop unpinned replicas (the
-        # replication step below recreates what is still useful — they
-        # carry no progress by definition) and collect the unpinned
+        # One pass over the unpinned instances: drop unpinned replicas
+        # (the replication step below recreates what is still useful —
+        # they carry no progress by definition) and collect the unpinned
         # originals (planned-on-worker and unplaced) for re-placement.
         # Worker queues are purged once per touched worker — everything
         # unpinned in a queue is, by construction, in one of the two lists.
         # None of this moves a RoundState column: unpinned instances have
         # zero progress, so they appear in neither Delay nor pinned_count.
         unpinned: List[TaskInstance] = []
-        dropped: List[TaskInstance] = []
         touched_hosts: set = set()
-        for inst in self._instances:
-            if inst.pinned:
-                continue
-            if inst.worker is not None:
-                touched_hosts.add(inst.worker)
-                inst.worker = None
-            if inst.is_replica:
-                dropped.append(inst)
-            else:
-                unpinned.append(inst)
-        for host in touched_hosts:
-            worker = self.workers[host]
-            worker.queue = [other for other in worker.queue if other.pinned]
-        if dropped:
+        tbl = self._tbl
+        if tbl is not None:
+            # The unpinned set is read straight off the table; the dropped
+            # rows go back to the free list instead of forcing a rebuild.
+            for row in tbl.unpinned_rows():
+                inst = tbl.objects[row]
+                if inst.worker is not None:
+                    touched_hosts.add(inst.worker)
+                    inst.worker = None
+                if inst.is_replica:
+                    reset_instance(inst)
+                    tbl.destroy(inst)
+                else:
+                    unpinned.append(inst)
+            for host in touched_hosts:
+                worker = self.workers[host]
+                worker.queue = [other for other in worker.queue if other.pinned]
+        else:
+            dropped: List[TaskInstance] = []
+            for inst in self._instances:
+                if inst.pinned:
+                    continue
+                if inst.worker is not None:
+                    touched_hosts.add(inst.worker)
+                    inst.worker = None
+                if inst.is_replica:
+                    dropped.append(inst)
+                else:
+                    unpinned.append(inst)
+            for host in touched_hosts:
+                worker = self.workers[host]
+                worker.queue = [other for other in worker.queue if other.pinned]
             for inst in dropped:
                 reset_instance(inst)
-            gone = set(map(id, dropped))
-            self._instances = [
-                inst for inst in self._instances if id(inst) not in gone
-            ]
+                self._list_remove(inst)
         unpinned.sort(key=lambda inst: inst.task_id)
 
         if self.options.scheduler_api == "array":
@@ -655,7 +860,8 @@ class MasterSimulator:
                 f"scheduler {self.scheduler.name!r} placed a task on unknown "
                 f"processor {choice}"
             )
-        if states[choice] == int(ProcState.DOWN):
+        slist = self._states_list if self._tbl is not None else states
+        if slist[choice] == int(ProcState.DOWN):
             # Refuse placements on DOWN processors (passive schedulers may
             # remember stale choices); leave the instance unplaced.
             return
@@ -667,21 +873,73 @@ class MasterSimulator:
     def _replication_round(self, place_batch, states: np.ndarray) -> None:
         # Cheap count-based exits before any list is built: mid-iteration
         # rounds leave here on the paper's trigger nearly every time.
-        n_uncommitted = self.app.tasks_per_iteration - len(self._committed)
+        tbl = self._tbl
+        if tbl is not None:
+            n_uncommitted = tbl.n_uncommitted
+        else:
+            n_uncommitted = self.app.tasks_per_iteration - len(self._committed)
         if n_uncommitted <= 0:
             return
         up_state = int(ProcState.UP)
-        if int(np.count_nonzero(states == up_state)) <= n_uncommitted:
+        if tbl is not None:
+            slist = self._states_list
+            if slist.count(up_state) <= n_uncommitted:
+                return  # paper's trigger: more UP than remaining tasks
+            workers = self.workers
+            idle = [
+                q
+                for q in range(len(slist))
+                if slist[q] == up_state and not workers[q].queue
+            ]
+        elif int(np.count_nonzero(states == up_state)) <= n_uncommitted:
             return  # paper's trigger: more UP processors than remaining tasks
-        idle = [
-            q
-            for q in range(len(states))
-            if states[q] == up_state and not self.workers[q].queue
-        ]
+        else:
+            idle = [
+                q
+                for q in range(len(states))
+                if states[q] == up_state and not self.workers[q].queue
+            ]
         if not idle:
             return
-        uncommitted = self._uncommitted_task_ids()
         max_instances = 1 + self.options.max_replicas
+        if tbl is not None:
+            # The per-task aggregates are maintained incrementally, so no
+            # pass over the live instances is needed at all.  Reading them
+            # per visited candidate is exact: the loop below only ever
+            # *adds* replicas for the task it is visiting, and it never
+            # revisits a task.
+            live_count = tbl.live_count
+            candidates = sorted(
+                tbl.uncommitted_tasks().tolist(),
+                key=lambda task_id: (int(live_count[task_id]), task_id),
+            )
+            for task_id in candidates:
+                if not idle:
+                    break
+                if live_count[task_id] >= max_instances:
+                    continue
+                task_hosts = tbl.hosts_of_task(task_id)
+                allowed = [q for q in idle if q not in task_hosts]
+                if not allowed:
+                    continue
+                choice = place_batch(1, allowed=allowed)[0]
+                if choice is None:
+                    continue
+                replica = TaskInstance(
+                    iteration=self.iteration,
+                    task_id=task_id,
+                    replica_id=tbl.free_replica_id(task_id),
+                    data_needed=self.app.t_data,
+                )
+                tbl.add(replica)
+                self._place(replica, choice, states)
+                if replica.worker is not None:
+                    self.report.replicas_launched += 1
+                    idle.remove(choice)
+                else:
+                    tbl.destroy(replica)
+            return
+        uncommitted = self._uncommitted_task_ids()
         # One pass over the live instances replaces the per-candidate
         # `_live_instances_of` scans: the loop below only ever *adds*
         # replicas for other task ids, so counts/hosts/replica ids taken
@@ -721,27 +979,50 @@ class MasterSimulator:
                 replica_id=replica_id,
                 data_needed=self.app.t_data,
             )
+            replica.row = len(self._instances)
             self._instances.append(replica)
             self._place(replica, choice, states)
             if replica.worker is not None:
                 self.report.replicas_launched += 1
                 idle.remove(choice)
             else:
-                self._instances.remove(replica)
+                self._instances.pop()
+                replica.row = -1
 
     # ------------------------------------------------------------------ #
     # Compute step.                                                        #
     # ------------------------------------------------------------------ #
     def _compute_step(self, slot: int, states: np.ndarray) -> None:
-        for worker in self.workers:
-            if states[worker.index] != int(ProcState.UP):
-                continue
-            current = worker.computing_instance
+        tbl = self._tbl
+        up = int(ProcState.UP)
+        if tbl is not None:
+            # Only UP workers with a queue can compute; the candidate
+            # filter replaces the all-workers sweep (same ascending order).
+            slist = self._states_list
+            workers = self.workers
+            candidates = [
+                q
+                for q in range(len(slist))
+                if slist[q] == up and workers[q].queue
+            ]
+        else:
+            candidates = [
+                q for q in range(len(self.workers)) if states[q] == up
+            ]
+        for q in candidates:
+            worker = self.workers[q]
+            if tbl is not None:
+                row = tbl.computing_row[q]
+                current = tbl.objects[row] if row >= 0 else None
+            else:
+                current = worker.computing_instance
             if current is None:
                 current = worker.next_compute_target()
                 if current is None:
                     continue
                 current.computing = True
+                if tbl is not None:
+                    tbl.start_computing(current)
                 self.log.emit(
                     SimEvent(
                         slot,
@@ -753,15 +1034,17 @@ class MasterSimulator:
                     )
                 )
             current.compute_done += 1
-            self._rs_dirty[worker.index] = 1  # delay shrank (or pin began)
+            self._rs_dirty[q] = 1  # delay shrank (or pin began)
             self.report.compute_slots_spent += 1
             if self.timeline is not None:
-                self.timeline.mark_compute(worker.index)
+                self.timeline.mark_compute(q)
             if current.compute_complete:
                 self._commit(slot, current)
 
     def _commit(self, slot: int, inst: TaskInstance) -> None:
         self._committed.add(inst.task_id)
+        if self._tbl is not None:
+            self._tbl.commit_task(inst.task_id)
         self.report.tasks_committed += 1
         self._need_replan = True
         self.log.emit(
@@ -774,8 +1057,21 @@ class MasterSimulator:
                 replica_id=inst.replica_id,
             )
         )
-        # Remove the committed instance and cancel all siblings.
-        for sibling in self._live_instances_of(inst.task_id):
+        # Remove the committed instance and cancel all siblings, in
+        # creation (uid) order — canonical on both stores: the table's
+        # per-task row list appends in creation order, and the legacy
+        # list (whose raw order a swap-remove may scramble) sorts.
+        if self._tbl is not None:
+            siblings = [
+                self._tbl.objects[row]
+                for row in list(self._tbl.rows_of[inst.task_id])
+            ]
+        else:
+            siblings = sorted(
+                self._live_instances_of(inst.task_id),
+                key=lambda other: other.uid,
+            )
+        for sibling in siblings:
             if sibling is inst:
                 self._destroy_instance(sibling)
                 continue
@@ -806,32 +1102,61 @@ class MasterSimulator:
         """This slot's transfer requests (and data targets) per UP worker."""
         requests: List[TransferRequest] = []
         targets: Dict[int, TaskInstance] = {}
-        for worker in self.workers:
-            if states[worker.index] != int(ProcState.UP):
+        up = int(ProcState.UP)
+        caches = None
+        if self._tbl is not None:
+            # Both request kinds need a non-empty queue (``wants_program``
+            # checks it; a data target comes from it), so the filter is
+            # exact — same candidates, same ascending order.  Requests are
+            # frozen dataclasses keyed entirely by (worker, kind, started,
+            # is_replica), so the per-worker cache reuses them across
+            # slots instead of re-validating a fresh object per boundary.
+            slist = self._states_list
+            all_workers = self.workers
+            workers = [
+                all_workers[q]
+                for q in range(len(slist))
+                if slist[q] == up and all_workers[q].queue
+            ]
+            caches = self._request_cache
+        else:
+            workers = self.workers
+        for worker in workers:
+            if caches is None and states[worker.index] != up:
                 continue  # transfers suspend while RECLAIMED / DOWN
             if worker.wants_program():
-                requests.append(
-                    TransferRequest(
-                        worker=worker.index,
-                        kind="prog",
-                        started=worker.prog_received > 0,
-                        is_replica=False,
-                        key=worker.index,
-                    )
-                )
-                continue
-            target = worker.next_data_target()
-            if target is not None:
-                requests.append(
-                    TransferRequest(
-                        worker=worker.index,
-                        kind="data",
-                        started=target.data_started,
-                        is_replica=target.is_replica,
-                        key=worker.index,
-                    )
-                )
+                kind = "prog"
+                started = worker.prog_received > 0
+                is_replica = False
+            else:
+                target = worker.next_data_target()
+                if target is None:
+                    continue
+                kind = "data"
+                started = target.data_started
+                is_replica = target.is_replica
                 targets[worker.index] = target
+            if caches is not None:
+                cache = caches[worker.index]
+                request = cache.get((kind, started, is_replica))
+                if request is None:
+                    request = TransferRequest(
+                        worker=worker.index,
+                        kind=kind,
+                        started=started,
+                        is_replica=is_replica,
+                        key=worker.index,
+                    )
+                    cache[(kind, started, is_replica)] = request
+            else:
+                request = TransferRequest(
+                    worker=worker.index,
+                    kind=kind,
+                    started=started,
+                    is_replica=is_replica,
+                    key=worker.index,
+                )
+            requests.append(request)
         return requests, targets
 
     def _transfer_step(self, slot: int, states: np.ndarray) -> None:
@@ -848,6 +1173,8 @@ class MasterSimulator:
                 nprog += 1
                 grants.append((worker, "prog", None))
                 if worker.prog_received == 0:
+                    if self._tbl is not None:
+                        self._prog_started[worker.index] = True
                     self.log.emit(
                         SimEvent(
                             slot,
@@ -867,6 +1194,8 @@ class MasterSimulator:
                 inst = targets[grant.worker]
                 grants.append((worker, "data", inst))
                 if not inst.data_started:
+                    if self._tbl is not None:
+                        self._tbl.pin(inst)  # first data slot pins
                     self.log.emit(
                         SimEvent(
                             slot,
@@ -908,7 +1237,15 @@ class MasterSimulator:
     def _step(self, slot: int) -> bool:
         """Simulate one slot; returns True when the whole run finished."""
         self.steps_executed += 1
-        states = self.platform.states_at(slot)
+        if self._tbl is not None:
+            # Body fast path: gather states into a Python list (one
+            # state_at per source, cursor-backed O(1) on the RLE traces)
+            # and wrap it zero-copy for the vectorised consumers.
+            slist = [source.state_at(slot) for source in self._avail]
+            states = np.frombuffer(bytes(slist), dtype=np.uint8)
+            self._states_list = slist
+        else:
+            states = self.platform.states_at(slot)
         self._pipeline_changed = False
         if self.timeline is not None:
             self.timeline.begin_slot(states)
@@ -924,6 +1261,8 @@ class MasterSimulator:
         if self.options.audit:
             for worker in self.workers:
                 worker.check_invariants()
+            if self._tbl is not None:
+                self._audit_instance_table()
 
         if len(self._committed) >= self.app.tasks_per_iteration:
             self.report.iteration_end_slots.append(slot)
@@ -938,6 +1277,7 @@ class MasterSimulator:
             self._start_iteration(self.iteration + 1)
 
         self._prev_states = states
+        self._prev_states_list = self._states_list
         return False
 
     # ------------------------------------------------------------------ #
@@ -1046,11 +1386,18 @@ class MasterSimulator:
         """
         if self.options.proactive:
             return False
-        for inst in self._instances:
-            # `pinned` inlined (data_received > 0 or computing): this runs
-            # at every span boundary, so property-call overhead matters.
-            if inst.data_received == 0 and not inst.computing:
+        tbl = self._tbl
+        if tbl is not None:
+            # O(1): both conditions are incrementally maintained counters.
+            if tbl.n_unpinned:
                 return False
+        else:
+            for inst in self._instances:
+                # `pinned` inlined (data_received > 0 or computing): this
+                # runs at every span boundary, so property-call overhead
+                # matters on the legacy store.
+                if inst.data_received == 0 and not inst.computing:
+                    return False
         if not self.options.replication or self.options.max_replicas == 0:
             return True
         return self._replication_saturated()
@@ -1069,7 +1416,11 @@ class MasterSimulator:
             return 0
         if self._need_replan or self._pipeline_changed:
             return 0  # next slot re-plans or re-allocates: full step
-        states = self._prev_states
+        states = (
+            self._prev_states_list
+            if self._tbl is not None
+            else self._prev_states
+        )
         up = int(ProcState.UP)
         horizon = last + 1  # exclusive sentinel: quiet through the budget
         # 1. Availability: the earliest transition that the simulation can
@@ -1145,13 +1496,20 @@ class MasterSimulator:
         #    except the computing instance of a refined (UP, ungranted)
         #    worker, which ticks once per *UP* slot and therefore
         #    completes at its worker's ``compute_remaining``-th UP slot.
+        computing_rows = (
+            self._tbl.computing_row if self._tbl is not None else None
+        )
         for worker in self.workers:
             q = worker.index
             if not worker.queue or states[q] != up:
                 continue  # idle, frozen (RECLAIMED) or wiped (DOWN): no ticks
             kind, inst = grant_index.get(q, (None, None))
             if refined and kind is None:
-                computing = worker.computing_instance
+                if computing_rows is not None:
+                    row = computing_rows[q]
+                    computing = self._tbl.objects[row] if row >= 0 else None
+                else:
+                    computing = worker.computing_instance
                 if computing is None:
                     continue
                 milestone_slot = self.platform[q].availability.nth_up_after(
@@ -1186,27 +1544,40 @@ class MasterSimulator:
         timeline_compute: Optional[List[int]] = (
             [] if self.timeline is not None else None
         )
-        for worker in self.workers:
-            if states[worker.index] != up:
-                continue
-            inst = worker.computing_instance
-            if inst is not None:
-                if refined and worker.index not in self._grant_index:
-                    # May freeze and resume inside the span: progress is
-                    # the worker's UP-slot count over the window.
-                    ticks = self.platform[worker.index].availability.up_count_in(
-                        start, start + count
-                    )
-                else:
-                    ticks = count  # UP throughout (any transition breaks)
-                if ticks:
-                    inst.compute_done += ticks
-                    report.compute_slots_spent += ticks
-                    dirty[worker.index] = 1
-                if timeline_compute is not None:
-                    # With a recorder attached every transition is a span
-                    # boundary, so the worker computes on every quiet slot.
-                    timeline_compute.append(worker.index)
+        tbl = self._tbl
+        if tbl is not None:
+            slist = self._prev_states_list
+            computing_row = tbl.computing_row
+            computing = [
+                (q, tbl.objects[computing_row[q]])
+                for q in range(len(slist))
+                if slist[q] == up and computing_row[q] >= 0
+            ]
+        else:
+            computing = []
+            for worker in self.workers:
+                if states[worker.index] != up:
+                    continue
+                inst = worker.computing_instance
+                if inst is not None:
+                    computing.append((worker.index, inst))
+        for q, inst in computing:
+            if refined and q not in self._grant_index:
+                # May freeze and resume inside the span: progress is
+                # the worker's UP-slot count over the window.
+                ticks = self.platform[q].availability.up_count_in(
+                    start, start + count
+                )
+            else:
+                ticks = count  # UP throughout (any transition breaks)
+            if ticks:
+                inst.compute_done += ticks
+                report.compute_slots_spent += ticks
+                dirty[q] = 1
+            if timeline_compute is not None:
+                # With a recorder attached every transition is a span
+                # boundary, so the worker computes on every quiet slot.
+                timeline_compute.append(q)
         for worker, kind, inst in self._grants:
             if kind == "prog":
                 worker.prog_received += count
@@ -1308,11 +1679,38 @@ class MasterSimulator:
 
     def _finalize(self) -> None:
         # Leftover instances at end-of-run are waste.
-        for inst in self._instances:
+        if self._tbl is not None:
+            leftovers = [
+                self._tbl.objects[row] for row in self._tbl.live_rows().tolist()
+            ]
+        else:
+            leftovers = self._instances
+        for inst in leftovers:
             self.report.comm_slots_wasted += inst.data_received
             self.report.compute_slots_wasted += inst.compute_done
         if self.options.audit:
             self.network.verify_invariants()
+
+    def _audit_instance_table(self) -> None:
+        """Audit-mode cross-check: incremental InstanceTable columns and
+        aggregates == a brute-force rebuild from the live objects and
+        worker queues (DESIGN.md §9; mirrors :meth:`_audit_round_state`)."""
+        tbl = self._tbl
+        live = [tbl.objects[row] for row in tbl.live_rows().tolist()]
+        tbl.audit(live, self._committed)
+        for q, worker in enumerate(self.workers):
+            row = tbl.computing_row[q]
+            current = worker.computing_instance
+            if current is None:
+                assert row == -1, f"worker {q}: stale computing_row {row}"
+            else:
+                assert row == current.row, (
+                    f"worker {q}: computing_row {row} != instance row "
+                    f"{current.row}"
+                )
+            assert bool(self._prog_started[q]) == (worker.prog_received > 0), (
+                f"worker {q}: prog_started flag drifted"
+            )
 
 
 def simulate(

@@ -26,6 +26,7 @@ violated, rather than trusting the loop structure.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import List, Optional
 
 from .._validation import require_positive_int
@@ -59,9 +60,14 @@ class TransferRequest:
         if self.worker < 0:
             raise ValueError(f"worker index must be >= 0, got {self.worker}")
 
-    @property
+    @cached_property
     def priority(self) -> tuple:
-        """Sort key implementing the allocation policy (lower = first)."""
+        """Sort key implementing the allocation policy (lower = first).
+
+        Cached: requests are immutable, and the span-stepped master
+        reuses request objects across slots (``_gather_requests``), so
+        the allocator's sort key is built once per distinct request.
+        """
         return (
             0 if self.started else 1,
             0 if self.kind == "prog" else 1,

@@ -46,6 +46,14 @@ class Activity:
     DOWN = ord("X")
 
 
+#: State code (``ProcState`` int) → availability-derived default activity,
+#: as a lookup table so whole rows fill in one vectorised gather.
+_STATE_DEFAULTS = np.zeros(3, dtype=np.uint8)
+_STATE_DEFAULTS[int(ProcState.UP)] = Activity.IDLE
+_STATE_DEFAULTS[int(ProcState.RECLAIMED)] = Activity.RECLAIMED
+_STATE_DEFAULTS[int(ProcState.DOWN)] = Activity.DOWN
+
+
 class TimelineRecorder:
     """Records a ``(slots, workers)`` activity matrix during a run.
 
@@ -62,16 +70,12 @@ class TimelineRecorder:
         self._current: Optional[np.ndarray] = None
 
     def begin_slot(self, states: np.ndarray) -> None:
-        """Open a new slot row, pre-filled from availability states."""
-        row = np.empty(self.n_workers, dtype=np.uint8)
-        for q in range(self.n_workers):
-            state = int(states[q])
-            if state == int(ProcState.UP):
-                row[q] = Activity.IDLE
-            elif state == int(ProcState.RECLAIMED):
-                row[q] = Activity.RECLAIMED
-            else:
-                row[q] = Activity.DOWN
+        """Open a new slot row, pre-filled from availability states.
+
+        Vectorised: one table gather instead of a per-worker branch chain
+        (this runs every recorded slot).
+        """
+        row = _STATE_DEFAULTS[np.asarray(states, dtype=np.uint8)]
         self._rows.append(row)
         self._current = row
 
@@ -123,15 +127,7 @@ class TimelineRecorder:
         """
         if count <= 0:
             raise ValueError(f"count must be positive, got {count}")
-        row = np.empty(self.n_workers, dtype=np.uint8)
-        for q in range(self.n_workers):
-            state = int(states[q])
-            if state == int(ProcState.UP):
-                row[q] = Activity.IDLE
-            elif state == int(ProcState.RECLAIMED):
-                row[q] = Activity.RECLAIMED
-            else:
-                row[q] = Activity.DOWN
+        row = _STATE_DEFAULTS[np.asarray(states, dtype=np.uint8)]
         for q in compute_workers:
             row[q] = Activity.COMPUTE
         for q, kind in transfer_marks:

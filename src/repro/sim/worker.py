@@ -63,6 +63,11 @@ class TaskInstance:
         worker: index of the worker currently hosting the instance, or
             ``None`` while unplaced.
         computing: True once computation has begun.
+        row: the master's store slot — the instance's row in the
+            structure-of-arrays :class:`~repro.sim.instance_table.
+            InstanceTable`, or its position in the legacy instance list
+            (enabling O(1) swap-remove); -1 while unregistered.
+            Maintained by the owning store, never by the instance.
     """
 
     iteration: int
@@ -74,6 +79,7 @@ class TaskInstance:
     compute_done: int = 0
     worker: Optional[int] = None
     computing: bool = False
+    row: int = -1
     uid: int = field(default_factory=lambda: next(_instance_counter))
 
     @property

@@ -309,3 +309,109 @@ class TestUnifiedSourceContract:
         source = self._sources()[3]
         with pytest.raises(ValueError):
             source.block(-1, 10)
+
+
+class TestRleStorage:
+    """The run-length-encoded backing of the lazy sources (DESIGN.md §9):
+    every query agrees with the dense materialisation, and memory is
+    O(transitions) rather than O(slots)."""
+
+    def _rle_sources(self):
+        return [
+            MarkovSource(chain(), np.random.default_rng(11)),
+            MarkovSource(chain(0.99, 0.95, 0.9), np.random.default_rng(12)),
+            SemiMarkovSource(
+                np.array(
+                    [[0.0, 0.6, 0.4], [0.8, 0.0, 0.2], [1.0, 0.0, 0.0]]
+                ),
+                {
+                    s: (lambda rng: int(rng.geometric(0.15)))
+                    for s in (0, 1, 2)
+                },
+                np.random.default_rng(13),
+            ),
+            WeibullSource(
+                shape=0.7, scale=25, mean_reclaimed=6, mean_down=9,
+                p_up_to_reclaimed=0.6, rng=np.random.default_rng(14),
+            ),
+        ]
+
+    @pytest.mark.parametrize("index", range(4))
+    def test_queries_agree_with_dense_reference(self, index):
+        """up_count_in / nth_up_after / block / next_change_after against
+        a dense TraceSource built from the same materialisation, on
+        randomized windows."""
+        source = self._rle_sources()[index]
+        horizon = 6000
+        dense = TraceSource(
+            source.materialized(horizon), pad_state=ProcState.DOWN
+        )
+        rng = np.random.default_rng(100 + index)
+        for _ in range(120):
+            a, b = sorted(int(x) for x in rng.integers(0, horizon, size=2))
+            assert source.up_count_in(a, b) == dense.up_count_in(a, b)
+            assert np.array_equal(source.block(a, b), dense.block(a, b))
+            slot = int(rng.integers(0, horizon // 2))
+            limit = int(rng.integers(slot + 1, horizon - 1))
+            assert source.next_change_after(
+                slot, limit=limit
+            ) == dense.next_change_after(slot, limit=limit)
+            k = int(rng.integers(1, 40))
+            assert source.nth_up_after(slot, k, limit=limit) == (
+                dense.nth_up_after(slot, k, limit=limit)
+            )
+
+    def test_markov_rle_matches_direct_dense_sampling(self):
+        """The RLE store never changes what is drawn: the materialised
+        trace equals the model's own dense sampling with the same rng and
+        chunk schedule (1024, then doubling)."""
+        model = chain()
+        source = MarkovSource(model, np.random.default_rng(77))
+        reference_rng = np.random.default_rng(77)
+        reference = model.sample_trace(1024, reference_rng)
+        while len(reference) < 5000:
+            reference = model.extend_trace(
+                reference, max(1024, len(reference)), reference_rng
+            )
+        assert np.array_equal(source.materialized(5000), reference[:5000])
+
+    def test_memory_is_o_transitions(self):
+        source = MarkovSource(chain(0.98, 0.95, 0.95), np.random.default_rng(3))
+        source.state_at(200_000)  # materialise a long horizon
+        slots = source.slots_materialized
+        assert slots >= 200_000
+        # Runs are mean-sojourn slots long, so storage is far below the
+        # dense trace + int64 UP-prefix representation it replaced.
+        assert source.run_count < slots // 8
+        assert source.storage_bytes() == source.run_count * 17
+        assert source.dense_bytes() == slots * 9
+        assert source.dense_bytes() > 4 * source.storage_bytes()
+
+    def test_runs_partition_the_trace(self):
+        source = MarkovSource(chain(), np.random.default_rng(21))
+        source.state_at(3000)
+        n = source.run_count
+        starts = source._run_starts[:n]
+        states = source._run_states[:n]
+        assert starts[0] == 0
+        assert (np.diff(starts) > 0).all()
+        assert (states[1:] != states[:-1]).all()  # maximal runs
+        # The per-run UP prefix matches a dense recount.
+        dense = source.materialized(int(starts[-1]))
+        for i in (1, n // 2, n - 1):
+            expected = int(np.count_nonzero(dense[: starts[i]] == 0))
+            assert source._run_up[i] == expected
+
+    def test_cursor_handles_random_access(self):
+        source = MarkovSource(chain(), np.random.default_rng(31))
+        dense = source.materialized(4000)
+        rng = np.random.default_rng(32)
+        for slot in rng.integers(0, 4000, size=500):
+            assert source.state_at(int(slot)) == dense[int(slot)]
+
+    def test_trace_source_diagnostics(self):
+        dense = TraceSource([0, 0, 1, 2, 0])
+        assert dense.dense_bytes() == 5 * 9
+        before = dense.storage_bytes()
+        dense.up_count_in(0, 5)  # builds the prefix
+        assert dense.storage_bytes() > before

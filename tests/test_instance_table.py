@@ -1,0 +1,423 @@
+"""Structure-of-arrays instance store vs the legacy list store.
+
+The PR-4 redesign gate (DESIGN.md §9): for every registry heuristic, the
+simulator driven through ``instance_store="array"`` — the
+:class:`~repro.sim.instance_table.InstanceTable` with incrementally
+maintained aggregates, free-list row reuse and the vectorised body — must
+produce **bit identical** reports, event logs, and network audit trails to
+the preserved ``instance_store="legacy"`` list path, across both
+objectives and both stepping modes.  Unit tests cover the table itself:
+free-list reuse, aggregate/column invariants against a brute-force rebuild
+(the same :meth:`InstanceTable.audit` the master's audit mode runs), and
+the O(1) saturation/unpinned counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.heuristics.registry import (
+    HEURISTIC_FACTORIES,
+    PAPER_HEURISTICS,
+    make_scheduler,
+)
+from repro.sim.events import EventLog
+from repro.sim.instance_table import InstanceTable
+from repro.sim.master import MasterSimulator, SimulatorOptions
+from repro.sim.worker import TaskInstance, reset_instance
+from repro.workload.scenarios import ScenarioGenerator
+
+ALL_HEURISTICS = sorted(HEURISTIC_FACTORIES) + ["clairvoyant"]
+
+
+def run_store_pair(
+    scenario,
+    heuristic,
+    *,
+    trial=0,
+    objective="run",
+    budget=40_000,
+    step_mode="span",
+    options_kwargs=None,
+    with_log=True,
+):
+    """Run the legacy and array instance stores on identical inputs."""
+    outcomes = {}
+    for store in ("legacy", "array"):
+        platform = scenario.build_platform(trial)
+        log = EventLog(enabled=with_log)
+        options = SimulatorOptions(
+            step_mode=step_mode,
+            instance_store=store,
+            **(options_kwargs or {}),
+        )
+        sim = MasterSimulator(
+            platform,
+            scenario.app,
+            make_scheduler(heuristic, platform=platform),
+            options=options,
+            rng=scenario.scheduler_rng(trial, heuristic),
+            log=log,
+        )
+        if objective == "run":
+            report = sim.run(max_slots=budget)
+        else:
+            report = sim.run_slots(budget)
+        outcomes[store] = (report, log.events, sim.network.usage)
+    return outcomes
+
+
+def assert_identical(outcomes):
+    legacy_report, legacy_events, legacy_usage = outcomes["legacy"]
+    array_report, array_events, array_usage = outcomes["array"]
+    assert array_report == legacy_report
+    assert array_events == legacy_events
+    assert array_usage == legacy_usage
+
+
+class TestInstanceTableUnit:
+    """Direct table-contract tests (no simulator)."""
+
+    @staticmethod
+    def _inst(task_id, replica_id=0, iteration=0, data_needed=3):
+        return TaskInstance(
+            iteration=iteration,
+            task_id=task_id,
+            replica_id=replica_id,
+            data_needed=data_needed,
+        )
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            InstanceTable(0, 4, 3)
+        with pytest.raises(ValueError):
+            InstanceTable(4, 0, 3)
+        with pytest.raises(ValueError):
+            InstanceTable(4, 4, 0)
+
+    def test_add_assigns_rows_and_aggregates(self):
+        tbl = InstanceTable(3, 2, 3)
+        insts = [self._inst(t) for t in range(3)]
+        rows = [tbl.add(inst) for inst in insts]
+        assert rows == sorted(rows)  # free list pops ascending after reset
+        assert tbl.n_live == 3
+        assert tbl.n_unpinned == 3
+        assert tbl.repl_deficit == 3  # nobody saturated yet
+        assert not tbl.replication_saturated
+        tbl.audit(insts, committed=set())
+
+    def test_free_list_reuse(self):
+        tbl = InstanceTable(2, 2, 2)
+        a, b = self._inst(0), self._inst(1)
+        row_a = tbl.add(a)
+        tbl.add(b)
+        tbl.destroy(a)
+        assert a.row == -1
+        c = self._inst(0, replica_id=1)
+        assert tbl.add(c) == row_a  # the freed row is recycled
+        tbl.audit([b, c], committed=set())
+
+    def test_grow_preserves_rows(self):
+        tbl = InstanceTable(12, 2, 2, capacity=4)  # forces doubling
+        insts = []
+        for task in range(12):
+            for rid in (0, 1):
+                inst = self._inst(task, replica_id=rid)
+                tbl.add(inst)
+                insts.append(inst)
+        assert len(tbl.task_id) >= 24  # grew past the initial 4 rows
+        tbl.audit(insts, committed=set())
+        # Rows allocated before the growth are untouched.
+        for inst in insts:
+            assert tbl.objects[inst.row] is inst
+
+    def test_pin_and_release_track_unpinned_set(self):
+        tbl = InstanceTable(2, 2, 2)
+        inst = self._inst(0)
+        row = tbl.add(inst)
+        inst.worker = 1
+        inst.data_received = 1  # pinned per the instance's own rule
+        tbl.pin(inst)
+        assert tbl.n_unpinned == 0
+        assert row not in tbl.unpinned
+        tbl.pin(inst)  # idempotent
+        assert tbl.n_unpinned == 0
+        reset_instance(inst)
+        tbl.release(inst)
+        assert tbl.n_unpinned == 1
+        tbl.audit([inst], committed=set())
+
+    def test_computing_row_lifecycle(self):
+        tbl = InstanceTable(2, 3, 2)
+        inst = self._inst(1)
+        tbl.add(inst)
+        inst.worker = 2
+        inst.computing = True
+        tbl.start_computing(inst)
+        assert tbl.computing_row[2] == inst.row
+        assert inst.pinned and tbl.n_unpinned == 0
+        tbl.destroy(inst)  # destroy reads inst.worker for the rollback
+        assert tbl.computing_row[2] == -1
+
+    def test_saturation_counter(self):
+        tbl = InstanceTable(2, 2, 2)  # 1 original + 1 replica saturates
+        originals = [self._inst(t) for t in range(2)]
+        for inst in originals:
+            tbl.add(inst)
+        replicas = [self._inst(t, replica_id=1) for t in range(2)]
+        tbl.add(replicas[0])
+        assert not tbl.replication_saturated
+        tbl.add(replicas[1])
+        assert tbl.replication_saturated
+        tbl.destroy(replicas[0])
+        assert not tbl.replication_saturated
+        # A committed task stops counting toward the deficit.
+        tbl.commit_task(0)
+        assert tbl.replication_saturated
+        tbl.audit([originals[0], originals[1], replicas[1]], committed={0})
+
+    def test_free_replica_id_lowest_gap(self):
+        tbl = InstanceTable(1, 1, 3)
+        orig = self._inst(0)
+        r1 = self._inst(0, replica_id=1)
+        r2 = self._inst(0, replica_id=2)
+        for inst in (orig, r1, r2):
+            tbl.add(inst)
+        tbl.destroy(r1)
+        assert tbl.free_replica_id(0) == 1
+        tbl.destroy(r2)
+        assert tbl.free_replica_id(0) == 1
+
+    def test_rows_of_preserves_creation_order(self):
+        tbl = InstanceTable(1, 1, 3)
+        orig = self._inst(0)
+        r2 = self._inst(0, replica_id=2)
+        r1 = self._inst(0, replica_id=1)
+        for inst in (orig, r2, r1):
+            tbl.add(inst)
+        uids = [tbl.seq[row] for row in tbl.rows_of[0]]
+        assert uids == sorted(uids)  # creation order == uid order
+
+    def test_randomized_ops_against_bruteforce(self):
+        """Random add/pin/compute/release/destroy/commit sequences keep
+        every incremental aggregate equal to the brute-force rebuild."""
+        rng = np.random.default_rng(4242)
+        n_tasks, n_workers, max_instances = 5, 4, 3
+        tbl = InstanceTable(n_tasks, n_workers, max_instances)
+        live = []
+        committed = set()
+        for _ in range(600):
+            op = rng.integers(0, 6)
+            if op == 0 and tbl.n_live < n_tasks * max_instances:
+                task = int(rng.integers(0, n_tasks))
+                used = {
+                    inst.replica_id for inst in live if inst.task_id == task
+                }
+                free_ids = [
+                    r for r in range(max_instances) if r not in used
+                ]
+                if free_ids:
+                    inst = self._inst(task, replica_id=free_ids[0])
+                    tbl.add(inst)
+                    live.append(inst)
+            elif op == 1 and live:
+                inst = live[int(rng.integers(0, len(live)))]
+                if not inst.pinned:
+                    inst.worker = int(rng.integers(0, n_workers))
+                    inst.data_received = 1
+                    tbl.pin(inst)
+            elif op == 2 and live:
+                inst = live[int(rng.integers(0, len(live)))]
+                free_worker = inst.worker if inst.worker is not None else 0
+                if (
+                    not inst.computing
+                    and tbl.computing_row[free_worker] == -1
+                ):
+                    inst.worker = free_worker
+                    inst.computing = True
+                    tbl.start_computing(inst)
+            elif op == 3 and live:
+                inst = live[int(rng.integers(0, len(live)))]
+                if inst.replica_id == 0:
+                    host = inst.worker
+                    if host is not None:
+                        tbl.release(inst)
+                        reset_instance(inst)
+            elif op == 4 and live:
+                inst = live.pop(int(rng.integers(0, len(live))))
+                tbl.destroy(inst)
+            elif op == 5:
+                task = int(rng.integers(0, n_tasks))
+                if task not in committed:
+                    for inst in [
+                        i for i in live if i.task_id == task
+                    ]:
+                        live.remove(inst)
+                        tbl.destroy(inst)
+                    committed.add(task)
+                    tbl.commit_task(task)
+            tbl.audit(live, committed)
+
+    def test_reset_clears_everything(self):
+        tbl = InstanceTable(2, 2, 2)
+        insts = [self._inst(t) for t in range(2)]
+        for inst in insts:
+            tbl.add(inst)
+        tbl.commit_task(0)
+        tbl.reset()
+        assert tbl.n_live == 0
+        assert tbl.n_unpinned == 0
+        assert tbl.n_uncommitted == 2
+        assert tbl.repl_deficit == 2
+        assert len(tbl.free) == len(tbl.task_id)
+        tbl.audit([], committed=set())
+
+
+class TestFullRegistryBitIdentical:
+    """Every registry heuristic, both objectives, both step modes —
+    mirrors the scheduler-API suite with the stores swapped instead."""
+
+    @pytest.mark.parametrize("step_mode", ["span", "slot"])
+    @pytest.mark.parametrize("heuristic", ALL_HEURISTICS)
+    def test_run_objective(self, heuristic, step_mode):
+        scenario = ScenarioGenerator(24061).scenario(5, 5, 1, 0)
+        outcomes = run_store_pair(
+            scenario, heuristic, step_mode=step_mode, budget=30_000
+        )
+        assert_identical(outcomes)
+        assert outcomes["array"][0].makespan is not None  # sanity: finished
+
+    @pytest.mark.parametrize("step_mode", ["span", "slot"])
+    @pytest.mark.parametrize("heuristic", ALL_HEURISTICS)
+    def test_run_slots_objective(self, heuristic, step_mode):
+        scenario = ScenarioGenerator(24061).scenario(5, 5, 2, 1)
+        outcomes = run_store_pair(
+            scenario,
+            heuristic,
+            trial=1,
+            objective="run_slots",
+            budget=800,
+            step_mode=step_mode,
+        )
+        assert_identical(outcomes)
+
+    @pytest.mark.parametrize("heuristic", ["emct*", "ud*", "random2w", "passive"])
+    def test_paper_midpoint_cell_with_audit(self, heuristic):
+        """The p=20 midpoint cell, with the table/aggregate cross-check
+        (audit) active on both sides."""
+        scenario = ScenarioGenerator(24061).scenario(20, 10, 5, 0)
+        outcomes = run_store_pair(
+            scenario,
+            heuristic,
+            budget=60_000,
+            options_kwargs={"audit": True},
+        )
+        assert_identical(outcomes)
+
+
+class TestOptionVariants:
+    """Simulator options exercise distinct array-store branches."""
+
+    @pytest.mark.parametrize(
+        "options_kwargs",
+        [
+            {"replication": False},
+            {"max_replicas": 0},
+            {"max_replicas": 1},
+            {"proactive": True},
+            {"proactive": True, "audit": True},
+            {"replan_every_slot": True},
+            {"audit": True},
+            {"scheduler_api": "legacy"},
+        ],
+        ids=[
+            "no-replication",
+            "zero-replicas",
+            "one-replica",
+            "proactive",
+            "proactive-audit",
+            "replan-every",
+            "audit",
+            "legacy-scheduler-api",
+        ],
+    )
+    def test_option_variants_bit_identical(self, options_kwargs):
+        scenario = ScenarioGenerator(71).scenario(5, 5, 2, 0)
+        outcomes = run_store_pair(
+            scenario, "emct", budget=50_000, options_kwargs=options_kwargs
+        )
+        assert_identical(outcomes)
+
+
+class TestRandomizedSweep:
+    """Deterministic random configurations across the registry long tail."""
+
+    @pytest.mark.parametrize("config_seed", range(8))
+    def test_random_config_bit_identical(self, config_seed):
+        cfg = np.random.default_rng(6000 + config_seed)
+        n = int(cfg.choice([1, 2, 5, 10, 20, 40]))
+        ncom = int(cfg.choice([1, 5, 10, 20]))
+        wmin = int(cfg.integers(1, 6))
+        heuristic = str(cfg.choice(list(PAPER_HEURISTICS)))
+        trial = int(cfg.integers(0, 3))
+        objective = str(cfg.choice(["run", "run_slots"]))
+        budget = int(cfg.choice([500, 3000, 30_000]))
+        step_mode = str(cfg.choice(["span", "slot"]))
+        audit = bool(cfg.integers(0, 2))
+        scenario = ScenarioGenerator(888).scenario(n, ncom, wmin, 0)
+        outcomes = run_store_pair(
+            scenario,
+            heuristic,
+            trial=trial,
+            objective=objective,
+            budget=budget,
+            step_mode=step_mode,
+            options_kwargs={"audit": audit},
+        )
+        assert_identical(outcomes)
+
+
+class TestLegacyStoreSwapRemove:
+    """Satellite: the legacy store's O(1) swap-remove keeps physics and
+    events identical while never rebuilding the instance list."""
+
+    def test_legacy_rows_track_positions(self):
+        scenario = ScenarioGenerator(24061).scenario(5, 5, 2, 0)
+        platform = scenario.build_platform(0)
+        sim = MasterSimulator(
+            platform,
+            scenario.app,
+            make_scheduler("emct*", platform=platform),
+            options=SimulatorOptions(instance_store="legacy"),
+            rng=scenario.scheduler_rng(0, "emct*"),
+        )
+        finished = False
+        for slot in range(2_000):
+            finished = sim._step(slot)
+            # Invariant after every slot: each live instance records its
+            # own list position (the swap-remove contract).
+            for position, inst in enumerate(sim._instances):
+                assert inst.row == position
+            if finished:
+                break
+        assert finished or sim.report.tasks_committed > 0
+
+    def test_instance_ops_counted_on_array_store_only(self):
+        scenario = ScenarioGenerator(24061).scenario(5, 5, 1, 0)
+        counts = {}
+        for store in ("legacy", "array"):
+            platform = scenario.build_platform(0)
+            sim = MasterSimulator(
+                platform,
+                scenario.app,
+                make_scheduler("mct", platform=platform),
+                options=SimulatorOptions(instance_store=store),
+                rng=scenario.scheduler_rng(0, "mct"),
+            )
+            sim.run(max_slots=30_000)
+            counts[store] = sim.instance_ops
+        assert counts["legacy"] == 0
+        assert counts["array"] > 0
+
+    def test_rejects_unknown_store(self):
+        with pytest.raises(ValueError, match="instance_store"):
+            SimulatorOptions(instance_store="bogus")
