@@ -1,4 +1,4 @@
-"""Simulator-core stepping + scheduling + body benchmark (exp. id ``bench-sim``).
+"""Simulator-core stepping + scheduling + body + gating benchmark (``bench-sim``).
 
 Measures the per-run hot path of :class:`~repro.sim.master.MasterSimulator`
 on a declared sample of the paper's Table 2 grid, and emits a JSON document
@@ -6,7 +6,7 @@ so successive PRs accumulate a perf trajectory::
 
     PYTHONPATH=src python benchmarks/bench_sim.py --out BENCH_sim.json
 
-Three comparisons are timed, over the same (cell, scenario, trial,
+Four comparisons are timed, over the same (cell, scenario, trial,
 heuristic, objective) population, all within one process with the
 configurations interleaved per run (the only timing methodology that
 survives noisy shared runners):
@@ -24,26 +24,53 @@ survives noisy shared runners):
   store vs the structure-of-arrays ``InstanceTable`` with the vectorised
   body (DESIGN.md §9), both span-stepped on the array scheduler API.
   ``store_speedup`` is the end-to-end ratio; ``body_speedup`` compares
-  the *body* seconds (wall-clock minus the measured round seconds), the
-  share this PR's redesign targets.  ``instance_ops`` counts the table's
-  structural mutations and ``trace_bytes`` records the RLE availability
-  storage against the dense trace + UP-prefix representation it replaced.
+  the *body* seconds (wall-clock minus the measured round seconds);
+* **round-relevance gating** — the exact elision tier
+  (``round_relevance="exact"``, the default) vs the always-execute oracle
+  (``"off"``), DESIGN.md §10.  Each cell reports ``rounds_elided``,
+  ``elision_share`` (elided / executed rounds) and ``elision_speedup``
+  (end-to-end off/exact ratio).  HONEST NOTE: the exact tier's proof
+  obligation *is* a placement computation — determinism means the only
+  sound proof re-scores and compares — so elision skips only the round's
+  mutation phase (queue purges, replica drop/recreate churn, table ops),
+  and the measured end-to-end ratio sits near 1.0; its value is the
+  proven round-skip count and the policy machinery it anchors.  The big
+  replan-trigger wins require *relaxed* semantics, which are not
+  bit-identical — see the ``relaxed_policy`` row below and
+  ``experiments/replan_study.py`` for their validation.
 
 A **long-horizon deadline cell** (``run_slots`` over ≥100k slots) rides
 along to exercise the run-length-encoded availability sources where the
 dense representation hurts most; its row reports the same store/body
 metrics plus the measured ``trace_compression``.
 
-Every simulated instance is asserted **bit-identical** across all four
-configurations before any number is reported; both objectives are covered
-(``run`` for the makespan protocol, ``run_slots`` for the Section 3.4
-deadline form).  A speedup that changed the science would be worthless.
+A **relaxed-policy row** (recorded, never gated) times one cell under
+``replan_policy="sticky"`` against the event-driven default and records
+the speedup *and* the makespan deviation it buys — relaxed policies
+change the science, so their numbers are documentation, not a gate.
 
-CI gates: ``--min-speedup`` (default 0.90) fails the job when span mode
-is slower than slot mode beyond wall-clock noise; ``--min-sched-speedup``
+Every simulated instance is asserted **bit-identical** across the five
+bit-exact configurations before any number is reported; both objectives
+are covered (``run`` for the makespan protocol, ``run_slots`` for the
+Section 3.4 deadline form).  A speedup that changed the science would be
+worthless.
+
+**Noise gating** (PR 5): sub-second cells are wall-clock-noise-limited on
+shared runners (the (5,5,1) cell simulates ~0.03 s per configuration), so
+cells whose measured span seconds fall below ``NOISE_FLOOR_SECONDS`` are
+recorded as usual but marked ``"gated": false`` and excluded from every
+ratio-based CI gate; the overall gate ratios aggregate the gated cells
+only.
+
+CI gates: ``--min-speedup`` (default 0.95) fails the job when span mode
+falls measurably below slot mode on the gated cells (the two are at
+structural parity on churn-dense cells and the margin absorbs shared-
+runner noise); ``--min-sched-speedup``
 (default 1.0) fails it when the batch scheduler path regresses below the
 legacy scalar path; ``--min-body-speedup`` (default 1.0) fails it when
 the array instance store's body regresses below the legacy list store;
+``--min-elision-speedup`` (default 0.90) fails it when the exact elision
+tier costs measurable wall-clock instead of being free;
 ``--min-trace-compression`` (default 6.0) fails it when the RLE sources
 stop beating the dense representation on the long-horizon cell.
 """
@@ -77,35 +104,53 @@ TABLE2_SAMPLE: Tuple[Tuple[int, int, int], ...] = (
 HEURISTICS: Tuple[str, ...] = ("emct*", "mct")
 DEADLINE_SLOTS = 2000
 
+#: Cells whose best-of span seconds fall below this are wall-clock noise
+#: on shared runners: recorded, but excluded from ratio-based CI gates.
+NOISE_FLOOR_SECONDS = 0.15
+
 #: Long-horizon deadline cell (satellite): ``run_slots`` over a horizon
 #: long enough that dense availability storage (1 B/slot trace + 8 B/slot
 #: UP prefix) would dominate memory; exercises the RLE representation.
 LONG_DEADLINE_CELL: Tuple[int, int, int] = (5, 5, 1)
 LONG_DEADLINE_SLOTS = 150_000
 
-#: (step_mode, scheduler_api, instance_store) configurations per run.
-#: The first is the bit-identity reference; the second is the default.
-CONFIGS: Tuple[Tuple[str, str, str], ...] = (
-    ("slot", "array", "array"),
-    ("span", "array", "array"),
-    ("span", "legacy", "array"),
-    ("span", "array", "legacy"),
+#: The relaxed-policy documentation row: one cell, one policy.
+RELAXED_POLICY = "sticky"
+RELAXED_CELL: Tuple[int, int, int] = (20, 10, 5)
+
+#: (step_mode, scheduler_api, instance_store, round_relevance)
+#: configurations per run.  The first is the bit-identity reference; the
+#: second is the default.
+CONFIGS: Tuple[Tuple[str, str, str, str], ...] = (
+    ("slot", "array", "array", "exact"),
+    ("span", "array", "array", "exact"),
+    ("span", "legacy", "array", "exact"),
+    ("span", "array", "legacy", "exact"),
+    ("span", "array", "array", "off"),
 )
 
-DEFAULT = ("span", "array", "array")
-LEGACY_STORE = ("span", "array", "legacy")
+DEFAULT = ("span", "array", "array", "exact")
+LEGACY_STORE = ("span", "array", "legacy", "exact")
+LEGACY_API = ("span", "legacy", "array", "exact")
+SLOT = ("slot", "array", "array", "exact")
+RELEVANCE_OFF = ("span", "array", "array", "off")
 
 
 def _simulate(scenario, trial: int, heuristic: str, config, objective: str,
-              deadline_slots: int = DEADLINE_SLOTS):
-    mode, api, store = config
+              deadline_slots: int = DEADLINE_SLOTS,
+              replan_policy: str = "event"):
+    mode, api, store, relevance = config
     platform = scenario.build_platform(trial)
     sim = MasterSimulator(
         platform,
         scenario.app,
         make_scheduler(heuristic, platform=platform),
         options=SimulatorOptions(
-            step_mode=mode, scheduler_api=api, instance_store=store
+            step_mode=mode,
+            scheduler_api=api,
+            instance_store=store,
+            round_relevance=relevance,
+            replan_policy=replan_policy,
         ),
         rng=scenario.scheduler_rng(trial, heuristic),
     )
@@ -138,6 +183,7 @@ def _simulate(scenario, trial: int, heuristic: str, config, objective: str,
         "elapsed": elapsed,
         "steps": sim.steps_executed,
         "round_seconds": round_clock["seconds"],
+        "rounds_elided": sim.rounds_elided,
         "instance_ops": sim.instance_ops,
         "trace_bytes": trace_bytes,
         "dense_bytes": dense_bytes,
@@ -171,7 +217,7 @@ def _bench_cell(
         for heuristic in heuristics
         for objective in ("run", "run_slots")
     ]
-    best: Dict[Tuple[str, str, str], Dict[str, float]] = {
+    best: Dict[tuple, Dict[str, float]] = {
         config: {"seconds": float("inf"), "round_seconds": float("inf")}
         for config in CONFIGS
     }
@@ -185,6 +231,7 @@ def _bench_cell(
         slots_total = 0
         boundaries_total = 0
         rounds_total = 0
+        rounds_elided_total = 0
         instance_ops_total = 0
         trace_bytes_total = 0
         dense_bytes_total = 0
@@ -198,6 +245,7 @@ def _bench_cell(
                 if config == DEFAULT:
                     boundaries_total += out["steps"]
                     rounds_total += out["report"].scheduler_rounds
+                    rounds_elided_total += out["rounds_elided"]
                     instance_ops_total += out["instance_ops"]
                     trace_bytes_total += out["trace_bytes"]
                     dense_bytes_total += out["dense_bytes"]
@@ -215,32 +263,40 @@ def _bench_cell(
         for config in CONFIGS:
             if rep[config]["seconds"] < best[config]["seconds"]:
                 best[config] = rep[config]
-    slot_s = best[("slot", "array", "array")]["seconds"]
+    slot_s = best[SLOT]["seconds"]
     span_s = best[DEFAULT]["seconds"]
-    legacy_api_s = best[("span", "legacy", "array")]["seconds"]
+    legacy_api_s = best[LEGACY_API]["seconds"]
     legacy_store_s = best[LEGACY_STORE]["seconds"]
+    relevance_off_s = best[RELEVANCE_OFF]["seconds"]
     array_round_s = best[DEFAULT]["round_seconds"]
-    legacy_api_round_s = best[("span", "legacy", "array")]["round_seconds"]
+    legacy_api_round_s = best[LEGACY_API]["round_seconds"]
     legacy_store_round_s = best[LEGACY_STORE]["round_seconds"]
+    relevance_off_round_s = best[RELEVANCE_OFF]["round_seconds"]
     array_body_s = span_s - array_round_s
     legacy_store_body_s = legacy_store_s - legacy_store_round_s
     return {
         "cell": {"n": n, "ncom": ncom, "wmin": wmin},
         "runs": len(runs),
         "slots": slots_total,
+        "gated": span_s >= NOISE_FLOOR_SECONDS,
         "slot_seconds": round(slot_s, 4),
         "span_seconds": round(span_s, 4),
         "legacy_api_seconds": round(legacy_api_s, 4),
         "legacy_store_seconds": round(legacy_store_s, 4),
+        "relevance_off_seconds": round(relevance_off_s, 4),
         "slots_per_sec_slot": round(slots_total / slot_s, 1),
         "slots_per_sec_span": round(slots_total / span_s, 1),
         "slots_per_sec_legacy_store": round(slots_total / legacy_store_s, 1),
         "speedup": round(slot_s / span_s, 3),
         "rounds": rounds_total,
+        "rounds_elided": rounds_elided_total,
+        "elision_share": round(rounds_elided_total / max(rounds_total, 1), 3),
+        "elision_speedup": round(relevance_off_s / span_s, 3),
         "round_seconds": {
             "array": round(array_round_s, 4),
             "legacy_api": round(legacy_api_round_s, 4),
             "legacy_store": round(legacy_store_round_s, 4),
+            "relevance_off": round(relevance_off_round_s, 4),
         },
         "round_time_share": {
             "array": round(array_round_s / span_s, 3),
@@ -334,6 +390,77 @@ def _bench_long_deadline(
     }
 
 
+def _bench_relaxed_policy(
+    generator: ScenarioGenerator,
+    *,
+    repetitions: int,
+    scenarios: int,
+    trials: int,
+    heuristics: Sequence[str],
+    policy: str = RELAXED_POLICY,
+    cell: Tuple[int, int, int] = RELAXED_CELL,
+) -> Dict:
+    """One relaxed-policy cell, recorded but never gated (DESIGN.md §10).
+
+    Relaxed policies change the replan-trigger semantics, so there is no
+    bit-identity to assert; this row documents what the policy buys
+    (wall-clock, round reduction) and what it costs (mean makespan
+    deviation on the ``run`` objective) next to the event-driven default
+    on the same population.  ``experiments/replan_study.py`` is the full
+    validation against the paper's shape targets.
+    """
+    n, ncom, wmin = cell
+    population = [generator.scenario(n, ncom, wmin, i) for i in range(scenarios)]
+    runs = [
+        (scenario, trial, heuristic)
+        for scenario in population
+        for trial in range(trials)
+        for heuristic in heuristics
+    ]
+    best = {"event": float("inf"), policy: float("inf")}
+    makespans = {"event": 0, policy: 0}
+    rounds = {"event": 0, policy: 0}
+    for _rep in range(max(1, repetitions)):
+        rep = {"event": 0.0, policy: 0.0}
+        mk = {"event": 0, policy: 0}
+        rd = {"event": 0, policy: 0}
+        for scenario, trial, heuristic in runs:
+            for name in ("event", policy):
+                out = _simulate(
+                    scenario, trial, heuristic, DEFAULT, "run",
+                    replan_policy=name,
+                )
+                rep[name] += out["elapsed"]
+                report = out["report"]
+                mk[name] += report.makespan or report.slots_simulated
+                rd[name] += report.scheduler_rounds
+        for name in ("event", policy):
+            if rep[name] < best[name]:
+                best[name] = rep[name]
+        makespans, rounds = mk, rd
+    return {
+        "cell": {"n": n, "ncom": ncom, "wmin": wmin},
+        "policy": policy,
+        "runs": len(runs),
+        "event_seconds": round(best["event"], 4),
+        "policy_seconds": round(best[policy], 4),
+        "policy_speedup": round(best["event"] / best[policy], 3),
+        "event_rounds": rounds["event"],
+        "policy_rounds": rounds[policy],
+        "round_reduction": round(
+            1.0 - rounds[policy] / max(rounds["event"], 1), 3
+        ),
+        "event_mean_makespan": round(makespans["event"] / len(runs), 1),
+        "policy_mean_makespan": round(makespans[policy] / len(runs), 1),
+        "makespan_deviation_pct": round(
+            100.0 * (makespans[policy] - makespans["event"])
+            / max(makespans["event"], 1),
+            2,
+        ),
+        "gated": False,
+    }
+
+
 def run_benchmark(
     *,
     scenarios: int = 1,
@@ -343,13 +470,16 @@ def run_benchmark(
     repetitions: int = 2,
     cells: Sequence[Tuple[int, int, int]] = TABLE2_SAMPLE,
     long_deadline: bool = True,
+    relaxed_policy: bool = True,
 ) -> Dict:
-    """Time stepping modes, scheduler APIs and instance stores over the
-    Table 2 sample (plus the long-horizon deadline cell).
+    """Time stepping modes, scheduler APIs, instance stores and the
+    round-relevance gate over the Table 2 sample (plus the long-horizon
+    deadline cell and the relaxed-policy documentation row).
 
     Returns the JSON-ready document; reports are asserted bit-identical
-    between all configurations for every simulated instance before
-    timings count.
+    between all bit-exact configurations for every simulated instance
+    before timings count.  Overall gate ratios aggregate the noise-gated
+    cells only (``"gated": true`` rows).
     """
     generator = ScenarioGenerator(seed)
     rows: List[Dict] = []
@@ -364,17 +494,21 @@ def run_benchmark(
                 repetitions=repetitions,
             )
         )
-    slot_total = sum(row["slot_seconds"] for row in rows)
-    span_total = sum(row["span_seconds"] for row in rows)
-    legacy_api_round_total = sum(
-        row["round_seconds"]["legacy_api"] for row in rows
-    )
-    array_round_total = sum(row["round_seconds"]["array"] for row in rows)
-    legacy_store_total = sum(row["legacy_store_seconds"] for row in rows)
-    array_body_total = sum(row["body_seconds"]["array"] for row in rows)
-    legacy_body_total = sum(
-        row["body_seconds"]["legacy_store"] for row in rows
-    )
+    gated_rows = [row for row in rows if row["gated"]] or rows
+
+    def total(key, subkey=None, source=gated_rows):
+        if subkey is None:
+            return sum(row[key] for row in source)
+        return sum(row[key][subkey] for row in source)
+
+    slot_total = total("slot_seconds")
+    span_total = total("span_seconds")
+    legacy_api_round_total = total("round_seconds", "legacy_api")
+    array_round_total = total("round_seconds", "array")
+    legacy_store_total = total("legacy_store_seconds")
+    relevance_off_total = total("relevance_off_seconds")
+    array_body_total = total("body_seconds", "array")
+    legacy_body_total = total("body_seconds", "legacy_store")
     document = {
         "benchmark": "sim-span-stepping",
         "unix_time": int(time.time()),
@@ -389,8 +523,12 @@ def run_benchmark(
             "seed": seed,
             "repetitions": repetitions,
             "deadline_slots": DEADLINE_SLOTS,
+            "noise_floor_seconds": NOISE_FLOOR_SECONDS,
         },
         "results": rows,
+        "gated_cells": [
+            list(row["cell"].values()) for row in rows if row["gated"]
+        ],
         "slot_seconds_total": round(slot_total, 4),
         "span_seconds_total": round(span_total, 4),
         "speedup": round(slot_total / span_total, 3),
@@ -402,11 +540,22 @@ def run_benchmark(
         "legacy_store_seconds_total": round(legacy_store_total, 4),
         "store_speedup": round(legacy_store_total / span_total, 3),
         "body_speedup": round(legacy_body_total / array_body_total, 3),
+        "relevance_off_seconds_total": round(relevance_off_total, 4),
+        "elision_speedup": round(relevance_off_total / span_total, 3),
+        "rounds_elided_total": sum(row["rounds_elided"] for row in rows),
         "reports_identical": True,
     }
     if long_deadline:
         document["long_deadline"] = _bench_long_deadline(
             generator, repetitions=min(repetitions, 2)
+        )
+    if relaxed_policy:
+        document["relaxed_policy"] = _bench_relaxed_policy(
+            generator,
+            repetitions=min(repetitions, 2),
+            scenarios=scenarios,
+            trials=trials,
+            heuristics=heuristics,
         )
     return document
 
@@ -422,11 +571,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--min-speedup",
         type=float,
-        default=0.90,
+        default=0.95,
         help=(
-            "exit non-zero when span/slot speedup falls below this "
-            "(regression gate; the margin absorbs shared-runner "
-            "wall-clock noise, which on sub-second cells runs to ~10%%)"
+            "exit non-zero when span/slot speedup falls below this on the "
+            "noise-gated cells.  The PR 5 fused single-pass span search "
+            "brought the gated-cell ratio back to ~1.0 (from the PR 4 "
+            "0.97-0.98 regression); on churn-dense cells span and slot "
+            "are structurally at parity (quiet slots are cheap when no "
+            "round runs), so the gate allows wall-clock noise below "
+            "exact parity"
         ),
     )
     parser.add_argument(
@@ -450,6 +603,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--min-elision-speedup",
+        type=float,
+        default=0.90,
+        help=(
+            "exit non-zero when the exact round-relevance tier costs "
+            "measurable wall-clock (relevance-off seconds / default "
+            "seconds on the gated cells); the tier is designed to be "
+            "free — its savings are the round mutation phase only, so "
+            "the ratio sits near 1.0 and this gate guards against it "
+            "regressing into a real cost"
+        ),
+    )
+    parser.add_argument(
         "--min-trace-compression",
         type=float,
         default=6.0,
@@ -465,6 +631,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip the >=100k-slot deadline cell (quick local runs)",
     )
     parser.add_argument(
+        "--skip-relaxed-policy",
+        action="store_true",
+        help="skip the relaxed-policy documentation row (quick local runs)",
+    )
+    parser.add_argument(
         "--out", default=None, metavar="PATH", help="write JSON here (else stdout)"
     )
     args = parser.parse_args(argv)
@@ -475,6 +646,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         repetitions=args.repetitions,
         long_deadline=not args.skip_long_deadline,
+        relaxed_policy=not args.skip_relaxed_policy,
     )
     text = json.dumps(document, indent=2)
     if args.out:
@@ -482,14 +654,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             handle.write(text + "\n")
         cells = ", ".join(
             f"{tuple(row['cell'].values())}: {row['speedup']}x/"
-            f"{row['sched_speedup']}x/{row['body_speedup']}x"
+            f"{row['sched_speedup']}x/{row['body_speedup']}x/"
+            f"{row['elision_speedup']}x"
+            + ("" if row["gated"] else " (ungated)")
             for row in document["results"]
         )
         print(
             f"wrote {args.out} (overall span {document['speedup']}x, "
             f"sched {document['sched_speedup']}x, store "
-            f"{document['store_speedup']}x, body {document['body_speedup']}x; "
-            f"per-cell span/sched/body: {cells})",
+            f"{document['store_speedup']}x, body {document['body_speedup']}x, "
+            f"elision {document['elision_speedup']}x over "
+            f"{document['rounds_elided_total']} elided rounds; per-cell "
+            f"span/sched/body/elision: {cells})",
             file=sys.stderr,
         )
     else:
@@ -499,7 +675,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"FAIL: span mode speedup {document['speedup']} < "
             f"{args.min_speedup} (span-stepped core regressed below the "
-            "slot-stepped oracle)",
+            "slot-stepped oracle on the gated cells)",
             file=sys.stderr,
         )
         failed = True
@@ -516,6 +692,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"FAIL: simulator body speedup {document['body_speedup']} < "
             f"{args.min_body_speedup} (array InstanceTable body regressed "
             "below the legacy list-store body)",
+            file=sys.stderr,
+        )
+        failed = True
+    if document["elision_speedup"] < args.min_elision_speedup:
+        print(
+            f"FAIL: elision speedup {document['elision_speedup']} < "
+            f"{args.min_elision_speedup} (the exact round-relevance tier "
+            "regressed into a measurable cost)",
             file=sys.stderr,
         )
         failed = True

@@ -14,7 +14,8 @@ execution.
 Ablations:
 
 * ``replication``   — 0 / 1 / 2 extra replicas per task (paper: 2).
-* ``replanning``    — event-driven vs every-slot scheduling rounds.
+* ``replanning``    — replan-trigger policies (DESIGN.md §10): event-driven
+  vs every-slot vs sticky, on the ``replan_policy`` knob.
 * ``ud-exact``      — UD with the paper's rank-1 P_UD vs matrix power.
 * ``contention``    — Eq. 1 vs Eq. 2 (the ``*`` correction) on comm-heavy
   workloads.
@@ -137,10 +138,26 @@ def _replication(scenarios, trials, backend, base_options) -> AblationResult:
 
 
 def _replanning(scenarios, trials, backend, base_options) -> AblationResult:
+    """Replan-trigger semantics, on the ``replan_policy`` knob (DESIGN.md
+    §10): the paper's event-driven default, the every-slot ablation arm
+    (``replan_every_slot`` remains an alias of that policy), and the
+    relaxed sticky policy in one table.  ``experiments/replan_study.py``
+    is the full shape validation; this arm shows the makespan/round
+    trade-off at a glance."""
     arms = {}
     count = 0
-    for label, every in (("event-driven", False), ("every-slot", True)):
-        options = replace(base_options, replan_every_slot=every)
+    for label, policy in (
+        ("event-driven", "event"),
+        ("every-slot", "every-slot"),
+        ("sticky", "sticky"),
+    ):
+        # Reset the legacy alias flag alongside the policy: replace() on a
+        # base built with replan_every_slot=True would otherwise make
+        # __post_init__ re-canonicalise the event arm back to every-slot
+        # (and reject the sticky arm as conflicting).
+        options = replace(
+            base_options, replan_policy=policy, replan_every_slot=False
+        )
         mean, rounds, count = _mean_over(
             scenarios, trials, "emct*", options, backend
         )
@@ -205,6 +222,7 @@ def run_ablation(
     backend=None,
     jobs=None,
     step_mode: str = "span",
+    replan_policy: str = "event",
 ) -> AblationResult:
     """Run one named ablation on a fresh scenario population.
 
@@ -223,7 +241,7 @@ def run_ablation(
         population,
         trials,
         make_backend(backend, jobs=jobs),
-        SimulatorOptions(step_mode=step_mode),
+        SimulatorOptions(step_mode=step_mode, replan_policy=replan_policy),
     )
 
 

@@ -63,6 +63,18 @@ def build_parser() -> argparse.ArgumentParser:
                 "oracle; results are bit-identical"
             ),
         )
+        p.add_argument(
+            "--replan-policy",
+            default="event",
+            metavar="POLICY",
+            help=(
+                "replan-trigger policy (DESIGN.md §10): 'event' (the "
+                "paper's semantics, default), 'every-slot', or a relaxed "
+                "policy — 'sticky', 'debounce:k', 'relevant-up'.  Relaxed "
+                "policies change the results; validate with the "
+                "replan-study command"
+            ),
+        )
 
     def add_campaign_args(p: argparse.ArgumentParser, scenarios_default: int):
         p.add_argument(
@@ -150,6 +162,31 @@ def build_parser() -> argparse.ArgumentParser:
     ab.add_argument("--trials", type=int, default=2)
     add_backend_args(ab)
 
+    rp = sub.add_parser(
+        "replan-study",
+        help="relaxed replan-policy validation vs the paper's shape targets",
+    )
+    rp.add_argument("--scenarios", type=int, default=2, help="scenarios/cell")
+    rp.add_argument("--trials", type=int, default=2, help="trials/scenario")
+    rp.add_argument("--seed", type=int, default=12061)
+    rp.add_argument(
+        "--policies",
+        nargs="*",
+        default=None,
+        metavar="POLICY",
+        help=(
+            "policy specs, baseline first (default: event relevant-up "
+            "debounce:5 sticky every-slot)"
+        ),
+    )
+    rp.add_argument(
+        "--heuristics", nargs="*", default=None, help="heuristics to rank"
+    )
+    rp.add_argument(
+        "--wmin", type=int, nargs="*", default=None,
+        help="wmin axis of the Figure 2 shape check (default: 1 5 10)",
+    )
+
     demo = sub.add_parser("demo", help="one simulation with an event trace")
     demo.add_argument("--heuristic", default="emct*", help="heuristic name")
     demo.add_argument("--seed", type=int, default=7, help="demo seed")
@@ -190,6 +227,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             jobs=args.jobs,
             checkpoint=args.checkpoint,
             step_mode=args.step_mode,
+            replan_policy=args.replan_policy,
             **kwargs,
         )
         print(render_table2(result))
@@ -206,6 +244,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             jobs=args.jobs,
             checkpoint=args.checkpoint,
             step_mode=args.step_mode,
+            replan_policy=args.replan_policy,
         )
         print(render_table3(result))
     elif args.command == "figure2":
@@ -220,6 +259,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             jobs=args.jobs,
             checkpoint=args.checkpoint,
             step_mode=args.step_mode,
+            replan_policy=args.replan_policy,
         )
         print(render_figure2(result))
     elif args.command == "figure1":
@@ -260,6 +300,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             backend=args.backend,
             jobs=args.jobs,
             step_mode=args.step_mode,
+            replan_policy=args.replan_policy,
         )
         print(render_deadline_study(result))
     elif args.command == "mismatch":
@@ -271,6 +312,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             backend=args.backend,
             jobs=args.jobs,
             step_mode=args.step_mode,
+            replan_policy=args.replan_policy,
         )
         print(render_mismatch_study(result))
     elif args.command == "ablation":
@@ -283,8 +325,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             backend=args.backend,
             jobs=args.jobs,
             step_mode=args.step_mode,
+            replan_policy=args.replan_policy,
         )
         print(render_ablation(result))
+    elif args.command == "replan-study":
+        from .replan_study import render_replan_study, run_replan_study
+
+        kwargs = {}
+        if args.policies:
+            kwargs["policies"] = tuple(args.policies)
+        if args.heuristics:
+            kwargs["heuristics"] = tuple(args.heuristics)
+        if args.wmin:
+            kwargs["wmin_values"] = tuple(args.wmin)
+        result = run_replan_study(
+            scenarios=args.scenarios,
+            trials=args.trials,
+            seed=args.seed,
+            **kwargs,
+        )
+        print(render_replan_study(result))
     elif args.command == "demo":
         _run_demo(args)
     return 0

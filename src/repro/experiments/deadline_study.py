@@ -114,6 +114,7 @@ def run_deadline_study(
     backend=None,
     jobs=None,
     step_mode: str = "span",
+    replan_policy: str = "event",
 ) -> DeadlineStudyResult:
     """Run the deadline-objective comparison.
 
@@ -139,7 +140,9 @@ def run_deadline_study(
         scenarios = [
             generator.scenario(20, 5, 3, index) for index in range(scenario_count)
         ]
-    options = SimulatorOptions(proactive=proactive, step_mode=step_mode)
+    options = SimulatorOptions(
+        proactive=proactive, step_mode=step_mode, replan_policy=replan_policy
+    )
     units: List[DeadlineUnit] = []
     for scenario in scenarios:
         # The deadline form has no iteration target; ask for far more

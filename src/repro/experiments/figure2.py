@@ -78,6 +78,7 @@ def run_figure2(
     jobs: Optional[int] = None,
     checkpoint=None,
     step_mode: str = "span",
+    replan_policy: str = "event",
 ) -> Figure2Result:
     """Execute the Figure 2 protocol (same grid as Table 2).
 
@@ -85,7 +86,10 @@ def run_figure2(
     (the paper's figure likewise shows the six-way comparison).
     ``backend``/``jobs``/``checkpoint`` configure parallel and resumable
     execution (statistics are backend-independent); ``step_mode`` selects
-    the stepping mode (DESIGN.md §6, bit-identical results).
+    the stepping mode (DESIGN.md §6, bit-identical results);
+    ``replan_policy`` the replan-trigger policy (DESIGN.md §10 —
+    relaxed policies change the results; validate with
+    ``repro-experiments replan-study``).
     """
     generator = ScenarioGenerator(seed)
     scenarios = list(
@@ -99,7 +103,9 @@ def run_figure2(
     config = CampaignConfig(
         heuristics=tuple(heuristics),
         trials=trials,
-        options=SimulatorOptions(step_mode=step_mode),
+        options=SimulatorOptions(
+            step_mode=step_mode, replan_policy=replan_policy
+        ),
     )
     campaign = run_campaign(
         scenarios,

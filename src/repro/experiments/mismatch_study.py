@@ -144,6 +144,7 @@ class MismatchUnit:
     p: int
     max_slots: int = 200_000
     step_mode: str = "span"
+    replan_policy: str = "event"
 
     def run(self) -> float:
         app = IterativeApplication(
@@ -155,7 +156,10 @@ class MismatchUnit:
             platform,
             app,
             make_scheduler(self.heuristic),
-            options=SimulatorOptions(step_mode=self.step_mode),
+            options=SimulatorOptions(
+                step_mode=self.step_mode,
+                replan_policy=self.replan_policy,
+            ),
             rng=factory.generator("sched", self.kind, self.trial, self.heuristic),
         )
         report = sim.run(max_slots=self.max_slots)
@@ -173,6 +177,7 @@ def run_mismatch_study(
     backend=None,
     jobs=None,
     step_mode: str = "span",
+    replan_policy: str = "event",
 ) -> MismatchStudyResult:
     """Run the paired mismatch comparison.
 
@@ -191,6 +196,7 @@ def run_mismatch_study(
             seed=seed,
             p=p,
             step_mode=step_mode,
+            replan_policy=replan_policy,
         )
         for kind in kinds
         for trial in range(trials)

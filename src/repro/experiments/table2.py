@@ -92,6 +92,7 @@ def run_table2(
     jobs: Optional[int] = None,
     checkpoint=None,
     step_mode: str = "span",
+    replan_policy: str = "event",
 ) -> Table2Result:
     """Execute the Table 2 protocol.
 
@@ -101,7 +102,10 @@ def run_table2(
     ``backend``/``jobs``/``checkpoint`` configure parallel and resumable
     execution (statistics are backend-independent).  ``step_mode``
     selects the simulator stepping mode (DESIGN.md §6; results are
-    bit-identical between ``"span"`` and ``"slot"``).
+    bit-identical between ``"span"`` and ``"slot"``), and
+    ``replan_policy`` the replan-trigger policy (DESIGN.md §10 —
+    relaxed policies change the results; validate with
+    ``repro-experiments replan-study``).
     """
     generator = ScenarioGenerator(seed)
     scenarios = list(
@@ -115,7 +119,9 @@ def run_table2(
     config = CampaignConfig(
         heuristics=tuple(heuristics or PAPER_HEURISTICS),
         trials=trials,
-        options=SimulatorOptions(step_mode=step_mode),
+        options=SimulatorOptions(
+            step_mode=step_mode, replan_policy=replan_policy
+        ),
     )
     campaign = run_campaign(
         scenarios,

@@ -73,13 +73,17 @@ def run_table3(
     jobs: Optional[int] = None,
     checkpoint=None,
     step_mode: str = "span",
+    replan_policy: str = "event",
 ) -> Table3Result:
     """Execute one half of Table 3 (``comm_factor`` 5 or 10).
 
     Paper scale is ``scenarios=100, trials=10``; defaults are laptop-scale.
     ``backend``/``jobs``/``checkpoint`` configure parallel and resumable
     execution (statistics are backend-independent); ``step_mode`` selects
-    the stepping mode (DESIGN.md §6, bit-identical results).
+    the stepping mode (DESIGN.md §6, bit-identical results);
+    ``replan_policy`` the replan-trigger policy (DESIGN.md §10 —
+    relaxed policies change the results; validate with
+    ``repro-experiments replan-study``).
     """
     if comm_factor not in (5, 10):
         raise ValueError(
@@ -90,7 +94,9 @@ def run_table3(
     config = CampaignConfig(
         heuristics=tuple(heuristics or GREEDY_HEURISTICS),
         trials=trials,
-        options=SimulatorOptions(step_mode=step_mode),
+        options=SimulatorOptions(
+            step_mode=step_mode, replan_policy=replan_policy
+        ),
     )
     campaign = run_campaign(
         population,

@@ -14,6 +14,7 @@ from .master import MasterSimulator, SimulatorOptions, simulate
 from .metrics import SimulationReport
 from .network import BoundedMultiportNetwork, TransferRequest
 from .platform import Platform, Processor
+from .relevance import ReplanPolicy, parse_replan_policy
 from .timeline import Activity, TimelineRecorder
 from .worker import TaskInstance, WorkerRuntime
 
@@ -34,6 +35,8 @@ __all__ = [
     "InstanceTable",
     "MasterSimulator",
     "SimulatorOptions",
+    "ReplanPolicy",
+    "parse_replan_policy",
     "simulate",
     "SimulationReport",
     "BoundedMultiportNetwork",

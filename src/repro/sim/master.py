@@ -59,6 +59,18 @@ candidate loops over a once-per-boundary state list.
 ``instance_store="legacy"`` preserves the original Python-list store as
 the oracle; the two stores are bit-identical (enforced by
 ``tests/test_instance_table.py``).
+
+**Round-relevance gating** (DESIGN.md §10).  When and whether those
+re-plans run is gated on two tiers: the *exact* tier
+(``round_relevance="exact"``, default) proves — via the scheduler's
+:meth:`~repro.core.heuristics.base.Scheduler.would_replan` hook and
+master-side queue/replica rules — that a round would reproduce the
+current plan, and skips its whole mutation phase bit-identically
+(``tests/test_replan_gating.py``); the *relaxed* tier
+(``replan_policy``) changes the replan-trigger semantics themselves
+(``sticky``, ``debounce:k``, ``relevant-up``) and is validated against
+the paper's shape targets by ``experiments/replan_study.py`` instead of
+by bit-identity.
 """
 
 from __future__ import annotations
@@ -71,6 +83,7 @@ import numpy as np
 from .._validation import require_nonnegative_int, require_positive_int
 from ..core.heuristics.base import (
     ProcessorView,
+    ReplanProbe,
     RoundState,
     Scheduler,
     SchedulingContext,
@@ -83,10 +96,12 @@ from .instance_table import InstanceTable
 from .metrics import SimulationReport
 from .network import BoundedMultiportNetwork, TransferRequest
 from .platform import Platform
+from .relevance import ReplanPolicy, parse_replan_policy
 from .worker import TaskInstance, WorkerRuntime, reset_instance
 
 __all__ = [
     "DEFAULT_SCHEDULER_SEED",
+    "ReplanPolicy",
     "SimulatorOptions",
     "MasterSimulator",
     "simulate",
@@ -105,7 +120,37 @@ class SimulatorOptions:
             to two").
         replan_every_slot: force a scheduling round every slot instead of
             on events only (ablation; slower, same results for the paper's
-            heuristics up to Delay-shift ties).
+            heuristics up to Delay-shift ties).  Alias of
+            ``replan_policy="every-slot"``; the two fields are kept in
+            sync by ``__post_init__``.
+        replan_policy: when the master re-plans (DESIGN.md §10;
+            :mod:`repro.sim.relevance`).  ``"event"`` (default) is the
+            paper's semantics — replan at every UP-set change, crash,
+            commit, program completion and iteration boundary.
+            ``"every-slot"`` is the ablation arm (alias of
+            ``replan_every_slot``).  The *relaxed* policies change the
+            trigger semantics and therefore the results — they are
+            validated against the paper's shape targets by
+            ``experiments/replan_study.py``, not by bit-identity:
+            ``"sticky"`` ignores pure UP-set churn entirely,
+            ``"debounce:k"`` rate-limits churn-triggered rounds to one
+            per ``k`` slots (leading edge), and ``"relevant-up"`` ignores
+            exits of empty processors.
+        round_relevance: the exact elision tier (DESIGN.md §10).
+            ``"exact"`` (default) asks the scheduler's ``would_replan``
+            hook, before any queue is touched, whether the round would
+            provably reproduce the current plan, and skips the round's
+            mutation phase when it would — **bit-identical** results
+            (same reports, event logs and network audit trails; enforced
+            by ``tests/test_replan_gating.py``), with ``rounds_elided``
+            counting the skips.  ``"off"`` always executes the round (the
+            oracle arm for the elision benchmark).  Elision is active on
+            the array scheduler API + array instance store (the default
+            configuration); other configurations always execute rounds —
+            which is invisible in the results, precisely because elision
+            is exact.  In audit mode proofs are validated instead of
+            used: the round runs and the post-state is asserted equal to
+            the elision prediction.
         proactive: enable the paper's *proactive* heuristic class (Section
             6.1, described but not evaluated by the authors): during the
             end-of-iteration regime (UP processors ≥ remaining tasks), a
@@ -157,6 +202,8 @@ class SimulatorOptions:
     step_mode: str = "span"
     scheduler_api: str = "array"
     instance_store: str = "array"
+    replan_policy: str = "event"
+    round_relevance: str = "exact"
 
     def __post_init__(self) -> None:
         require_nonnegative_int(self.max_replicas, "max_replicas")
@@ -165,6 +212,24 @@ class SimulatorOptions:
             raise ValueError(
                 f"step_mode must be 'span' or 'slot', got {self.step_mode!r}"
             )
+        if self.round_relevance not in ("exact", "off"):
+            raise ValueError(
+                "round_relevance must be 'exact' or 'off', "
+                f"got {self.round_relevance!r}"
+            )
+        policy = parse_replan_policy(self.replan_policy)  # validates
+        # Keep the legacy ``replan_every_slot`` flag and the policy field
+        # in sync: either spelling selects the every-slot ablation arm.
+        if self.replan_every_slot:
+            if policy.name == "event":
+                object.__setattr__(self, "replan_policy", "every-slot")
+            elif policy.name != "every-slot":
+                raise ValueError(
+                    "replan_every_slot=True conflicts with "
+                    f"replan_policy={self.replan_policy!r}"
+                )
+        elif policy.name == "every-slot":
+            object.__setattr__(self, "replan_every_slot", True)
         if self.scheduler_api not in ("array", "legacy"):
             raise ValueError(
                 "scheduler_api must be 'array' or 'legacy', "
@@ -263,6 +328,37 @@ class MasterSimulator:
         self._prev_states_list: Optional[list] = None
         self._avail = [proc.availability for proc in platform]
         self._need_replan = True
+
+        # Round-relevance gating (DESIGN.md §10).  The parsed replan
+        # policy decides which events set ``_need_replan``; the exact
+        # elision tier is active on the default array/array configuration
+        # only (it reads the InstanceTable aggregates and the batch
+        # scheduler's placement proof) — other configurations simply
+        # execute every round, which is invisible in the results.
+        self._policy = parse_replan_policy(self.options.replan_policy)
+        self._policy_churn_always = self._policy.churn_always
+        self._relevance = (
+            self.options.round_relevance == "exact"
+            and self.options.scheduler_api == "array"
+            and self._tbl is not None
+            and not self.options.proactive
+            # Schedulers that keep the conservative would_replan default
+            # can never prove anything: skip even the probe construction.
+            and type(scheduler).would_replan is not Scheduler.would_replan
+        )
+        #: Rounds skipped by the exact elision tier (diagnostic, not part
+        #: of the report — elided rounds still count in
+        #: ``report.scheduler_rounds``, since the oracle executes them).
+        self.rounds_elided = 0
+        #: Slot of the last *executed* (non-trivial) scheduling round;
+        #: anchors the ``debounce:k`` cooldown window.  Trivial rounds do
+        #: not move it, so the debounce clock is invisible at glided
+        #: slots (span/slot bit-identity).
+        self._last_round_slot = -(1 << 60)
+        #: Audit-mode elision validation: the predicted post-round queue
+        #: contents recorded when a proof fires under audit (the round
+        #: then runs for real and the prediction is asserted).
+        self._elision_prediction = None
 
         #: Fully simulated slots (diagnostic, not part of the report): in
         #: slot mode this equals ``report.slots_simulated``; in span mode
@@ -382,7 +478,18 @@ class MasterSimulator:
                 if any(
                     (slist[q] == up) != (prev_list[q] == up) for q in changed
                 ):
-                    self._need_replan = True
+                    if self._policy_churn_always:
+                        self._need_replan = True
+                    else:
+                        self._churn_replan(
+                            slot,
+                            [
+                                q
+                                for q in changed
+                                if (slist[q] == up) != (prev_list[q] == up)
+                            ],
+                            slist,
+                        )
                 if self.log.enabled:
                     for q in changed:
                         self.log.emit(
@@ -397,10 +504,14 @@ class MasterSimulator:
                             )
                         )
         elif prev is not None and not np.array_equal(states, prev):
-            if not np.array_equal(
-                states == int(ProcState.UP), prev == int(ProcState.UP)
-            ):
-                self._need_replan = True
+            churn = (states == int(ProcState.UP)) != (prev == int(ProcState.UP))
+            if churn.any():
+                if self._policy_churn_always:
+                    self._need_replan = True
+                else:
+                    self._churn_replan(
+                        slot, np.nonzero(churn)[0].tolist(), states
+                    )
             if self.log.enabled:
                 for q in range(len(states)):
                     if states[q] != prev[q]:
@@ -482,6 +593,38 @@ class MasterSimulator:
         reset_instance(inst)
         if self._tbl is None:
             self._list_remove(inst)
+
+    def _churn_replan(self, slot: int, churned, states) -> None:
+        """Apply the relaxed replan policy to an UP-set change.
+
+        Called only for non-default policies (the ``event``/``every-slot``
+        fast path sets ``_need_replan`` inline).  ``churned`` lists the
+        processors whose UP-membership flipped this slot; ``states`` is
+        the current state vector (plain list on the array store, ndarray
+        on the legacy store).
+        """
+        policy = self._policy
+        if policy.ignores_churn:
+            return  # sticky: pure churn never replans
+        if policy.ignores_empty_exits:
+            # relevant-up: entries always replan; exits only when the
+            # departing processor carries work (queue or partial program).
+            up = int(ProcState.UP)
+            workers = self.workers
+            for q in churned:
+                if states[q] == up:  # an entry: new candidate, replan
+                    self._need_replan = True
+                    return
+                worker = workers[q]
+                if worker.queue or worker.prog_received > 0:
+                    self._need_replan = True
+                    return
+            return  # only empty processors left the UP set: ignore
+        # debounce:k (leading edge): at most one churn-triggered round per
+        # k slots, anchored at the last executed round; suppressed churn
+        # is dropped, not deferred.
+        if slot >= self._last_round_slot + policy.debounce:
+            self._need_replan = True
 
     # ------------------------------------------------------------------ #
     # Scheduling round.                                                    #
@@ -779,63 +922,46 @@ class MasterSimulator:
         if self.options.proactive:
             self._proactive_round(slot, states)
         self.report.scheduler_rounds += 1
+        self._last_round_slot = slot
 
-        # One pass over the unpinned instances: drop unpinned replicas
-        # (the replication step below recreates what is still useful —
-        # they carry no progress by definition) and collect the unpinned
-        # originals (planned-on-worker and unplaced) for re-placement.
-        # Worker queues are purged once per touched worker — everything
-        # unpinned in a queue is, by construction, in one of the two lists.
-        # None of this moves a RoundState column: unpinned instances have
-        # zero progress, so they appear in neither Delay nor pinned_count.
-        unpinned: List[TaskInstance] = []
-        touched_hosts: set = set()
+        # Collect — read-only — the unpinned instances: the originals to
+        # (re)place, in ascending task order, and the replicas the round
+        # would drop and possibly recreate.  Nothing is mutated yet: the
+        # relevance gate below may prove the whole round a no-op and skip
+        # the mutation phase entirely (DESIGN.md §10).
         tbl = self._tbl
+        originals: List[TaskInstance] = []
+        replicas: List[TaskInstance] = []
         if tbl is not None:
-            # The unpinned set is read straight off the table; the dropped
-            # rows go back to the free list instead of forcing a rebuild.
+            objects = tbl.objects
             for row in tbl.unpinned_rows():
-                inst = tbl.objects[row]
-                if inst.worker is not None:
-                    touched_hosts.add(inst.worker)
-                    inst.worker = None
-                if inst.is_replica:
-                    reset_instance(inst)
-                    tbl.destroy(inst)
-                else:
-                    unpinned.append(inst)
-            for host in touched_hosts:
-                worker = self.workers[host]
-                worker.queue = [other for other in worker.queue if other.pinned]
+                inst = objects[row]
+                (replicas if inst.replica_id else originals).append(inst)
         else:
-            dropped: List[TaskInstance] = []
             for inst in self._instances:
-                if inst.pinned:
-                    continue
-                if inst.worker is not None:
-                    touched_hosts.add(inst.worker)
-                    inst.worker = None
-                if inst.is_replica:
-                    dropped.append(inst)
-                else:
-                    unpinned.append(inst)
-            for host in touched_hosts:
-                worker = self.workers[host]
-                worker.queue = [other for other in worker.queue if other.pinned]
-            for inst in dropped:
-                reset_instance(inst)
-                self._list_remove(inst)
-        unpinned.sort(key=lambda inst: inst.task_id)
+                if not inst.pinned:
+                    (replicas if inst.replica_id else originals).append(inst)
+        originals.sort(key=lambda inst: inst.task_id)
 
+        placements: Optional[List[Optional[int]]] = None
+        decisions: Optional[List[tuple]] = None
         if self.options.scheduler_api == "array":
             # With replicas dropped, the unpinned originals are exactly the
             # context's ``m - m'`` remaining tasks.
-            rs = self._refresh_round_state(slot, states, len(unpinned))
+            dirty_mask = bytes(self._rs_dirty) if self._relevance else b""
+            rs = self._refresh_round_state(slot, states, len(originals))
             scheduler = self.scheduler
 
             def place_batch(n: int, allowed=None) -> List[Optional[int]]:
                 return scheduler.place_array(rs, n, allowed)
 
+            if self._relevance:
+                placements, decisions, elided = self._relevance_gate(
+                    rs, dirty_mask, originals, replicas
+                )
+                if elided:
+                    self.rounds_elided += 1
+                    return
         else:
             ctx = self._build_context(slot, states)
             scheduler = self.scheduler
@@ -843,12 +969,331 @@ class MasterSimulator:
             def place_batch(n: int, allowed=None) -> List[Optional[int]]:
                 return scheduler.place(ctx, n, allowed)
 
-        placements = place_batch(len(unpinned))
-        for inst, choice in zip(unpinned, placements):
+        if placements is None:
+            placements = place_batch(len(originals))
+
+        # Mutation phase.  Drop the unpinned replicas (the replication
+        # step below recreates what is still useful — they carry no
+        # progress by definition), purge each touched queue once, and
+        # apply the placements.  None of this moves a RoundState column:
+        # unpinned instances have zero progress, so they appear in
+        # neither Delay nor pinned_count.  On the array store the dropped
+        # rows go back to the free list instead of forcing a rebuild.
+        touched_hosts: set = set()
+        for inst in replicas:
+            if inst.worker is not None:
+                touched_hosts.add(inst.worker)
+                inst.worker = None
+            reset_instance(inst)
+            if tbl is not None:
+                tbl.destroy(inst)
+            else:
+                self._list_remove(inst)
+        for inst in originals:
+            if inst.worker is not None:
+                touched_hosts.add(inst.worker)
+                inst.worker = None
+        for host in touched_hosts:
+            worker = self.workers[host]
+            worker.queue = [other for other in worker.queue if other.pinned]
+
+        for inst, choice in zip(originals, placements):
             self._place(inst, choice, states)
 
         if self.options.replication and self.options.max_replicas > 0:
-            self._replication_round(place_batch, states)
+            if decisions is not None:
+                self._apply_replication_decisions(decisions, states)
+            else:
+                self._replication_round(place_batch, states)
+
+        if self._elision_prediction is not None:
+            self._audit_elision()
+
+    # ------------------------------------------------------------------ #
+    # Round-relevance gating (exact tier, DESIGN.md §10).                  #
+    # ------------------------------------------------------------------ #
+    def _relevance_gate(
+        self,
+        rs: RoundState,
+        dirty_mask: bytes,
+        originals: List[TaskInstance],
+        replicas: List[TaskInstance],
+    ) -> tuple:
+        """Exact-tier elision attempt; returns ``(placements, decisions,
+        elided)``.
+
+        Asks the scheduler's :meth:`~repro.core.heuristics.base.Scheduler.
+        would_replan` proof hook whether re-placing the unpinned originals
+        reproduces their current hosts.  When it does, the replication
+        dry-run (:meth:`_replication_decisions`) and the in-place plan
+        check (:meth:`_plan_in_place`) extend the proof to the whole
+        round; a complete proof applies the round's counter effects (the
+        oracle's executed round launches the recreated replicas) and
+        elides everything else.  Every intermediate result is returned
+        for reuse, so a failed proof never scores anything twice: the
+        computed placements seed the mutation phase and the dry-run
+        decisions replay through :meth:`_apply_replication_decisions`.
+        """
+        probe = ReplanProbe(
+            n_tasks=len(originals),
+            hosts=[inst.worker for inst in originals],
+            dirty_mask=dirty_mask,
+        )
+        if self.scheduler.would_replan(rs, probe):
+            return probe.placements, None, False
+        # A False answer asserts the re-placement reproduces the current
+        # hosts; schedulers with a cheaper proof than re-placing (the
+        # contract allows it) may leave ``placements`` unset, in which
+        # case the hosts themselves are the proven placement list.
+        placements = probe.placements
+        if placements is None:
+            placements = list(probe.hosts)
+        # Cheap structural pre-checks before the replication dry-run: when
+        # one fails the round must run anyway, and its real replication
+        # loop scores its own decisions — nothing is computed twice.
+        if not self._plan_in_place(originals, placements, replicas):
+            return placements, None, False
+        decisions = self._replication_decisions(replicas)
+        if len(decisions) != len(replicas) or (
+            replicas
+            and {
+                (inst.task_id, inst.replica_id, inst.worker)
+                for inst in replicas
+            }
+            != set(decisions)
+        ):
+            # Replication would reshape the replica set: run the round,
+            # replaying the already-computed decisions.
+            return placements, decisions, False
+        if self.options.audit:
+            # Audit mode validates proofs instead of using them: record
+            # the predicted (no-op) outcome, run the round for real, and
+            # assert the prediction afterwards (:meth:`_audit_elision`).
+            self._elision_prediction = self._queue_snapshot()
+            return placements, decisions, False
+        if decisions:
+            # The oracle's round re-launches exactly these replicas.
+            self.report.replicas_launched += len(decisions)
+        return placements, decisions, True
+
+    def _plan_in_place(
+        self,
+        originals: List[TaskInstance],
+        placements: List[Optional[int]],
+        replicas: List[TaskInstance],
+    ) -> bool:
+        """True when applying ``placements`` — and recreating exactly the
+        current replicas — would leave every queue and every
+        commit-relevant sibling order exactly as it already is.
+
+        This is the structural half of the no-op proof; whether
+        replication really would recreate exactly the current replicas is
+        the dry-run's half (:meth:`_replication_decisions`).
+        """
+        tbl = self._tbl
+        workers = self.workers
+        for inst in replicas:
+            # The oracle re-appends each recreated replica at the end of
+            # its task's creation-order row list and at the end of its
+            # host's queue; an elided replica keeps its position, so it
+            # must already be the youngest sibling and the queue tail —
+            # otherwise commit-time cancellation events would reorder.
+            if inst.worker is None or tbl.rows_of[inst.task_id][-1] != inst.row:
+                return False
+            if workers[inst.worker].queue[-1] is not inst:
+                return False
+        # Each host's queue must already read ``[pinned…, its planned
+        # originals in ascending task order]`` — the exact shape the
+        # purge + re-place sequence rebuilds.
+        expected: Dict[int, List[TaskInstance]] = {}
+        for inst, choice in zip(originals, placements):
+            if choice is not None:
+                expected.setdefault(choice, []).append(inst)
+            elif inst.worker is not None:  # pragma: no cover - host match
+                return False  # guaranteed by placements == hosts
+        for host, planned in expected.items():
+            queue = workers[host].queue
+            offset = len(queue) - len(planned)
+            if offset < 0:
+                return False
+            for position in range(offset):
+                if not queue[position].pinned:
+                    return False
+            for position, inst in enumerate(planned):
+                if queue[offset + position] is not inst:
+                    return False
+        return True
+
+    def _replication_decisions(self, dropped: List[TaskInstance]) -> List[tuple]:
+        """Dry-run of :meth:`_replication_round` against the hypothetical
+        post-round state: ``dropped`` unpinned replicas destroyed, every
+        unpinned original re-placed on its current host.
+
+        Returns the creation decisions ``[(task_id, replica_id, host)…]``
+        the real loop would take (possibly empty).  Only called on the
+        array store after the placement proof succeeded, so the
+        hypothetical reads below mirror exactly the state the mutation
+        phase would produce — which also makes the decisions valid for
+        replay by :meth:`_apply_replication_decisions` when the round
+        runs after all; a failed elision never scores replication twice.
+        The scoring calls are the same ``place_array(rs, 1, allowed)``
+        calls the real loop performs, against the same round-state
+        version, so the chosen hosts are bit-identical.
+        """
+        options = self.options
+        tbl = self._tbl
+        if not options.replication or options.max_replicas == 0:
+            return []
+        n_uncommitted = tbl.n_uncommitted
+        if n_uncommitted <= 0:
+            return []
+        if not dropped and tbl.repl_deficit == 0:
+            return []  # saturated, nothing dropped: nothing to recreate
+        up_state = int(ProcState.UP)
+        slist = self._states_list
+        if slist.count(up_state) <= n_uncommitted:
+            return []  # paper's trigger: more UP than remaining tasks
+        workers = self.workers
+        # Hypothetically idle: UP workers whose queue would be empty after
+        # the purge — i.e. currently empty or holding only dropped
+        # replicas (every unpinned replica is dropped by definition).
+        if dropped:
+            idle = []
+            for q in range(len(slist)):
+                if slist[q] != up_state:
+                    continue
+                for inst in workers[q].queue:
+                    if inst.replica_id == 0 or inst.pinned:
+                        break  # keeps a planned original or pinned work
+                else:
+                    idle.append(q)
+        else:
+            idle = [
+                q
+                for q in range(len(slist))
+                if slist[q] == up_state and not workers[q].queue
+            ]
+        if not idle:
+            return []
+        max_instances = 1 + options.max_replicas
+        live_count = tbl.live_count
+        scheduler = self.scheduler
+        rs = self._rs
+        decisions: List[tuple] = []
+        if not dropped:
+            # Fast path (the dominant mid-iteration shape, no replica
+            # churn): the hypothetical post-round state IS the current
+            # state, so this is the real loop's read side verbatim.
+            candidates = sorted(
+                tbl.uncommitted_tasks().tolist(),
+                key=lambda task_id: (int(live_count[task_id]), task_id),
+            )
+            for task_id in candidates:
+                if not idle:
+                    break
+                if live_count[task_id] >= max_instances:
+                    continue
+                task_hosts = tbl.hosts_of_task(task_id)
+                allowed = [q for q in idle if q not in task_hosts]
+                if not allowed:
+                    continue
+                choice = scheduler.place_array(rs, 1, allowed)[0]
+                if choice is None:  # pragma: no cover - allowed is all-UP
+                    continue
+                decisions.append(
+                    (task_id, tbl.free_replica_id(task_id), choice)
+                )
+                idle.remove(choice)
+            return decisions
+        live_list = live_count.tolist()
+        live_hyp: Dict[int, int] = {}
+        mask_hyp: Dict[int, int] = {}
+        for inst in dropped:
+            task_id = inst.task_id
+            live_hyp[task_id] = live_hyp.get(task_id, live_list[task_id]) - 1
+            mask_hyp[task_id] = mask_hyp.get(
+                task_id, int(tbl.replica_mask[task_id])
+            ) & ~(1 << inst.replica_id)
+        for task_id, live in live_hyp.items():
+            live_list[task_id] = live
+        candidates = sorted(
+            tbl.uncommitted_tasks().tolist(),
+            key=lambda task_id: (live_list[task_id], task_id),
+        )
+        objects = tbl.objects
+        for task_id in candidates:
+            if not idle:
+                break
+            if live_list[task_id] >= max_instances:
+                continue
+            hosts = set()
+            for row in tbl.rows_of[task_id]:
+                inst = objects[row]
+                if inst.replica_id and not inst.pinned:
+                    continue  # an unpinned replica: hypothetically dropped
+                if inst.worker is not None:
+                    hosts.add(inst.worker)
+            allowed = [q for q in idle if q not in hosts]
+            if not allowed:
+                continue
+            choice = scheduler.place_array(rs, 1, allowed)[0]
+            if choice is None:  # pragma: no cover - allowed is all-UP
+                continue
+            mask = mask_hyp.get(task_id, int(tbl.replica_mask[task_id]))
+            replica_id = 1
+            while mask >> replica_id & 1:
+                replica_id += 1
+            decisions.append((task_id, replica_id, choice))
+            idle.remove(choice)
+        return decisions
+
+    def _apply_replication_decisions(
+        self, decisions: List[tuple], states: np.ndarray
+    ) -> None:
+        """Replay dry-run replication decisions (array store only).
+
+        The decisions were computed against exactly the post-mutation
+        state the round has now produced (placements applied as computed),
+        so each creation replays without re-scoring.
+        """
+        tbl = self._tbl
+        for task_id, replica_id, choice in decisions:
+            replica = TaskInstance(
+                iteration=self.iteration,
+                task_id=task_id,
+                replica_id=replica_id,
+                data_needed=self.app.t_data,
+            )
+            tbl.add(replica)
+            self._place(replica, choice, states)
+            self.report.replicas_launched += 1
+
+    def _queue_snapshot(self) -> List[list]:
+        """Identity-free queue contents, for audit-mode proof validation."""
+        return [
+            [
+                (
+                    inst.task_id,
+                    inst.replica_id,
+                    inst.pinned,
+                    inst.data_received,
+                    inst.compute_done,
+                    inst.compute_needed,
+                )
+                for inst in worker.queue
+            ]
+            for worker in self.workers
+        ]
+
+    def _audit_elision(self) -> None:
+        """Audit-mode cross-check: a fired elision proof must describe a
+        round that really was a no-op (the round ran; compare)."""
+        predicted = self._elision_prediction
+        self._elision_prediction = None
+        assert self._queue_snapshot() == predicted, (
+            "round-relevance proof fired but the executed round changed a "
+            "queue: elision would have diverged"
+        )
 
     def _place(
         self, inst: TaskInstance, choice: Optional[int], states: np.ndarray
@@ -1348,7 +1793,11 @@ class MasterSimulator:
         no progress: their RECLAIMED↔DOWN wandering is invisible to the
         simulation (no crash to apply, no UP-set change, and scheduling
         rounds — which do see the full state vector — happen only at
-        boundaries), so the span may glide over it.
+        boundaries), so the span may glide over it.  (Currently-UP empty
+        workers always break spans on any change, even under the
+        ``relevant-up`` policy: gliding over an exit would mask a
+        re-entry inside the same span — see the note in
+        :meth:`_quiet_span`.)
         """
         return self._next_state_entry(
             q, slot, last, int(ProcState.UP), self._next_up_cache
@@ -1399,6 +1848,17 @@ class MasterSimulator:
                 if inst.data_received == 0 and not inst.computing:
                     return False
         if not self.options.replication or self.options.max_replicas == 0:
+            return True
+        n_uncommitted = (
+            self._tbl.n_uncommitted
+            if self._tbl is not None
+            else self.app.tasks_per_iteration - len(self._committed)
+        )
+        if n_uncommitted >= len(self.workers):
+            # The replication trigger needs strictly more UP processors
+            # than uncommitted tasks; with p <= uncommitted it cannot fire
+            # for any UP set, and the uncommitted count only moves at
+            # commits — which are span boundaries (DESIGN.md §10).
             return True
         return self._replication_saturated()
 
@@ -1452,75 +1912,114 @@ class MasterSimulator:
         #    cached misses are stored as the sentinel ``last + 1``, which
         #    is only sound when ``last`` is constant across boundaries.
         observe_all = self.log.enabled or self.timeline is not None
-        glide = not observe_all and self._round_glidable()
+        # Under the sticky policy pure churn never triggers a round, so
+        # the glide conditions hold by construction: empty processors are
+        # invisible, program holders matter only through their crashing
+        # DOWN entry, and the refined treatment of wandering (UP,
+        # ungranted) workers is valid without the round-triviality proof
+        # (DESIGN.md §10).  All other round triggers — crashes, commits,
+        # program completions — are span boundaries in their own right.
+        sticky = self._policy.ignores_churn and not observe_all
+        glide = sticky or (not observe_all and self._round_glidable())
         refined = glide and not self.options.audit
         self._span_refined = refined
+        # Note on ``relevant-up``: although the policy ignores exits of
+        # empty processors, spans must still break on them — a boundary
+        # diffs states against the *last boundary*, so gliding over an
+        # exit would mask a re-entry inside the same span (UP → … → UP
+        # reads as "no change" and the entry — which the policy does
+        # consider relevant — would never replan, diverging from slot
+        # mode).  The policy's gain is therefore fewer executed rounds at
+        # exit boundaries, not longer spans.
         grant_index = self._grant_index
-        caches = (
-            self._next_change_cache,
-            self._next_up_cache,
-            self._next_down_cache,
-        )
-        lookups = (self._next_change, self._next_up_entry, self._next_down_entry)
-        for worker in self.workers:
-            q = worker.index
-            # kind: 0 = any change, 1 = next UP entry, 2 = next DOWN entry.
-            if observe_all:
-                kind = 0
-            elif worker.queue:
-                kind = (
-                    2
-                    if refined and states[q] == up and q not in grant_index
-                    else 0
-                )
-            elif worker.prog_received > 0:
-                kind = 2 if glide else 0
-            elif glide:
-                continue  # empty worker, trivial rounds: invisible
-            elif states[q] == up:
-                kind = 0
-            else:
-                kind = 1
-            cached = caches[kind][q]  # inline cache hit: the common case
-            if cached is not None and cached > slot:
-                change = cached if cached <= last else None
-            else:
-                change = lookups[kind](q, slot, last)
-            if change is not None and change < horizon:
-                horizon = change
-                if horizon == slot + 1:
-                    return 0
-        # 2. Worker pipelines: the computing instance and the granted
-        #    transfer (grants are stable across the span; see
+        next_change_cache = self._next_change_cache
+        next_up_cache = self._next_up_cache
+        next_down_cache = self._next_down_cache
+        tbl = self._tbl
+        computing_rows = tbl.computing_row if tbl is not None else None
+        objects = tbl.objects if tbl is not None else None
+        avail = self._avail
+        # 2. (fused below) Worker pipelines: the computing instance and
+        #    the granted transfer (grants are stable across the span; see
         #    BoundedMultiportNetwork.plan) tick one unit per slot —
         #    except the computing instance of a refined (UP, ungranted)
         #    worker, which ticks once per *UP* slot and therefore
         #    completes at its worker's ``compute_remaining``-th UP slot.
-        computing_rows = (
-            self._tbl.computing_row if self._tbl is not None else None
-        )
-        for worker in self.workers:
-            q = worker.index
-            if not worker.queue or states[q] != up:
-                continue  # idle, frozen (RECLAIMED) or wiped (DOWN): no ticks
-            kind, inst = grant_index.get(q, (None, None))
-            if refined and kind is None:
-                if computing_rows is not None:
-                    row = computing_rows[q]
-                    computing = self._tbl.objects[row] if row >= 0 else None
+        #    Both the availability and the pipeline bounds for a worker
+        #    come from one pass (PR 5 span-search trim: one iteration,
+        #    O(1) computing lookup off the table, no per-worker method
+        #    calls).
+        for q, worker in enumerate(self.workers):
+            queue = worker.queue
+            state_up = states[q] == up
+            # kind: 0 = any change, 1 = next UP entry, 2 = next DOWN
+            # entry, None = invisible.  A grant implies a queue, so the
+            # index is only consulted for queue holders.
+            grant = grant_index.get(q) if queue else None
+            if observe_all:
+                kind = 0
+            elif queue:
+                kind = 2 if refined and state_up and grant is None else 0
+            elif worker.prog_received > 0:
+                kind = 2 if glide else 0
+            elif glide:
+                kind = None  # empty worker, rounds can't act: invisible
+            elif state_up:
+                kind = 0
+            else:
+                kind = 1
+            if kind is not None:
+                if kind == 0:
+                    cache = next_change_cache
+                elif kind == 1:
+                    cache = next_up_cache
                 else:
-                    computing = worker.computing_instance
-                if computing is None:
-                    continue
-                milestone_slot = self.platform[q].availability.nth_up_after(
-                    slot, computing.compute_remaining, limit=last
-                )
-                if milestone_slot is not None and milestone_slot < horizon:
-                    horizon = milestone_slot
+                    cache = next_down_cache
+                cached = cache[q]  # inline cache hit: the common case
+                if cached is not None and cached > slot:
+                    change = cached if cached <= last else None
+                elif kind == 0:
+                    change = self._next_change(q, slot, last)
+                elif kind == 1:
+                    change = self._next_up_entry(q, slot, last)
+                else:
+                    change = self._next_down_entry(q, slot, last)
+                if change is not None and change < horizon:
+                    horizon = change
                     if horizon == slot + 1:
                         return 0
-                continue
-            milestone = worker.slots_to_next_milestone(kind, inst)
+            if not queue or not state_up:
+                continue  # idle, frozen (RECLAIMED) or wiped: no ticks
+            if computing_rows is not None:
+                row = computing_rows[q]
+                computing = objects[row] if row >= 0 else None
+            else:
+                computing = worker.computing_instance
+            if grant is None:
+                if refined:
+                    if computing is None:
+                        continue
+                    milestone_slot = avail[q].nth_up_after(
+                        slot,
+                        computing.compute_needed - computing.compute_done,
+                        limit=last,
+                    )
+                    if milestone_slot is not None and milestone_slot < horizon:
+                        horizon = milestone_slot
+                        if horizon == slot + 1:
+                            return 0
+                    continue
+                milestone = None
+            else:
+                grant_kind, grant_inst = grant
+                if grant_kind == "prog":
+                    milestone = worker.t_prog - worker.prog_received
+                else:
+                    milestone = grant_inst.data_needed - grant_inst.data_received
+            if computing is not None:
+                remaining = computing.compute_needed - computing.compute_done
+                if milestone is None or remaining < milestone:
+                    milestone = remaining
             if milestone is not None and slot + milestone < horizon:
                 horizon = slot + milestone
                 if horizon == slot + 1:
