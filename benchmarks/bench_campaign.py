@@ -40,6 +40,7 @@ def _measure(
     trials: int,
     heuristics: Sequence[str],
     seed: int,
+    engine: str = "per-run",
 ) -> Dict:
     start = time.perf_counter()
     result = run_table2(
@@ -49,6 +50,7 @@ def _measure(
         seed=seed,
         backend=backend,
         jobs=jobs,
+        engine=engine,
         **REDUCED,
     )
     elapsed = time.perf_counter() - start
@@ -56,6 +58,7 @@ def _measure(
     return {
         "backend": backend,
         "jobs": jobs or 1,
+        "engine": engine,
         "seconds": round(elapsed, 4),
         "instances": result.campaign.instances,
         "runs": runs,
@@ -78,13 +81,13 @@ def run_benchmark(
     parallel rows cover ``jobs`` workers and, for scaling shape, half of
     ``jobs`` when that is a distinct count.
     """
-    configurations = [("serial", None)]
+    configurations = [("serial", None, "per-run"), ("serial", None, "batch")]
     if jobs >= 2 and jobs // 2 not in (1, jobs):
-        configurations.append(("process", jobs // 2))
-    configurations.append(("process", jobs))
+        configurations.append(("process", jobs // 2, "per-run"))
+    configurations.append(("process", jobs, "per-run"))
 
     rows: List[Dict] = []
-    for backend, worker_count in configurations:
+    for backend, worker_count, engine in configurations:
         rows.append(
             _measure(
                 backend=backend,
@@ -93,6 +96,7 @@ def run_benchmark(
                 trials=trials,
                 heuristics=heuristics,
                 seed=seed,
+                engine=engine,
             )
         )
 
@@ -102,13 +106,24 @@ def run_benchmark(
         if not (
             campaign.records == reference.records
             and campaign.accumulator == reference.accumulator
-        ):  # pragma: no cover - would be a backend bug
+        ):  # pragma: no cover - would be a backend/engine bug
             raise AssertionError(
-                f"{row['backend']}(jobs={row['jobs']}) diverged from serial"
+                f"{row['backend']}(jobs={row['jobs']}, "
+                f"engine={row['engine']}) diverged from serial per-run"
             )
 
     serial_rate = rows[0]["runs_per_sec"]
     cpu_count = os.cpu_count() or 1
+    # Batch-engine row: same serial backend, cohort execution.  Its
+    # speedup is an apples-to-apples engine comparison (identical
+    # statistics asserted above); it composes multiplicatively with the
+    # process-backend scaling rows below.
+    batch_rows = [row for row in rows if row["engine"] == "batch"]
+    batch_speedup = (
+        round(batch_rows[0]["runs_per_sec"] / serial_rate, 3)
+        if batch_rows
+        else None
+    )
     # cpu_count-aware per-job scaling: a parallel row can at best run
     # min(jobs, physical cores) units concurrently, so its *parallel
     # efficiency* is speedup / that bound.  On a single-CPU container the
@@ -117,6 +132,8 @@ def run_benchmark(
     # scaling shape with no code changes (ROADMAP open item).
     scaling = {}
     for row in rows[1:]:
+        if row["engine"] != "per-run":
+            continue  # engine comparison reported separately
         speedup = round(row["runs_per_sec"] / serial_rate, 3)
         bound = min(row["jobs"], cpu_count)
         scaling[f"{row['backend']}-{row['jobs']}"] = {
@@ -140,6 +157,7 @@ def run_benchmark(
             key: value["speedup_vs_serial"] for key, value in scaling.items()
         },
         "scaling": scaling,
+        "batch_speedup": batch_speedup,
         "statistics_identical": True,
     }
 
@@ -155,6 +173,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--out", default=None, metavar="PATH", help="write JSON here (else stdout)"
     )
+    parser.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append a one-line trajectory record here "
+            "(default: BENCH_history.jsonl at the repo root; "
+            "'-' disables)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     document = run_benchmark(
@@ -163,6 +191,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         trials=args.trials,
         seed=args.seed,
     )
+    if args.history != "-":
+        from bench_history import append_history
+
+        append_history(
+            document["benchmark"],
+            {
+                "speedup_vs_serial": document["speedup_vs_serial"],
+                "batch_speedup": document["batch_speedup"],
+                "serial_runs_per_sec": document["results"][0]["runs_per_sec"],
+            },
+            path=args.history,
+        )
     text = json.dumps(document, indent=2)
     if args.out:
         with open(args.out, "w") as handle:

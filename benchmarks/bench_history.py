@@ -1,0 +1,70 @@
+"""Append-only benchmark trajectory (``BENCH_history.jsonl``).
+
+The per-PR benchmark documents (``BENCH_sim.json``, ad-hoc campaign
+runs) are snapshots — each PR overwrites the last.  The history file is
+the missing time axis: every benchmark run appends one JSON line with
+the commit it measured, the machine class, and the run's headline
+ratios, so the perf trajectory across PRs survives in-repo and a
+regression can be bisected to a commit without re-running old trees.
+
+Lines are self-contained JSON objects (jsonl), append-only; readers
+must tolerate unknown keys — each benchmark contributes its own
+headline fields.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from typing import Dict, Optional
+
+#: History lives at the repo root, next to BENCH_sim.json.
+DEFAULT_HISTORY_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_history.jsonl",
+)
+
+
+def git_sha() -> Optional[str]:
+    """The current commit, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def append_history(
+    benchmark: str, ratios: Dict, path: Optional[str] = None
+) -> Dict:
+    """Append one trajectory record; returns the record written.
+
+    Args:
+        benchmark: the benchmark's exp. id (``"sim-hot-loop"``,
+            ``"campaign-backends"``).
+        ratios: the run's headline numbers — overall speedup ratios,
+            runs/sec — small and flat (this is a trajectory line, not
+            the full document).
+        path: history file (default: ``BENCH_history.jsonl`` at the
+            repo root).
+    """
+    record = {
+        "benchmark": benchmark,
+        "git_sha": git_sha(),
+        "unix_time": int(time.time()),
+        "cpu_count": os.cpu_count() or 1,
+        **ratios,
+    }
+    target = path or DEFAULT_HISTORY_PATH
+    with open(target, "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return record

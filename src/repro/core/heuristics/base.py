@@ -598,6 +598,9 @@ class GreedyScheduler(Scheduler):
     # -- per-round cache for the array path -------------------------------
     _round_version = None
     _round_cache: Optional[dict] = None
+    # -- cross-round persistent score rows (DESIGN.md §11) ----------------
+    _row_store: Optional[dict] = None
+    _row_store_rs = None
 
     def _round_setup(self, rs: RoundState) -> dict:
         """Per-round candidate/score cache, keyed on ``rs.version``.
@@ -751,13 +754,56 @@ class GreedyScheduler(Scheduler):
             score_row = self._score_ct_row
             if score_row is not None:
                 base, _step = self._ct_bases(rs, cache, factor)
-                row = score_row(rs, cache, base)
+                if rs.stamped and self._score_ct_one is not None:
+                    row = self._row0_stamped(rs, cache, factor, base)
+                else:
+                    row = score_row(rs, cache, base)
             else:
                 up = np.array(cache["up_list"], dtype=np.intp)
                 row = self.score_batch(
                     rs, up, np.ones(up.size, dtype=np.int64), factor
                 ).tolist()
             cache["row0"][factor] = row
+        return row
+
+    def _row0_stamped(self, rs: RoundState, cache: dict, factor: int,
+                      base: list) -> list:
+        """Assemble the ``n_q = 0`` row from a cross-round persistent store.
+
+        The CT-family scores at ``n_q = 0`` are pure functions of the
+        stamped worker columns (``delay``, via the CT base), the static
+        speed/belief columns and the factor — so a processor whose
+        :attr:`RoundState.col_stamp` did not move since its value was
+        last computed keeps that value verbatim, and only stamped-out
+        entries re-run :meth:`_score_ct_one` (the exact elementwise twin
+        of :meth:`_score_ct_row`, DESIGN.md §8).  Active only when the
+        state owner maintains the stamp contract (``rs.stamped``); the
+        store is keyed on the RoundState object so a scheduler reused
+        against another state can never mix rows.
+        """
+        if self._row_store_rs is not rs:
+            self._row_store_rs = rs
+            self._row_store = {}
+        per_factor = self._row_store.get(factor)
+        if per_factor is None:
+            per_factor = self._row_store[factor] = (
+                [0.0] * len(rs),
+                [-1] * len(rs),
+            )
+        values, stamps = per_factor
+        col_stamp = rs.col_stamp
+        score_one = self._score_ct_one
+        row = []
+        append = row.append
+        for i, q in enumerate(cache["up_list"]):
+            stamp = col_stamp[q]
+            if stamps[q] == stamp:
+                append(values[q])
+            else:
+                value = score_one(rs, cache, base[i], i)
+                values[q] = value
+                stamps[q] = stamp
+                append(value)
         return row
 
     def place_array(

@@ -190,6 +190,20 @@ class RoundState:
         #: Starts all-dirty: no column is current until first refreshed.
         self.dirty = bytearray(b"\x01" * p)
 
+        #: Per-processor *column stamps* for cross-round score caching
+        #: (DESIGN.md §11): the owner bumps ``col_stamp[q]`` — via
+        #: :meth:`stamp_changed` — every time it rewrites processor
+        #: ``q``'s worker-derived columns, so schedulers can keep score
+        #: rows alive across rounds and recompute only processors whose
+        #: stamp moved.  ``stamped`` opts the contract in: it stays False
+        #: unless the owner promises to stamp *every* column write
+        #: (:class:`~repro.sim.master.MasterSimulator` does); hand-built
+        #: states (tests, :meth:`from_views`) leave it off so mutations
+        #: they don't stamp can never serve stale cached scores.
+        self.stamped = False
+        self.col_stamp: List[int] = [0] * p
+        self._stamp_serial = 0
+
         self._pipeline_provider = pipeline_provider or (lambda q: ())
         #: Optional owner hook called with a processor index before a lazy
         #: ``ProcessorView`` materialises: owners that defer column updates
@@ -335,6 +349,42 @@ class RoundState:
                 rng=self.rng,
             )
         return self._ctx
+
+    def stamp_changed(self, qs: Sequence[int]) -> None:
+        """Record that the worker-derived columns of ``qs`` were rewritten.
+
+        One serial is drawn per batch, so a refresh touching k processors
+        costs k list writes.  Only meaningful when the owner maintains
+        the full contract and has set :attr:`stamped`.
+        """
+        serial = self._stamp_serial + 1
+        self._stamp_serial = serial
+        col_stamp = self.col_stamp
+        for q in qs:
+            col_stamp[q] = serial
+
+    def adopt_belief_cache(self, other: "RoundState") -> None:
+        """Share belief-derived column caches with ``other`` (same beliefs).
+
+        The batch engine's cohort belief fusion (DESIGN.md §11): all runs
+        of one scenario carry identical (immutable) belief models, so the
+        lazily computed ``p_uu``/``p_plus``/``pi_u``/``e_up``/``ud_*``
+        columns are computed once on the first run that needs them and
+        shared by reference with every other run's RoundState.  The cache
+        dicts themselves are aliased, so a column materialised by *any*
+        sharer becomes visible to all.
+        """
+        if len(other) != len(self):
+            raise ValueError(
+                f"cannot share belief cache across sizes {len(other)} != {len(self)}"
+            )
+        for mine, theirs in zip(self.beliefs, other.beliefs):
+            if mine is not theirs:
+                raise ValueError(
+                    "cannot share belief cache: belief models differ"
+                )
+        self._belief_columns = other._belief_columns
+        self._belief_column_lists = other._belief_column_lists
 
     def invalidate(self) -> None:
         """Drop the lazy view/context caches after columns changed.

@@ -92,6 +92,18 @@ def build_parser() -> argparse.ArgumentParser:
         )
         add_backend_args(p)
         p.add_argument(
+            "--engine",
+            choices=("per-run", "batch"),
+            default="per-run",
+            help=(
+                "per-unit execution engine (DESIGN.md §11): 'per-run' "
+                "simulates each instance independently (the oracle), "
+                "'batch' advances each unit's heuristics as one cohort "
+                "sharing traces and belief columns; results are "
+                "bit-identical"
+            ),
+        )
+        p.add_argument(
             "--checkpoint",
             default=None,
             metavar="PATH",
@@ -228,6 +240,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             checkpoint=args.checkpoint,
             step_mode=args.step_mode,
             replan_policy=args.replan_policy,
+            engine=args.engine,
             **kwargs,
         )
         print(render_table2(result))
@@ -245,6 +258,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             checkpoint=args.checkpoint,
             step_mode=args.step_mode,
             replan_policy=args.replan_policy,
+            engine=args.engine,
         )
         print(render_table3(result))
     elif args.command == "figure2":
@@ -260,6 +274,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             checkpoint=args.checkpoint,
             step_mode=args.step_mode,
             replan_policy=args.replan_policy,
+            engine=args.engine,
         )
         print(render_figure2(result))
     elif args.command == "figure1":

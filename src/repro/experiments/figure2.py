@@ -79,6 +79,7 @@ def run_figure2(
     checkpoint=None,
     step_mode: str = "span",
     replan_policy: str = "event",
+    engine: str = "per-run",
 ) -> Figure2Result:
     """Execute the Figure 2 protocol (same grid as Table 2).
 
@@ -106,6 +107,7 @@ def run_figure2(
         options=SimulatorOptions(
             step_mode=step_mode, replan_policy=replan_policy
         ),
+        engine=engine,
     )
     campaign = run_campaign(
         scenarios,

@@ -83,12 +83,22 @@ class CampaignConfig:
         max_slots: per-run slot budget (safety bound; generous by default).
         options: simulator options (replication on, audit off — the
             paper's configuration — unless overridden).
+        engine: per-unit execution engine.  ``"per-run"`` runs each
+            (trial, heuristic) instance independently (the oracle);
+            ``"batch"`` executes each unit as one cohort through
+            :class:`~repro.sim.batch_engine.BatchCampaignRunner`,
+            sharing traces / state rows / belief columns across the
+            unit's heuristics.  Results are bit-identical either way
+            (asserted in ``tests/test_batch_engine.py``), so the engine
+            is an execution detail, not part of the campaign identity —
+            checkpoints written under one engine resume under the other.
     """
 
     heuristics: Sequence[str]
     trials: int = 10
     max_slots: int = 500_000
     options: SimulatorOptions = field(default_factory=SimulatorOptions)
+    engine: str = "per-run"
 
     def __post_init__(self) -> None:
         if not self.heuristics:
@@ -97,6 +107,10 @@ class CampaignConfig:
             raise ValueError(f"trials must be positive, got {self.trials}")
         if self.max_slots <= 0:
             raise ValueError(f"max_slots must be positive, got {self.max_slots}")
+        if self.engine not in ("per-run", "batch"):
+            raise ValueError(
+                f"engine must be 'per-run' or 'batch', got {self.engine!r}"
+            )
 
 
 @dataclass
@@ -175,6 +189,7 @@ class CampaignUnit:
     heuristics: Tuple[str, ...]
     max_slots: int
     options: SimulatorOptions
+    engine: str = "per-run"
 
     @property
     def instance_key(self) -> tuple:
@@ -184,6 +199,10 @@ class CampaignUnit:
     def run(self) -> CampaignUnitResult:
         """Execute the unit (identical result in any process)."""
         scenario = resolve_scenario(self.scenario_ref)
+        if self.engine == "batch":
+            from ..sim.batch_engine import run_unit_cohort
+
+            return run_unit_cohort(scenario, self)
         makespans: Dict[str, float] = {}
         truncated: List[str] = []
         for heuristic in self.heuristics:
@@ -247,6 +266,7 @@ def iter_work_units(
                 heuristics=heuristics,
                 max_slots=config.max_slots,
                 options=config.options,
+                engine=config.engine,
             )
 
 

@@ -93,6 +93,7 @@ def run_table2(
     checkpoint=None,
     step_mode: str = "span",
     replan_policy: str = "event",
+    engine: str = "per-run",
 ) -> Table2Result:
     """Execute the Table 2 protocol.
 
@@ -122,6 +123,7 @@ def run_table2(
         options=SimulatorOptions(
             step_mode=step_mode, replan_policy=replan_policy
         ),
+        engine=engine,
     )
     campaign = run_campaign(
         scenarios,

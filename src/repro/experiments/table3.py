@@ -74,6 +74,7 @@ def run_table3(
     checkpoint=None,
     step_mode: str = "span",
     replan_policy: str = "event",
+    engine: str = "per-run",
 ) -> Table3Result:
     """Execute one half of Table 3 (``comm_factor`` 5 or 10).
 
@@ -97,6 +98,7 @@ def run_table3(
         options=SimulatorOptions(
             step_mode=step_mode, replan_policy=replan_policy
         ),
+        engine=engine,
     )
     campaign = run_campaign(
         population,

@@ -76,7 +76,7 @@ by bit-identity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -397,10 +397,39 @@ class MasterSimulator:
             pipeline_provider=self._pinned_pipeline_of,
         )
         self._rs.freshen = self._freshen_worker_columns
+        # The master refreshes columns only through _refresh_round_state /
+        # _freshen_worker_columns, both of which stamp — so schedulers may
+        # keep score rows alive across rounds (DESIGN.md §11).
+        self._rs.stamped = True
         #: Local alias of the RoundState's dirty flags (same bytearray):
         #: the flags live on the state object (DESIGN.md §8), the master
         #: writes them at every mutating touch point.
         self._rs_dirty = self._rs.dirty
+
+        #: Batch-engine seam (DESIGN.md §11): when set, _step obtains the
+        #: per-boundary state list from this callable instead of reading
+        #: the availability sources directly — cohorts of one trial share
+        #: a memoised ``slot -> list`` so the p state_at calls are paid
+        #: once per boundary per *trial* rather than per run.  The
+        #: callable must return exactly ``[source.state_at(slot) for
+        #: source in self._avail]`` (the lists may be shared: the master
+        #: never mutates them).  ``None`` (the default, and the per-run
+        #: oracle) keeps the direct reads.
+        self.states_provider: Optional[Callable[[int], list]] = None
+        # Resumable-run state (begin_run/advance_until/finish_run).
+        self._resume_budget: Optional[int] = None
+        self._resume_slot = 0
+        self._run_over = False
+
+    @property
+    def round_state(self) -> RoundState:
+        """The incrementally maintained scheduler :class:`RoundState`.
+
+        Exposed for cohort drivers (the batch engine shares belief-column
+        caches across same-scenario runs through it); treat it as
+        read-only — the master owns every column.
+        """
+        return self._rs
 
     # ------------------------------------------------------------------ #
     # Iteration lifecycle.                                                 #
@@ -691,6 +720,7 @@ class MasterSimulator:
             prog = np.array(prog_remainings, dtype=np.int64)
             rs.prog_remaining[index] = prog
             rs.has_program[index] = prog == 0
+            rs.stamp_changed(changed)
         rs.remaining_tasks = remaining
         rs.invalidate()
         if self.options.audit:
@@ -715,6 +745,7 @@ class MasterSimulator:
         prog_remaining = worker.prog_remaining
         rs.prog_remaining[q] = prog_remaining
         rs.has_program[q] = prog_remaining == 0
+        rs.stamp_changed((q,))
         dirty[q] = 0
 
     def _audit_round_state(self) -> None:
@@ -1681,16 +1712,24 @@ class MasterSimulator:
     # ------------------------------------------------------------------ #
     def _step(self, slot: int) -> bool:
         """Simulate one slot; returns True when the whole run finished."""
-        self.steps_executed += 1
         if self._tbl is not None:
             # Body fast path: gather states into a Python list (one
             # state_at per source, cursor-backed O(1) on the RLE traces)
-            # and wrap it zero-copy for the vectorised consumers.
-            slist = [source.state_at(slot) for source in self._avail]
+            # and wrap it zero-copy for the vectorised consumers.  A
+            # cohort-installed provider returns the identical list from a
+            # shared per-trial memo (DESIGN.md §11).
+            provider = self.states_provider
+            if provider is None:
+                slist = [source.state_at(slot) for source in self._avail]
+            else:
+                slist = provider(slot)
             states = np.frombuffer(bytes(slist), dtype=np.uint8)
             self._states_list = slist
         else:
             states = self.platform.states_at(slot)
+        # Counted after the gather: a step aborted by a diverging cohort
+        # hook (which raises before any mutation) was never executed.
+        self.steps_executed += 1
         self._pipeline_changed = False
         if self.timeline is not None:
             self.timeline.begin_slot(states)
@@ -2173,6 +2212,98 @@ class MasterSimulator:
         """
         n_slots = require_positive_int(n_slots, "n_slots")
         self._run_loop(n_slots)
+        self._finalize()
+        return self.report
+
+    # ------------------------------------------------------------------ #
+    # Resumable runs (the batch engine's seam, DESIGN.md §11).             #
+    # ------------------------------------------------------------------ #
+    def begin_run(self, max_slots: Optional[int] = None) -> None:
+        """Start an incremental run.
+
+        ``begin_run`` / :meth:`advance_until` / :meth:`finish_run`
+        replay the exact work sequence of :meth:`run` — one budget
+        resolution, one span-cache reset, then the same
+        ``_step``/``_quiet_span`` loop — but pausable between loop
+        iterations, so a cohort driver can interleave several
+        simulations over one shared trace horizon.  The pause points
+        touch no simulation state; reports, event logs and audit trails
+        are bit-identical to a plain :meth:`run` regardless of where (or
+        whether) the run is paused.
+        """
+        budget = max_slots if max_slots is not None else self.options.max_slots
+        self._resume_budget = require_positive_int(budget, "max_slots")
+        self._resume_slot = 0
+        self._run_over = False
+        if self._step_mode_effective() != "slot":
+            # Same reset _run_loop performs on entry.
+            self._next_change_cache = [None] * len(self.workers)
+            self._next_up_cache = [None] * len(self.workers)
+            self._next_down_cache = [None] * len(self.workers)
+
+    def advance_until(self, slot_limit: int) -> bool:
+        """Advance until the run ends or the clock reaches ``slot_limit``.
+
+        Replicates ``_run_loop``'s stepping exactly; the only addition is
+        the pause check against ``slot_limit`` (span-mode steps may
+        overshoot the limit by their quiet span, exactly as ``_run_loop``
+        overshoots nothing — the next boundary simply lies beyond it).
+
+        Returns:
+            True when the run is over (finished its iterations or
+            exhausted the budget) — :meth:`finish_run` may then be
+            called; False when paused at ``slot_limit``.
+        """
+        budget = self._resume_budget
+        if budget is None:
+            raise RuntimeError("advance_until() before begin_run()")
+        if self._run_over:
+            return True
+        slot = self._resume_slot
+        # The finally clause persists the loop cursor even when a
+        # cohort-shared hook aborts a step by raising (CohortDivergence):
+        # ``slot`` still names the aborted step — the states gather at
+        # the top of ``_step`` precedes every mutation — so a later
+        # advance_until() resumes by re-executing exactly that slot and
+        # the run stays bit-identical.
+        try:
+            if self._step_mode_effective() == "slot":
+                while slot < budget:
+                    finished = self._step(slot)
+                    self.report.slots_simulated = slot + 1
+                    slot += 1
+                    if finished:
+                        self._run_over = True
+                        break
+                    if slot >= slot_limit:
+                        break
+            else:
+                while slot < budget:
+                    finished = self._step(slot)
+                    self.report.slots_simulated = slot + 1
+                    if finished:
+                        self._run_over = True
+                        break
+                    quiet = self._quiet_span(slot, budget)
+                    if quiet > 0:
+                        self._advance_quiet(slot + 1, quiet)
+                        self.report.slots_simulated = slot + 1 + quiet
+                    slot += 1 + quiet
+                    if slot >= slot_limit:
+                        break
+        finally:
+            self._resume_slot = slot
+        if slot >= budget:
+            self._run_over = True
+        return self._run_over
+
+    def finish_run(self) -> SimulationReport:
+        """Finalise an incremental run and return the report."""
+        if self._resume_budget is None:
+            raise RuntimeError("finish_run() before begin_run()")
+        if not self._run_over:
+            raise RuntimeError("finish_run() before the run is over")
+        self._resume_budget = None
         self._finalize()
         return self.report
 
