@@ -65,6 +65,43 @@ def append_history(
         **ratios,
     }
     target = path or DEFAULT_HISTORY_PATH
+    _dedupe_same_commit(target, benchmark, record["git_sha"])
     with open(target, "a") as handle:
         handle.write(json.dumps(record, sort_keys=True) + "\n")
     return record
+
+
+def _dedupe_same_commit(
+    target: str, benchmark: str, sha: Optional[str]
+) -> None:
+    """Drop earlier lines for the same (benchmark, commit) pair.
+
+    Re-running a benchmark at an unchanged commit is a measurement
+    retry, not a new trajectory point; keeping every retry would let
+    the noisiest machine dominate the history.  Lines from other
+    commits, other benchmarks, or without a resolvable commit are left
+    untouched (unparseable lines too — the file is shared).
+    """
+    if sha is None or not os.path.exists(target):
+        return
+    with open(target) as handle:
+        lines = handle.readlines()
+    kept = []
+    changed = False
+    for line in lines:
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            kept.append(line)
+            continue
+        if (
+            isinstance(entry, dict)
+            and entry.get("benchmark") == benchmark
+            and entry.get("git_sha") == sha
+        ):
+            changed = True
+            continue
+        kept.append(line)
+    if changed:
+        with open(target, "w") as handle:
+            handle.writelines(kept)

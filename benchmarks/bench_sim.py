@@ -44,6 +44,17 @@ along to exercise the run-length-encoded availability sources where the
 dense representation hurts most; its row reports the same store/body
 metrics plus the measured ``trace_compression``.
 
+**Large-platform cells** (DESIGN.md §12) time the event-calendar
+platform engine (``platform_index="calendar"``) against the O(p)
+per-boundary sweep oracle on the seed-stable ``large_grid_scenario``
+family at p = 1k and 10k (plus an optional calendar-only p = 100k row,
+``--largep-xl``), asserting bit-identical reports before any number is
+reported.  Each row records ``slots_per_sec`` for both arms, the live
+RLE ``bytes_per_worker``, and the per-boundary touched-worker counts
+that explain the ratio (the sweep touches all p by construction; the
+calendar touches only the churn).  ``--largep-smoke`` swaps in a fast
+p = 2000 short-horizon cell for CI runners.
+
 A **relaxed-policy row** (recorded, never gated) times one cell under
 ``replan_policy="sticky"`` against the event-driven default and records
 the speedup *and* the makespan deviation it buys — relaxed policies
@@ -72,7 +83,12 @@ the array instance store's body regresses below the legacy list store;
 ``--min-elision-speedup`` (default 0.90) fails it when the exact elision
 tier costs measurable wall-clock instead of being free;
 ``--min-trace-compression`` (default 6.0) fails it when the RLE sources
-stop beating the dense representation on the long-horizon cell.
+stop beating the dense representation on the long-horizon cell;
+``--min-largep-speedup`` (default 1.0) fails it when the event-calendar
+platform engine falls below that ratio over the sweep oracle on the
+largest gated large-platform cell; ``--max-largep-bytes-per-worker``
+(default 1024) fails it when the live RLE availability storage per
+worker regresses past that ceiling.
 """
 
 from __future__ import annotations
@@ -125,6 +141,29 @@ RELAXED_CELL: Tuple[int, int, int] = (20, 10, 5)
 #: share belief columns — the production campaign shape.
 BATCH_CELLS: Tuple[Tuple[int, int, int], ...] = ((20, 10, 5), (40, 20, 10))
 BATCH_COHORTS: Tuple[int, ...] = (4, 16)
+
+#: Large-platform calendar cells (DESIGN.md §12): the platform event
+#: calendar vs the O(p)-per-boundary sweep oracle on the seed-stable
+#: ``large_grid_scenario`` family (semi-Markov O(runs) ground truth,
+#: mean sojourn ~1000 slots).  The shape is compute-dominated
+#: (``wmin=30``) under the sticky replan policy, so span boundaries —
+#: the platform layer's own cost — dominate the shared scheduler work
+#: and the ratio isolates the engine under comparison.
+LARGEP_CELL = {"n": 40, "ncom": 10, "wmin": 30, "mean_sojourn": 1000}
+LARGEP_ITERATIONS = 3
+LARGEP_SIZES: Tuple[int, ...] = (1_000, 10_000)
+#: The 100k-worker row is calendar-only: the sweep oracle's O(p) per
+#: boundary makes timing it there pointless (minutes for a number whose
+#: trend the 1k/10k rows already pin); identity at 100k is still covered
+#: by the shared traces (same family, same draws) and the 1k/10k rows.
+LARGEP_XL_SIZE = 100_000
+LARGEP_MAX_SLOTS = 50_000
+LARGEP_HEURISTIC = "mct"
+LARGEP_POLICY = "sticky"
+#: CI smoke variant: small enough for a shared runner, still above the
+#: vectorisation threshold and still span-boundary-dominated.
+LARGEP_SMOKE_SIZE = 2_000
+LARGEP_SMOKE_MAX_SLOTS = 6_000
 
 #: (step_mode, scheduler_api, instance_store, round_relevance)
 #: configurations per run.  The first is the bit-identity reference; the
@@ -556,6 +595,121 @@ def _bench_batch_engine(
     }
 
 
+def _bench_large_platform(
+    *,
+    seed: int,
+    repetitions: int,
+    sizes: Sequence[int] = LARGEP_SIZES,
+    max_slots: int = LARGEP_MAX_SLOTS,
+    include_xl: bool = False,
+    heuristic: str = LARGEP_HEURISTIC,
+    policy: str = LARGEP_POLICY,
+) -> Dict:
+    """The large-platform engine cells (DESIGN.md §12).
+
+    Each row runs one ``large_grid_scenario`` cell end-to-end under both
+    platform indexes, asserts the reports bit-identical, and reports the
+    end-to-end ratio plus the per-boundary operation counts that explain
+    it: the sweep touches all ``p`` workers per boundary by construction,
+    the calendar touches only the churn.  ``bytes_per_worker`` is the
+    live RLE availability storage per worker — the memory contract that
+    makes 100k workers feasible at all.
+    """
+
+    def simulate(scenario, platform_index):
+        platform = scenario.build_platform(0)
+        sim = MasterSimulator(
+            platform,
+            scenario.app,
+            make_scheduler(heuristic, platform=platform),
+            options=SimulatorOptions(
+                platform_index=platform_index, replan_policy=policy
+            ),
+            rng=scenario.scheduler_rng(0, heuristic),
+        )
+        start = time.perf_counter()
+        report = sim.run(max_slots=max_slots)
+        elapsed = time.perf_counter() - start
+        trace_bytes = sum(
+            proc.availability.storage_bytes() for proc in platform
+        )
+        return report, elapsed, dict(sim.op_counts), trace_bytes
+
+    rows: List[Dict] = []
+    all_sizes = list(sizes) + ([LARGEP_XL_SIZE] if include_xl else [])
+    for p in all_sizes:
+        generator = ScenarioGenerator(seed, p=p, iterations=LARGEP_ITERATIONS)
+        scenario = generator.large_grid_scenario(
+            LARGEP_CELL["n"], LARGEP_CELL["ncom"], LARGEP_CELL["wmin"], 0,
+            mean_sojourn=LARGEP_CELL["mean_sojourn"],
+        )
+        xl = p not in sizes
+        arms = ("calendar",) if xl else ("sweep", "calendar")
+        best = {arm: float("inf") for arm in arms}
+        outs: Dict[str, tuple] = {}
+        for _rep in range(max(1, repetitions)):
+            for arm in arms:
+                out = simulate(scenario, arm)
+                outs[arm] = out
+                best[arm] = min(best[arm], out[1])
+            if not xl:
+                if outs["sweep"][0] != outs["calendar"][0]:
+                    raise AssertionError(  # pragma: no cover
+                        f"platform indexes diverged on large-p cell p={p}"
+                    )
+        report, _, counts, trace_bytes = outs["calendar"]
+        slots = report.slots_simulated
+        boundaries = counts["boundaries"]
+        cal_s = best["calendar"]
+        row = {
+            "p": p,
+            "cell": dict(LARGEP_CELL, iterations=LARGEP_ITERATIONS),
+            "heuristic": heuristic,
+            "replan_policy": policy,
+            "max_slots": max_slots,
+            "makespan": report.makespan,
+            "slots": slots,
+            "boundaries": boundaries,
+            "calendar_seconds": round(cal_s, 4),
+            "slots_per_sec_calendar": round(slots / cal_s, 1),
+            "bytes_per_worker": round(trace_bytes / p, 1),
+            "calendar_pops": counts["calendar_pops"],
+            "touched_per_boundary": {
+                "calendar": round(
+                    counts["boundary_workers_touched"] / max(boundaries, 1), 2
+                ),
+            },
+        }
+        if xl:
+            row["sweep_seconds"] = None
+            row["largep_speedup"] = None
+            row["gated"] = False
+        else:
+            sweep_counts = outs["sweep"][2]
+            sweep_s = best["sweep"]
+            row["sweep_seconds"] = round(sweep_s, 4)
+            row["slots_per_sec_sweep"] = round(slots / sweep_s, 1)
+            row["largep_speedup"] = round(sweep_s / cal_s, 3)
+            row["touched_per_boundary"]["sweep"] = round(
+                sweep_counts["boundary_workers_touched"] / max(boundaries, 1),
+                2,
+            )
+            row["gated"] = sweep_s >= NOISE_FLOOR_SECONDS
+        rows.append(row)
+    gated = [row for row in rows if row["gated"]]
+    headline = max(gated, key=lambda row: row["p"]) if gated else None
+    return {
+        "cell": dict(LARGEP_CELL, iterations=LARGEP_ITERATIONS),
+        "heuristic": heuristic,
+        "replan_policy": policy,
+        "results": rows,
+        "largep_speedup": headline["largep_speedup"] if headline else None,
+        "headline_p": headline["p"] if headline else None,
+        "bytes_per_worker_max": max(row["bytes_per_worker"] for row in rows),
+        "reports_identical": True,
+    }
+
+
 def run_benchmark(
     *,
     scenarios: int = 1,
@@ -567,6 +721,9 @@ def run_benchmark(
     long_deadline: bool = True,
     relaxed_policy: bool = True,
     batch_engine: bool = True,
+    large_platform: bool = True,
+    largep_smoke: bool = False,
+    largep_xl: bool = False,
 ) -> Dict:
     """Time stepping modes, scheduler APIs, instance stores and the
     round-relevance gate over the Table 2 sample (plus the long-horizon
@@ -660,6 +817,23 @@ def run_benchmark(
             heuristics=heuristics,
         )
         document["batch_speedup"] = document["batch_engine"]["batch_speedup"]
+    if large_platform:
+        if largep_smoke:
+            document["large_platform"] = _bench_large_platform(
+                seed=seed,
+                repetitions=min(repetitions, 2),
+                sizes=(LARGEP_SMOKE_SIZE,),
+                max_slots=LARGEP_SMOKE_MAX_SLOTS,
+            )
+        else:
+            document["large_platform"] = _bench_large_platform(
+                seed=seed,
+                repetitions=min(repetitions, 2),
+                include_xl=largep_xl,
+            )
+        document["largep_speedup"] = document["large_platform"][
+            "largep_speedup"
+        ]
     return document
 
 
@@ -744,6 +918,49 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--min-largep-speedup",
+        type=float,
+        default=1.0,
+        help=(
+            "exit non-zero when the event-calendar platform engine falls "
+            "below this end-to-end ratio over the O(p)-sweep oracle on "
+            "the largest noise-gated large-platform cell (measured ~5.5x "
+            "at p=10k locally, ~3.4x on the p=2k CI smoke cell)"
+        ),
+    )
+    parser.add_argument(
+        "--max-largep-bytes-per-worker",
+        type=float,
+        default=1024.0,
+        help=(
+            "exit non-zero when the live RLE availability storage per "
+            "worker exceeds this on any large-platform cell (measured "
+            "~150 B/worker; dense storage for the same horizon would be "
+            ">40 kB/worker)"
+        ),
+    )
+    parser.add_argument(
+        "--skip-largep",
+        action="store_true",
+        help="skip the large-platform calendar cells (quick local runs)",
+    )
+    parser.add_argument(
+        "--largep-smoke",
+        action="store_true",
+        help=(
+            "replace the large-platform cells with the fast p=2000 "
+            "short-horizon smoke cell (CI shape)"
+        ),
+    )
+    parser.add_argument(
+        "--largep-xl",
+        action="store_true",
+        help=(
+            "include the calendar-only p=100k row (tens of seconds; "
+            "documents scale, never gated)"
+        ),
+    )
+    parser.add_argument(
         "--skip-long-deadline",
         action="store_true",
         help="skip the >=100k-slot deadline cell (quick local runs)",
@@ -780,6 +997,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         long_deadline=not args.skip_long_deadline,
         relaxed_policy=not args.skip_relaxed_policy,
         batch_engine=not args.skip_batch_engine,
+        large_platform=not args.skip_largep,
+        largep_smoke=args.largep_smoke,
+        largep_xl=args.largep_xl,
     )
     if args.history != "-":
         from bench_history import append_history
@@ -793,9 +1013,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "body_speedup": document["body_speedup"],
                 "elision_speedup": document["elision_speedup"],
                 "batch_speedup": document.get("batch_speedup"),
+                # Cell parameters, so a trajectory line is interpretable
+                # without digging up the BENCH_sim.json it came from.
+                "cells": [list(cell) for cell in TABLE2_SAMPLE],
+                "heuristics": list(HEURISTICS),
             },
             path=args.history,
         )
+        largep = document.get("large_platform")
+        if largep is not None and largep["largep_speedup"] is not None:
+            append_history(
+                "sim-large-platform",
+                {
+                    "largep_speedup": largep["largep_speedup"],
+                    "p": largep["headline_p"],
+                    "n": largep["cell"]["n"],
+                    "wmin": largep["cell"]["wmin"],
+                    "heuristic": largep["heuristic"],
+                    "replan_policy": largep["replan_policy"],
+                    "bytes_per_worker_max": largep["bytes_per_worker_max"],
+                },
+                path=args.history,
+            )
     text = json.dumps(document, indent=2)
     if args.out:
         with open(args.out, "w") as handle:
@@ -808,6 +1047,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             for row in document["results"]
         )
         batch = document.get("batch_speedup")
+        largep_ratio = document.get("largep_speedup")
         print(
             f"wrote {args.out} (overall span {document['speedup']}x, "
             f"sched {document['sched_speedup']}x, store "
@@ -815,6 +1055,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"elision {document['elision_speedup']}x over "
             f"{document['rounds_elided_total']} elided rounds"
             + (f", batch {batch}x" if batch is not None else "")
+            + (f", large-p {largep_ratio}x" if largep_ratio is not None else "")
             + f"; per-cell span/sched/body/elision: {cells})",
             file=sys.stderr,
         )
@@ -862,6 +1103,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         failed = True
+    largep = document.get("large_platform")
+    if largep is not None:
+        largep_speedup = largep["largep_speedup"]
+        if largep_speedup is not None and largep_speedup < args.min_largep_speedup:
+            print(
+                f"FAIL: large-platform speedup {largep_speedup} < "
+                f"{args.min_largep_speedup} on the p={largep['headline_p']} "
+                "cell (the event-calendar engine regressed toward the "
+                "O(p)-sweep oracle)",
+                file=sys.stderr,
+            )
+            failed = True
+        if largep["bytes_per_worker_max"] > args.max_largep_bytes_per_worker:
+            print(
+                f"FAIL: large-platform availability storage "
+                f"{largep['bytes_per_worker_max']} B/worker > "
+                f"{args.max_largep_bytes_per_worker} (the RLE memory "
+                "contract regressed)",
+                file=sys.stderr,
+            )
+            failed = True
     long_row = document.get("long_deadline")
     if (
         long_row is not None

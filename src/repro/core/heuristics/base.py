@@ -45,6 +45,39 @@ from ...types import ProcState
 from ..markov import MarkovAvailabilityModel
 from .round_state import RoundState
 
+#: Processor count from which the array-path round caches are assembled
+#: with numpy gathers instead of Python list comprehensions.  Both
+#: assemblies produce element-for-element identical values (exact int64
+#: arithmetic / pure copies), so the threshold is a pure speed knob: below
+#: it the fixed per-ufunc overhead loses to list ops, above it the numpy
+#: path is the difference between O(p) Python and O(p) C per round.
+_VECTOR_MIN_P = 128
+
+
+def _is_bool_mask(allowed) -> bool:
+    """True when ``allowed`` is a boolean eligibility mask over all p
+    processors (the replication loop's native form at large p) rather
+    than a sequence of processor indices."""
+    return isinstance(allowed, np.ndarray) and allowed.dtype == np.bool_
+
+
+def _allowed_as_mask(allowed, p: int) -> np.ndarray:
+    """``allowed`` as a length-``p`` boolean mask (no copy if it is one)."""
+    if _is_bool_mask(allowed):
+        return allowed
+    mask = np.zeros(p, dtype=bool)
+    idx = np.asarray(allowed, dtype=np.intp)
+    if idx.size:
+        mask[idx] = True
+    return mask
+
+
+def _allowed_as_set(allowed) -> set:
+    """``allowed`` as a set of processor indices (scalar-path form)."""
+    if _is_bool_mask(allowed):
+        return set(np.nonzero(allowed)[0].tolist())
+    return {int(q) for q in allowed}
+
 __all__ = [
     "ProcessorView",
     "SchedulingContext",
@@ -360,7 +393,7 @@ class Scheduler(abc.ABC):
         ups = ctx.up_processors()
         if allowed is None:
             return ups
-        allowed_set = set(allowed)
+        allowed_set = _allowed_as_set(allowed)
         return [view for view in ups if view.index in allowed_set]
 
     @abc.abstractmethod
@@ -598,9 +631,16 @@ class GreedyScheduler(Scheduler):
     # -- per-round cache for the array path -------------------------------
     _round_version = None
     _round_cache: Optional[dict] = None
-    # -- cross-round persistent score rows (DESIGN.md §11) ----------------
+    # -- cross-round persistent score rows (DESIGN.md §11/§12) ------------
     _row_store: Optional[dict] = None
     _row_store_rs = None
+    #: Candidate-set instrumentation (DESIGN.md §12): score evaluations
+    #: actually run vs. stamped rows reused verbatim from the persistent
+    #: store.  ``rows_scored`` after warm-up is the candidate-set size —
+    #: it scales with the workers whose columns moved since their score
+    #: was last computed, not with p.
+    rows_scored = 0
+    rows_reused = 0
 
     def _round_setup(self, rs: RoundState) -> dict:
         """Per-round candidate/score cache, keyed on ``rs.version``.
@@ -610,20 +650,38 @@ class GreedyScheduler(Scheduler):
         replica), and within a round a score depends only on
         ``(q, n_q + 1, factor)``.  The cache holds the UP candidate list,
         the per-factor CT coefficients and nq-zero score rows, and belief
-        gathers — all as plain Python lists, because at the paper's
-        p ≈ 20 the fixed per-ufunc numpy overhead dwarfs per-element
-        Python arithmetic.  Every replication placement and heap
-        re-validation then runs on list lookups and scalar ops.
+        gathers.  At the paper's p ≈ 20 everything is assembled as plain
+        Python lists (the fixed per-ufunc numpy overhead dwarfs
+        per-element Python arithmetic there); from ``_VECTOR_MIN_P``
+        processors up, the assembly runs as numpy gathers over the column
+        arrays instead — exact integer/copy operations, so the resulting
+        lists are element-for-element identical — and the UP index array
+        is kept (``up_arr``) for the vectorised single-placement path.
+        Every replication placement and heap re-validation then runs on
+        list lookups and scalar ops.
         """
         if self._round_version != rs.version:
-            state_list = rs.state.tolist()
             up_state = int(ProcState.UP)
-            up_list = [q for q, s in enumerate(state_list) if s == up_state]
-            pinned_list = rs.pinned_count.tolist()
+            if len(rs) >= _VECTOR_MIN_P:
+                up_arr = np.nonzero(rs.state == up_state)[0]
+                up_list = up_arr.tolist()
+                pinned_zero_arr = rs.pinned_count[up_arr] == 0
+                pinned_zero = pinned_zero_arr.tolist()
+            else:
+                up_arr = None
+                pinned_zero_arr = None
+                state_list = rs.state.tolist()
+                up_list = [q for q, s in enumerate(state_list) if s == up_state]
+                pinned_list = rs.pinned_count.tolist()
+                pinned_zero = [pinned_list[q] == 0 for q in up_list]
             self._round_cache = {
                 "up_list": up_list,
-                "pinned_zero": [pinned_list[q] == 0 for q in up_list],
+                "up_arr": up_arr,
+                "pinned_zero": pinned_zero,
+                "pinned_zero_arr": pinned_zero_arr,
                 "row0": {},
+                "row0_arr": {},
+                "row0_nan": {},
                 "ct": {},
                 "gathers": None,
                 "belief": {},
@@ -644,9 +702,13 @@ class GreedyScheduler(Scheduler):
         """
         gathered = cache["belief"].get(name)
         if gathered is None:
-            up_list = cache["up_list"]
-            column = rs.belief_column_list(name)
-            gathered = [column[q] for q in up_list]
+            up_arr = cache["up_arr"]
+            if up_arr is not None:
+                gathered = rs.belief_column(name)[up_arr].tolist()
+            else:
+                up_list = cache["up_list"]
+                column = rs.belief_column_list(name)
+                gathered = [column[q] for q in up_list]
             cache["belief"][name] = gathered
         return gathered
 
@@ -657,25 +719,40 @@ class GreedyScheduler(Scheduler):
         ``base_q = Delay(q) + eff + w_q`` and ``step_q = max(eff, w_q)``
         where ``eff = factor · t_data`` — integer arithmetic, hence
         exactly associative and bit-identical to the scalar
-        :func:`completion_time_estimate` at every ``(q, nq, factor)``.
+        :func:`completion_time_estimate` at every ``(q, nq, factor)``,
+        whether assembled element-wise or as int64 numpy expressions
+        (the large-p branch).
         """
         ct_bases = cache["ct"].get(factor)
         if ct_bases is None:
             gathers = cache["gathers"]
             if gathers is None:
-                up_list = cache["up_list"]
-                delay_list = rs.delay.tolist()
-                speed_list = rs.speed_list()
-                gathers = cache["gathers"] = (
-                    [delay_list[q] for q in up_list],
-                    [speed_list[q] for q in up_list],
-                )
+                up_arr = cache["up_arr"]
+                if up_arr is not None:
+                    gathers = cache["gathers"] = (
+                        rs.delay[up_arr],
+                        rs.speed_w[up_arr],
+                    )
+                else:
+                    up_list = cache["up_list"]
+                    delay_list = rs.delay.tolist()
+                    speed_list = rs.speed_list()
+                    gathers = cache["gathers"] = (
+                        [delay_list[q] for q in up_list],
+                        [speed_list[q] for q in up_list],
+                    )
             delay, speed = gathers
             eff = factor * rs.t_data
-            ct_bases = cache["ct"][factor] = (
-                [d + eff + w for d, w in zip(delay, speed)],
-                [eff if eff > w else w for w in speed],
-            )
+            if isinstance(delay, np.ndarray):
+                ct_bases = cache["ct"][factor] = (
+                    (delay + (eff + speed)).tolist(),
+                    np.maximum(eff, speed).tolist(),
+                )
+            else:
+                ct_bases = cache["ct"][factor] = (
+                    [d + eff + w for d, w in zip(delay, speed)],
+                    [eff if eff > w else w for w in speed],
+                )
         return ct_bases
 
     #: CT-based subclasses implement these two hooks to get the pure-
@@ -697,10 +774,14 @@ class GreedyScheduler(Scheduler):
         cached ``n_q = 0`` score row, with no candidate lists, heap, or
         re-scores.  Returns ``NotImplemented`` when the factor genuinely
         varies (two initial factors straddle a ``ncom`` boundary), sending
-        the caller to the general path.
+        the caller to the general path.  From ``_VECTOR_MIN_P`` processors
+        the whole call — allowed mask, active count, and the final masked
+        argmin — runs vectorised (:meth:`_place_one_large`).
         """
+        if cache["up_arr"] is not None:
+            return self._place_one_large(rs, cache, allowed)
         up_list = cache["up_list"]
-        allowed_set = None if allowed is None else {int(q) for q in allowed}
+        allowed_set = None if allowed is None else _allowed_as_set(allowed)
         if not self.use_contention_factor or rs.ncom is None:
             factor = 1
         else:
@@ -726,11 +807,68 @@ class GreedyScheduler(Scheduler):
             if factor != max(1, -(-upper // ncom)):
                 return NotImplemented  # mixed factors: general path
         row0 = self._row0(rs, cache, factor)
+        return self._place_one_scan(rs, cache, row0, allowed_set)
+
+    def _place_one_large(self, rs: RoundState, cache: dict, allowed):
+        """Vectorised :meth:`_place_one` twin for large platforms.
+
+        The allowed set becomes a boolean mask over the UP array, the
+        contention active-count becomes two masked ``count_nonzero``
+        calls, and the selection is one masked argmin — ``argmin``
+        returns the first occurrence of the minimum and ``up_list`` is
+        ascending, so the tie-break (lowest index) matches the scalar
+        scan exactly.  NaN keys (missing beliefs among the candidates)
+        fall back to the scalar scan, which owns the error semantics.
+        """
+        up_list = cache["up_list"]
+        if not up_list:
+            return [None]
+        up_arr = cache["up_arr"]
+        sel = None
+        if allowed is not None:
+            sel = _allowed_as_mask(allowed, len(rs))[up_arr]
+            k = int(np.count_nonzero(sel))
+            if k == 0:
+                return [None]
+        else:
+            k = len(up_list)
+        if not self.use_contention_factor or rs.ncom is None:
+            factor = 1
+        else:
+            pinned_zero = cache["pinned_zero_arr"]
+            if sel is None:
+                n_active = k - int(np.count_nonzero(pinned_zero))
+            else:
+                n_active = int(np.count_nonzero(sel & ~pinned_zero))
+            ncom = rs.ncom
+            upper = n_active + (2 if n_active < k else 1)
+            if upper > k:
+                upper = k
+            factor = max(1, -(-n_active // ncom))
+            if factor != max(1, -(-upper // ncom)):
+                return NotImplemented  # mixed factors: general path
+        keys = self._row0_keys(rs, cache, factor)
+        if self._row0_nan(rs, cache, factor):
+            row0 = self._row0(rs, cache, factor)
+            allowed_set = None if allowed is None else _allowed_as_set(allowed)
+            return self._place_one_scan(rs, cache, row0, allowed_set)
+        if sel is not None:
+            keys = np.where(sel, keys, np.inf)
+        return [up_list[int(keys.argmin())]]
+
+    def _place_one_scan(self, rs: RoundState, cache: dict, row0: list,
+                        allowed_set) -> list:
+        """The scalar single-placement scan over the ``n_q = 0`` row.
+
+        Shared tail of both :meth:`_place_one` paths; also the owner of
+        the legacy missing-belief error semantics (raise on the first
+        NaN-scored *candidate* in ascending index order).
+        """
         sign = -1.0 if self.maximize else 1.0
         needs = self._belief_needs
         best_q = None
         best_key = 0.0
-        for i, q in enumerate(up_list):
+        for i, q in enumerate(cache["up_list"]):
             if allowed_set is not None and q not in allowed_set:
                 continue
             key = sign * row0[i]
@@ -758,13 +896,52 @@ class GreedyScheduler(Scheduler):
                     row = self._row0_stamped(rs, cache, factor, base)
                 else:
                     row = score_row(rs, cache, base)
+                    self.rows_scored += len(row)
             else:
                 up = np.array(cache["up_list"], dtype=np.intp)
                 row = self.score_batch(
                     rs, up, np.ones(up.size, dtype=np.int64), factor
                 ).tolist()
+                self.rows_scored += len(row)
             cache["row0"][factor] = row
         return row
+
+    def _row0_keys(self, rs: RoundState, cache: dict, factor: int) -> np.ndarray:
+        """The ``n_q = 0`` row as a signed float64 array, memoised per round.
+
+        ``sign * value`` in float64 is the same operation element-wise or
+        vectorised, so these keys equal the scalar paths' keys bit for
+        bit.  Hoisting the list→ndarray conversion here (one per round ×
+        factor, instead of one per *placement*) is what keeps a large-p
+        replication round from paying O(up) conversions per replica.
+        """
+        keys = cache["row0_arr"].get(factor)
+        if keys is None:
+            sign = -1.0 if self.maximize else 1.0
+            keys = sign * np.asarray(
+                self._row0(rs, cache, factor), dtype=np.float64
+            )
+            cache["row0_arr"][factor] = keys
+            cache["row0_nan"][factor] = bool(np.isnan(keys).any())
+        return keys
+
+    def _row0_nan(self, rs: RoundState, cache: dict, factor: int) -> bool:
+        """Whether the signed ``n_q = 0`` row holds any NaN, memoised.
+
+        A NaN key means a candidate lacks a belief, and every vectorised
+        argmin must yield to the scalar scan that owns those error
+        semantics (``argmin`` would select the NaN first; the scalar
+        comparisons never do).  The answer is a per-round constant, so
+        checking the full row once here replaces an O(up) ``isnan`` per
+        placement.  The full-row check is a conservative superset of any
+        masked subset: a NaN outside the allowed mask also routes to the
+        scalar scan, which simply skips it.
+        """
+        nan_any = cache["row0_nan"].get(factor)
+        if nan_any is None:
+            self._row0_keys(rs, cache, factor)
+            nan_any = cache["row0_nan"][factor]
+        return nan_any
 
     def _row0_stamped(self, rs: RoundState, cache: dict, factor: int,
                       base: list) -> list:
@@ -776,7 +953,17 @@ class GreedyScheduler(Scheduler):
         :attr:`RoundState.col_stamp` did not move since its value was
         last computed keeps that value verbatim, and only stamped-out
         entries re-run :meth:`_score_ct_one` (the exact elementwise twin
-        of :meth:`_score_ct_row`, DESIGN.md §8).  Active only when the
+        of :meth:`_score_ct_row`, DESIGN.md §8).  This *is* the
+        candidate-set scoring of the large-p engine (DESIGN.md §12): the
+        set of workers re-scored per round is exactly the set whose
+        stamped columns moved since their last score — availability,
+        queue, or belief churn — while the greedy *selection* still
+        compares every UP worker's (cached or fresh) score, which is why
+        a non-candidate can never silently overtake an incumbent: its
+        key is present in every comparison, just not recomputed.
+        Schedulers without the hooks (``batch_scoring`` False, or no
+        ``_score_ct_one``) take the conservative full-scan path above.
+        Active only when the
         state owner maintains the stamp contract (``rs.stamped``); the
         store is keyed on the RoundState object so a scheduler reused
         against another state can never mix rows.
@@ -784,6 +971,31 @@ class GreedyScheduler(Scheduler):
         if self._row_store_rs is not rs:
             self._row_store_rs = rs
             self._row_store = {}
+        up_arr = cache["up_arr"]
+        if up_arr is not None:
+            # Large-p store: float64/int64 columns, so the hit test and
+            # the row gather are two vector ops and only the misses (the
+            # candidate set) run Python at all.
+            per_factor = self._row_store.get(factor)
+            if per_factor is None:
+                per_factor = self._row_store[factor] = (
+                    np.zeros(len(rs), dtype=np.float64),
+                    np.full(len(rs), -1, dtype=np.int64),
+                )
+            values, stamps = per_factor
+            current = np.asarray(rs.col_stamp, dtype=np.int64)[up_arr]
+            miss = np.nonzero(stamps[up_arr] != current)[0]
+            if miss.size:
+                score_one = self._score_ct_one
+                up_list = cache["up_list"]
+                for i in miss.tolist():
+                    q = up_list[i]
+                    values[q] = score_one(rs, cache, base[i], i)
+                stamps[up_arr[miss]] = current[miss]
+            scored = int(miss.size)
+            self.rows_scored += scored
+            self.rows_reused += len(up_arr) - scored
+            return values[up_arr].tolist()
         per_factor = self._row_store.get(factor)
         if per_factor is None:
             per_factor = self._row_store[factor] = (
@@ -795,6 +1007,7 @@ class GreedyScheduler(Scheduler):
         score_one = self._score_ct_one
         row = []
         append = row.append
+        scored = 0
         for i, q in enumerate(cache["up_list"]):
             stamp = col_stamp[q]
             if stamps[q] == stamp:
@@ -804,6 +1017,9 @@ class GreedyScheduler(Scheduler):
                 values[q] = value
                 stamps[q] = stamp
                 append(value)
+                scored += 1
+        self.rows_scored += scored
+        self.rows_reused += len(row) - scored
         return row
 
     def place_array(
@@ -847,8 +1063,14 @@ class GreedyScheduler(Scheduler):
             positions = None  # identity: candidate j is UP position j
             cand_list = up_list
             pinned_zero = cache["pinned_zero"]
+        elif cache["up_arr"] is not None:
+            up_arr = cache["up_arr"]
+            sel = _allowed_as_mask(allowed, len(rs))[up_arr]
+            positions = np.nonzero(sel)[0].tolist()
+            cand_list = up_arr[sel].tolist()
+            pinned_zero = cache["pinned_zero_arr"][sel].tolist()
         else:
-            allowed_set = {int(q) for q in allowed}
+            allowed_set = _allowed_as_set(allowed)
             positions = [i for i, q in enumerate(up_list) if q in allowed_set]
             cand_list = [up_list[i] for i in positions]
             all_pinned_zero = cache["pinned_zero"]
@@ -884,18 +1106,33 @@ class GreedyScheduler(Scheduler):
         # Initial speculative scores: nq = 0 everywhere, so each candidate
         # speculates itself newly active iff it has no pinned work; at
         # most two distinct contention factors occur among them.
+        keys_arr = None
+        keys_factor = None
         if uniform_factor is not None:
-            row0 = self._row0(rs, cache, uniform_factor)
-            if positions is None:
-                keys = [sign * value for value in row0]
+            if cache["up_arr"] is not None:
+                karr = self._row0_keys(rs, cache, uniform_factor)
+                keys_arr = karr if positions is None else karr.take(positions)
+                keys_factor = uniform_factor
+                keys = None  # materialised lazily on the scalar paths
             else:
-                keys = [sign * row0[i] for i in positions]
+                row0 = self._row0(rs, cache, uniform_factor)
+                if positions is None:
+                    keys = [sign * value for value in row0]
+                else:
+                    keys = [sign * row0[i] for i in positions]
         else:
             factor_base = max(1, -(-n_active // ncom))
             factor_spec = max(1, -(-(n_active + 1) // ncom))
             row_base = self._row0(rs, cache, factor_base)
             if factor_spec == factor_base:
-                if positions is None:
+                if cache["up_arr"] is not None:
+                    karr = self._row0_keys(rs, cache, factor_base)
+                    keys_arr = (
+                        karr if positions is None else karr.take(positions)
+                    )
+                    keys_factor = factor_base
+                    keys = None  # materialised lazily on the scalar paths
+                elif positions is None:
                     keys = [sign * value for value in row_base]
                 else:
                     keys = [sign * row_base[i] for i in positions]
@@ -912,24 +1149,72 @@ class GreedyScheduler(Scheduler):
                     else:
                         keys.append(sign * row_base[i])
                         entry_factor.append(factor_base)
-        if self._belief_needs is not None and any(key != key for key in keys):
-            # A NaN key means a *candidate* lacks a belief model: raise the
-            # legacy error for the first such candidate, as the scalar
-            # heap-init scoring (ascending candidate order) would.
-            rs.require_beliefs(cand_list, self._belief_needs)
+        # Conservative per-round constant (see :meth:`_row0_nan`): a NaN
+        # anywhere in the source row — even outside ``positions`` — routes
+        # this call to the scalar paths, which own the NaN semantics.
+        nan_any = (
+            self._row0_nan(rs, cache, keys_factor)
+            if keys_arr is not None
+            else None
+        )
+        if self._belief_needs is not None:
+            nan_hit = (
+                nan_any
+                if nan_any is not None
+                else any(key != key for key in keys)
+            )
+            if nan_hit:
+                # A NaN key means a *candidate* lacks a belief model: raise
+                # the legacy error for the first such candidate, as the
+                # scalar heap-init scoring (ascending candidate order) would.
+                rs.require_beliefs(cand_list, self._belief_needs)
         if n_tasks == 1:
             # Replication fast path: one placement is the heap's first pop,
             # i.e. the minimum (key, index) pair — no heap, no re-scores.
+            # ``cand_list`` ascends with ``j``, so the vectorised argmin's
+            # first-occurrence rule is the same lexicographic minimum (the
+            # scalar loop never *selects* a NaN key, so argmin — where NaN
+            # wins — only applies to NaN-free keys).
+            if keys_arr is not None and not nan_any:
+                return [cand_list[int(keys_arr.argmin())]]
+            if keys is None:
+                keys = keys_arr.tolist()
             best_j = 0
             for j in range(1, k):
                 if (keys[j], cand_list[j]) < (keys[best_j], cand_list[best_j]):
                     best_j = j
             return [cand_list[best_j]]
+        placements: List[Optional[int]] = []
+        score_ct = self._score_ct_one
+        if (
+            uniform_factor is not None
+            and keys_arr is not None
+            and not nan_any
+            and score_ct is not None
+        ):
+            # Large-p uniform-factor loop over the key *array*: each pop is
+            # an argmin (first occurrence of the minimum = the heap's
+            # (key, cand, j) lexicographic minimum, since ``cand_list``
+            # ascends with ``j`` and keys are NaN-free) and each replace
+            # is one store — no O(k) tuple-heap build per call.
+            base, step = self._ct_bases(rs, cache, uniform_factor)
+            working = keys_arr.copy()
+            nq = [0] * k
+            for _ in range(n_tasks):
+                j = int(working.argmin())
+                placements.append(cand_list[j])
+                count = nq[j] + 1
+                nq[j] = count
+                i = j if positions is None else positions[j]
+                working[j] = sign * score_ct(
+                    rs, cache, base[i] + count * step[i], i
+                )
+            return placements
+        if keys is None:
+            keys = keys_arr.tolist()
         heap = [(keys[j], cand_list[j], j) for j in range(k)]
         heapq.heapify(heap)
         nq = [0] * k
-        placements: List[Optional[int]] = []
-        score_ct = self._score_ct_one
 
         if uniform_factor is not None:
             # Tight loop: every heap entry is always current (the factor is

@@ -295,6 +295,10 @@ class RoundState:
         up = np.nonzero(self.state == int(ProcState.UP))[0]
         if allowed is None:
             return up
+        if isinstance(allowed, np.ndarray) and allowed.dtype == np.bool_:
+            # Boolean eligibility mask over all p processors (the
+            # replication loop's native form at large p).
+            return up[allowed[up]]
         allowed_set = {int(a) for a in allowed}
         return np.array(
             [q for q in up.tolist() if q in allowed_set], dtype=np.intp

@@ -725,6 +725,13 @@ class SemiMarkovSource(_RleTraceSource):
         self._samplers = sojourn_samplers
         self._rng = rng
         self._state = int(initial)
+        # Per-state cumulative jump rows as plain floats: the jump draw
+        # below is then two scalar compares instead of a cumsum +
+        # searchsorted pair per run (bit-identical — ``side="right"`` on
+        # a 3-element cumulative row *is* "count of thresholds <= u").
+        self._jump_cum = [
+            (float(c[0]), float(c[1])) for c in np.cumsum(embedded, axis=1)
+        ]
         self._init_rle()
         self._grow_to(self._GROW)
 
@@ -741,10 +748,9 @@ class SemiMarkovSource(_RleTraceSource):
                     "sojourns must be >= 1 slot"
                 )
             self._append_run(self._state, sojourn)
-            row = self._embedded[self._state]
-            self._state = int(
-                np.searchsorted(np.cumsum(row), self._rng.random(), side="right")
-            )
+            cum0, cum1 = self._jump_cum[self._state]
+            u = self._rng.random()
+            self._state = 0 if u < cum0 else (1 if u < cum1 else 2)
 
 
 class WeibullSource(SemiMarkovSource):

@@ -95,7 +95,7 @@ from .events import EventKind, EventLog, SimEvent
 from .instance_table import InstanceTable
 from .metrics import SimulationReport
 from .network import BoundedMultiportNetwork, TransferRequest
-from .platform import Platform
+from .platform import Platform, PlatformCalendar
 from .relevance import ReplanPolicy, parse_replan_policy
 from .worker import TaskInstance, WorkerRuntime, reset_instance
 
@@ -191,6 +191,21 @@ class SimulatorOptions:
             logs and audit trails either way (enforced by
             ``tests/test_instance_table.py``); the legacy store is the
             oracle for that suite and the benchmark baseline.
+        platform_index: ``"calendar"`` (default) tracks the platform's
+            availability through the event-calendar engine
+            (:class:`~repro.sim.platform.PlatformCalendar`, DESIGN.md
+            §12): a min-heap of per-processor next-transition slots fed
+            by the RLE run cursors, so each span boundary touches only
+            the processors whose run actually ended (O(churn · log p))
+            instead of re-reading all ``p`` states and re-deriving all
+            ``p`` span minima.  ``"sweep"`` preserves the original O(p)
+            per-boundary sweeps as the oracle.  Bit-identical reports,
+            event logs and audit trails either way (enforced by
+            ``tests/test_platform_index.py``).  The calendar engages on
+            the array instance store without a timeline recorder or a
+            cohort states provider; other configurations fall back to
+            the sweep — which is invisible in the results, precisely
+            because the two are bit-identical.
     """
 
     replication: bool = True
@@ -204,6 +219,7 @@ class SimulatorOptions:
     instance_store: str = "array"
     replan_policy: str = "event"
     round_relevance: str = "exact"
+    platform_index: str = "calendar"
 
     def __post_init__(self) -> None:
         require_nonnegative_int(self.max_replicas, "max_replicas")
@@ -239,6 +255,11 @@ class SimulatorOptions:
             raise ValueError(
                 "instance_store must be 'array' or 'legacy', "
                 f"got {self.instance_store!r}"
+            )
+        if self.platform_index not in ("calendar", "sweep"):
+            raise ValueError(
+                "platform_index must be 'calendar' or 'sweep', "
+                f"got {self.platform_index!r}"
             )
 
 
@@ -380,6 +401,40 @@ class MasterSimulator:
         self._next_up_cache: List[Optional[int]] = [None] * len(self.workers)
         self._next_down_cache: List[Optional[int]] = [None] * len(self.workers)
 
+        # Large-p platform engine (DESIGN.md §12).  The event calendar is
+        # built lazily at the first boundary of a run once the budget is
+        # known (``_cal_last``); it stays ``None`` on the sweep oracle and
+        # on configurations the calendar does not cover (legacy store,
+        # timeline recorder, cohort states provider).
+        self._cal: Optional[PlatformCalendar] = None
+        self._cal_last: Optional[int] = None
+        #: Net state changes of the current boundary, ``(q, old, new)``
+        #: ascending — ``None`` when this step must take the sweep path
+        #: (no calendar, or the calendar's first boundary).
+        self._cal_records = None
+        #: Workers with a partial or resident program (mirrors
+        #: ``prog_received > 0``): together with the queue hosts these are
+        #: the only workers a calendar-mode span search must visit.
+        self._prog_holders: set = set()
+
+        # Sparse companion of the RoundState dirty flags (layer 2 of the
+        # large-p engine): the indices flagged since the last refresh, so
+        # `_refresh_round_state` walks O(dirty) candidates instead of all
+        # p flags.  Guarded appends (only on a 0 -> 1 edge) keep it
+        # duplicate-free up to `_freshen_worker_columns` clears.
+        self._rs_dirty_hint: List[int] = list(range(len(self.workers)))
+
+        #: Operation-count instrumentation (diagnostics; ``op_counts``
+        #: bundles them).  Touched workers: per-boundary state reads —
+        #: p on the sweep path, heap pops on the calendar path.  Span
+        #: scans: workers visited by the quiet-span search.  Refreshes:
+        #: RoundState columns recomputed at executed rounds.
+        self.op_boundaries = 0
+        self.op_boundary_workers_touched = 0
+        self.op_calendar_pops = 0
+        self.op_span_scan_workers = 0
+        self.op_round_refreshed = 0
+
         # Array-backed scheduler state (DESIGN.md §8): the structure-of-
         # arrays RoundState the schedulers consume, maintained
         # *incrementally* — every mutation that can move a per-processor
@@ -484,11 +539,128 @@ class MasterSimulator:
         0 on the legacy store, which does not count them)."""
         return self._tbl.ops if self._tbl is not None else 0
 
+    @property
+    def op_counts(self) -> Dict[str, int]:
+        """Operation-count instrumentation (DESIGN.md §12).
+
+        ``boundaries``: fully simulated slots; ``boundary_workers_
+        touched``: per-boundary state reads summed over the run (p per
+        boundary on the sweep path, heap pops on the calendar path);
+        ``calendar_pops``: total heap pops (0 on the sweep path);
+        ``span_scan_workers``: workers visited by the quiet-span search;
+        ``round_refreshed``: RoundState columns recomputed at executed
+        rounds (the sparse dirty-hint walk); ``rows_scored`` /
+        ``rows_reused``: candidate-set scoring counters from the
+        scheduler's persistent score-row store (score evaluations run
+        vs. stamped rows reused verbatim — 0/0 for schedulers without
+        the store).  The O(churn) claims of the large-p engine are
+        asserted on these in ``tests/test_platform_index.py``, not just
+        benchmarked.
+        """
+        return {
+            "boundaries": self.op_boundaries,
+            "boundary_workers_touched": self.op_boundary_workers_touched,
+            "calendar_pops": self.op_calendar_pops,
+            "span_scan_workers": self.op_span_scan_workers,
+            "round_refreshed": self.op_round_refreshed,
+            "rows_scored": getattr(self.scheduler, "rows_scored", 0),
+            "rows_reused": getattr(self.scheduler, "rows_reused", 0),
+        }
+
+    def _calendar_active(self) -> bool:
+        """Whether this run uses the event-calendar platform index.
+
+        Requires the array instance store (the body fast paths the
+        calendar plugs into), no timeline recorder (a recorder observes
+        every slot's full state vector), no cohort states provider (the
+        cohort memo *is* the state gather) and a known slot budget
+        (``_cal_last`` — heap sentinels are budget-relative).
+        """
+        return (
+            self.options.platform_index == "calendar"
+            and self._tbl is not None
+            and self.timeline is None
+            and self.states_provider is None
+            and self._cal_last is not None
+        )
+
+    def _queue_hosts(self) -> set:
+        """Workers currently holding at least one queued instance.
+
+        Derived from the instance table's live rows — O(live instances),
+        independent of p — for the calendar path's busy-worker loops.
+        Invariant (audited): a worker appears here iff its queue is
+        non-empty, since every live instance with ``worker is not None``
+        sits in exactly that worker's queue and every detach
+        (``reset_instance``/``crash``/``remove_instance``) clears the
+        instance's ``worker`` field in the same step.
+        """
+        tbl = self._tbl
+        objects = tbl.objects
+        hosts = set()
+        for row in tbl.live_rows().tolist():
+            worker = objects[row].worker
+            if worker is not None:
+                hosts.add(worker)
+        return hosts
+
     # ------------------------------------------------------------------ #
     # Crash / state handling.                                              #
     # ------------------------------------------------------------------ #
     def _handle_states(self, slot: int, states: np.ndarray) -> None:
         prev = self._prev_states
+        records = self._cal_records
+        if records is not None:
+            # Calendar path: the records ARE the boundary snapshot diff
+            # (net per-processor changes, ascending) — same re-plan
+            # trigger, same events, no O(p) pass.  ``prev`` is never None
+            # here: the calendar's first boundary takes the sweep path.
+            slist = self._states_list
+            if records:
+                up = int(ProcState.UP)
+                # Dirty workers re-entering the UP set rejoin the sparse
+                # refresh hint here (their hint entry was dropped while
+                # they were out of the scoring candidate set).
+                dirty = self._rs_dirty
+                hint = self._rs_dirty_hint
+                for q, _old, new in records:
+                    if new == up and dirty[q]:
+                        hint.append(q)
+                churned = [
+                    q for q, old, new in records if (new == up) != (old == up)
+                ]
+                if churned:
+                    if self._policy_churn_always:
+                        self._need_replan = True
+                    else:
+                        self._churn_replan(slot, churned, slist)
+                if self.log.enabled:
+                    for q, old, new in records:
+                        self.log.emit(
+                            SimEvent(
+                                slot,
+                                EventKind.PROC_STATE_CHANGE,
+                                worker=q,
+                                detail=(
+                                    f"{ProcState(old).code}"
+                                    f"->{ProcState(new).code}"
+                                ),
+                            )
+                        )
+            # Only a net transition *into* DOWN can crash: DOWN workers
+            # cannot gain work (placements refuse DOWN, transfers need
+            # UP), and a busy worker's DOWN entry always breaks the span
+            # (kind 0/2 in the span search), so its record is fresh.
+            down = int(ProcState.DOWN)
+            prog_started = self._prog_started
+            workers = self.workers
+            candidates = [
+                q
+                for q, _old, new in records
+                if new == down and (prog_started[q] or workers[q].queue)
+            ]
+            self._crash(slot, candidates)
+            return
         if prev is not None and self._tbl is not None:
             # Fused change detection (array store): one pass over the
             # plain-list state vectors feeds the re-plan trigger and the
@@ -501,6 +673,13 @@ class MasterSimulator:
             ]
             if changed:
                 up = int(ProcState.UP)
+                # Dirty workers re-entering the UP set rejoin the sparse
+                # refresh hint (entries dropped while non-UP).
+                dirty = self._rs_dirty
+                hint = self._rs_dirty_hint
+                for q in changed:
+                    if slist[q] == up and dirty[q]:
+                        hint.append(q)
                 # Re-plan only when the UP set changed: transitions among
                 # RECLAIMED/DOWN of unused processors alter neither the
                 # candidate set nor any Delay estimate.
@@ -533,6 +712,12 @@ class MasterSimulator:
                             )
                         )
         elif prev is not None and not np.array_equal(states, prev):
+            up_state = int(ProcState.UP)
+            dirty = self._rs_dirty
+            hint = self._rs_dirty_hint
+            for q in np.nonzero(states != prev)[0].tolist():
+                if states[q] == up_state and dirty[q]:
+                    hint.append(q)
             churn = (states == int(ProcState.UP)) != (prev == int(ProcState.UP))
             if churn.any():
                 if self._policy_churn_always:
@@ -576,15 +761,25 @@ class MasterSimulator:
                 if states[q] == down
                 and (self.workers[q].prog_received or self.workers[q].queue)
             ]
+        self._crash(slot, candidates)
+
+    def _crash(self, slot: int, candidates: List[int]) -> None:
+        """Crash each candidate worker (DOWN while carrying progress)."""
+        tbl = self._tbl
+        dirty = self._rs_dirty
+        hint = self._rs_dirty_hint
         for q in candidates:
             worker = self.workers[q]
             # Account wasted effort before wiping progress.
             self.report.comm_slots_wasted += worker.prog_received
-            self._rs_dirty[q] = 1  # program + pipeline wiped
+            if not dirty[q]:  # program + pipeline wiped
+                dirty[q] = 1
+                hint.append(q)
             lost = worker.crash()
             if tbl is not None:
                 tbl.on_crash(q)
                 self._prog_started[q] = False
+                self._prog_holders.discard(q)
             for inst in lost:
                 self.report.comm_slots_wasted += inst.data_received
                 self.report.compute_slots_wasted += inst.compute_done
@@ -617,7 +812,9 @@ class MasterSimulator:
         if inst.worker is not None:
             # Destroying a pinned instance moves the worker's delay and
             # pinned count; marking unconditionally is cheap and idempotent.
-            self._rs_dirty[inst.worker] = 1
+            if not self._rs_dirty[inst.worker]:
+                self._rs_dirty[inst.worker] = 1
+                self._rs_dirty_hint.append(inst.worker)
             self.workers[inst.worker].remove_instance(inst)
         reset_instance(inst)
         if self._tbl is None:
@@ -694,14 +891,34 @@ class MasterSimulator:
         delays: List[int] = []
         pinned_counts: List[int] = []
         prog_remainings: List[int] = []
-        for q in range(len(dirty)):
+        if eager_all:
+            # Audit mode refreshes every dirty worker (the cross-check
+            # reads all p columns) and verifies the sparse hint list
+            # covers every set flag of a *scoring candidate* (dirty non-UP
+            # workers legitimately leave the hint; they rejoin on their
+            # next observed transition to UP) before resetting it.
+            hint_set = set(self._rs_dirty_hint)
+            assert all(
+                q in hint_set
+                for q in range(len(dirty))
+                if dirty[q] and slist[q] == up
+            ), "dirty UP flag set outside the sparse hint list"
+            candidates = range(len(dirty))
+        else:
+            # Sparse walk (DESIGN.md §12): only the indices flagged since
+            # the last refresh — O(dirty), never O(p).  Flags cleared by
+            # the freshen shim skip.  Non-UP workers stay flagged but are
+            # *dropped* from the hint (their columns are only readable
+            # through the RoundState.freshen shim while non-UP);
+            # `_handle_states` re-appends them the moment a boundary
+            # observes their transition back to UP, so the walk stays
+            # O(dirty candidates) instead of carrying every dirty non-UP
+            # worker round after round.
+            candidates = self._rs_dirty_hint
+        for q in candidates:
             if not dirty[q]:
                 continue
             if not eager_all and slist[q] != up:
-                # Not a scheduling candidate: only the lazy-view shim can
-                # read its columns, and RoundState.freshen covers that.
-                # The flag stays set, so the worker is picked up here once
-                # it re-enters the candidate set.
                 continue
             worker = workers[q]
             delay, pinned_count = worker.delay_and_pinned(t_data)
@@ -711,6 +928,10 @@ class MasterSimulator:
             prog_remaining = worker.t_prog - worker.prog_received
             prog_remainings.append(prog_remaining if prog_remaining > 0 else 0)
             dirty[q] = 0
+        # In-place clear: mutation sites may hold a live alias of the
+        # hint list; rebinding would strand their appends on a dead list.
+        del self._rs_dirty_hint[:]
+        self.op_round_refreshed += len(changed)
         if changed:
             # One vectorised scatter per column beats per-element numpy
             # assignments by an order of magnitude at p ≈ 20.
@@ -832,7 +1053,20 @@ class MasterSimulator:
         if not self.options.replication or self.options.max_replicas == 0:
             return True
         up_state = int(ProcState.UP)
-        if tbl is not None:
+        cal = self._cal
+        if cal is not None:
+            # Calendar path: the UP count is maintained incrementally and
+            # an idle UP worker exists iff the UP set is larger than the
+            # UP slice of the queue-host set — O(live), never O(p).
+            n_uncommitted = tbl.n_uncommitted
+            if cal.up_count <= n_uncommitted:
+                return True  # replication trigger cannot fire
+            slist = self._states_list
+            busy_up = sum(
+                1 for q in self._queue_hosts() if slist[q] == up_state
+            )
+            idle = cal.up_count > busy_up
+        elif tbl is not None:
             n_uncommitted = tbl.n_uncommitted
             slist = self._states_list
             if slist.count(up_state) <= n_uncommitted:
@@ -890,7 +1124,9 @@ class MasterSimulator:
         """
         uncommitted = self.app.tasks_per_iteration - len(self._committed)
         tbl = self._tbl
-        if tbl is not None:
+        if self._cal is not None:
+            up = self._cal.up_count
+        elif tbl is not None:
             up = self._states_list.count(int(ProcState.UP))
         else:
             up = int(np.count_nonzero(states == int(ProcState.UP)))
@@ -930,7 +1166,9 @@ class MasterSimulator:
         for inst in self._proactive_candidates(states):
             self.report.comm_slots_wasted += inst.data_received
             self.report.compute_slots_wasted += inst.compute_done
-            self._rs_dirty[inst.worker] = 1  # pinned work discarded
+            if not self._rs_dirty[inst.worker]:  # pinned work discarded
+                self._rs_dirty[inst.worker] = 1
+                self._rs_dirty_hint.append(inst.worker)
             if self._tbl is not None:
                 self._tbl.release(inst)  # reads inst.worker: before detach
             self.workers[inst.worker].remove_instance(inst)
@@ -1181,14 +1419,34 @@ class MasterSimulator:
         if not dropped and tbl.repl_deficit == 0:
             return []  # saturated, nothing dropped: nothing to recreate
         up_state = int(ProcState.UP)
+        cal = self._cal
         slist = self._states_list
-        if slist.count(up_state) <= n_uncommitted:
+        if cal is not None:
+            if cal.up_count <= n_uncommitted:
+                return []  # paper's trigger: more UP than remaining tasks
+        elif slist.count(up_state) <= n_uncommitted:
             return []  # paper's trigger: more UP than remaining tasks
         workers = self.workers
         # Hypothetically idle: UP workers whose queue would be empty after
         # the purge — i.e. currently empty or holding only dropped
         # replicas (every unpinned replica is dropped by definition).
-        if dropped:
+        idle_mask = None
+        idle = None
+        if cal is not None:
+            # Calendar path: only queue hosts can be non-idle, so mask
+            # the (few) busy workers out of the UP vector instead of
+            # walking all p queues — and keep the mask so the candidate
+            # loops below build allowed sets with numpy ops.
+            idle_mask = cal.states_np == up_state
+            for q in self._queue_hosts():
+                if not dropped:
+                    idle_mask[q] = False
+                    continue
+                for inst in workers[q].queue:
+                    if inst.replica_id == 0 or inst.pinned:
+                        idle_mask[q] = False  # keeps an original or pinned
+                        break
+        elif dropped:
             idle = []
             for q in range(len(slist)):
                 if slist[q] != up_state:
@@ -1204,13 +1462,43 @@ class MasterSimulator:
                 for q in range(len(slist))
                 if slist[q] == up_state and not workers[q].queue
             ]
-        if not idle:
+        if idle_mask is not None:
+            n_idle = int(np.count_nonzero(idle_mask))
+            if n_idle == 0:
+                return []
+        elif not idle:
             return []
         max_instances = 1 + options.max_replicas
         live_count = tbl.live_count
         scheduler = self.scheduler
         rs = self._rs
         decisions: List[tuple] = []
+
+        def allowed_for(task_hosts):
+            # Shared allowed-set builder: on the calendar path the
+            # eligibility mask itself is handed to the scheduler (the
+            # array paths consume boolean masks directly), list scan
+            # otherwise.  Returns None when no idle worker is eligible.
+            if idle_mask is not None:
+                blocked = [q for q in task_hosts if idle_mask[q]]
+                if blocked:
+                    if len(blocked) == n_idle:
+                        return None
+                    amask = idle_mask.copy()
+                    amask[blocked] = False
+                    return amask
+                return idle_mask
+            allowed = [q for q in idle if q not in task_hosts]
+            return allowed if allowed else None
+
+        def consume(choice):
+            nonlocal n_idle
+            if idle_mask is not None:
+                idle_mask[choice] = False
+                n_idle -= 1
+            else:
+                idle.remove(choice)
+
         if not dropped:
             # Fast path (the dominant mid-iteration shape, no replica
             # churn): the hypothetical post-round state IS the current
@@ -1220,13 +1508,15 @@ class MasterSimulator:
                 key=lambda task_id: (int(live_count[task_id]), task_id),
             )
             for task_id in candidates:
-                if not idle:
+                exhausted = (
+                    (n_idle == 0) if idle_mask is not None else not idle
+                )
+                if exhausted:
                     break
                 if live_count[task_id] >= max_instances:
                     continue
-                task_hosts = tbl.hosts_of_task(task_id)
-                allowed = [q for q in idle if q not in task_hosts]
-                if not allowed:
+                allowed = allowed_for(tbl.hosts_of_task(task_id))
+                if allowed is None:
                     continue
                 choice = scheduler.place_array(rs, 1, allowed)[0]
                 if choice is None:  # pragma: no cover - allowed is all-UP
@@ -1234,7 +1524,7 @@ class MasterSimulator:
                 decisions.append(
                     (task_id, tbl.free_replica_id(task_id), choice)
                 )
-                idle.remove(choice)
+                consume(choice)
             return decisions
         live_list = live_count.tolist()
         live_hyp: Dict[int, int] = {}
@@ -1253,7 +1543,8 @@ class MasterSimulator:
         )
         objects = tbl.objects
         for task_id in candidates:
-            if not idle:
+            exhausted = (n_idle == 0) if idle_mask is not None else not idle
+            if exhausted:
                 break
             if live_list[task_id] >= max_instances:
                 continue
@@ -1264,8 +1555,8 @@ class MasterSimulator:
                     continue  # an unpinned replica: hypothetically dropped
                 if inst.worker is not None:
                     hosts.add(inst.worker)
-            allowed = [q for q in idle if q not in hosts]
-            if not allowed:
+            allowed = allowed_for(hosts)
+            if allowed is None:
                 continue
             choice = scheduler.place_array(rs, 1, allowed)[0]
             if choice is None:  # pragma: no cover - allowed is all-UP
@@ -1275,7 +1566,7 @@ class MasterSimulator:
             while mask >> replica_id & 1:
                 replica_id += 1
             decisions.append((task_id, replica_id, choice))
-            idle.remove(choice)
+            consume(choice)
         return decisions
 
     def _apply_replication_decisions(
@@ -1357,7 +1648,20 @@ class MasterSimulator:
         if n_uncommitted <= 0:
             return
         up_state = int(ProcState.UP)
-        if tbl is not None:
+        cal = self._cal
+        idle_mask = None
+        idle = None
+        if cal is not None:
+            if cal.up_count <= n_uncommitted:
+                return  # paper's trigger: more UP than remaining tasks
+            # Only queue hosts can be non-idle: mask the (few) busy
+            # workers out of the UP vector, and keep the *mask* — the
+            # candidate loop below then builds each task's allowed set
+            # with O(p) numpy ops instead of O(idle) Python list scans.
+            idle_mask = cal.states_np == up_state
+            for q in self._queue_hosts():
+                idle_mask[q] = False
+        elif tbl is not None:
             slist = self._states_list
             if slist.count(up_state) <= n_uncommitted:
                 return  # paper's trigger: more UP than remaining tasks
@@ -1375,7 +1679,11 @@ class MasterSimulator:
                 for q in range(len(states))
                 if states[q] == up_state and not self.workers[q].queue
             ]
-        if not idle:
+        if idle_mask is not None:
+            n_idle = int(np.count_nonzero(idle_mask))
+            if n_idle == 0:
+                return
+        elif not idle:
             return
         max_instances = 1 + self.options.max_replicas
         if tbl is not None:
@@ -1390,14 +1698,30 @@ class MasterSimulator:
                 key=lambda task_id: (int(live_count[task_id]), task_id),
             )
             for task_id in candidates:
-                if not idle:
+                exhausted = (n_idle == 0) if idle_mask is not None else not idle
+                if exhausted:
                     break
                 if live_count[task_id] >= max_instances:
                     continue
                 task_hosts = tbl.hosts_of_task(task_id)
-                allowed = [q for q in idle if q not in task_hosts]
-                if not allowed:
-                    continue
+                if idle_mask is not None:
+                    # Mask arithmetic: the eligibility mask itself is the
+                    # allowed form the array schedulers consume (same
+                    # candidate set as the legacy ascending list), so no
+                    # index materialisation at all per candidate task.
+                    blocked = [q for q in task_hosts if idle_mask[q]]
+                    if blocked:
+                        if len(blocked) == n_idle:
+                            continue
+                        amask = idle_mask.copy()
+                        amask[blocked] = False
+                        allowed = amask
+                    else:
+                        allowed = idle_mask
+                else:
+                    allowed = [q for q in idle if q not in task_hosts]
+                    if not allowed:
+                        continue
                 choice = place_batch(1, allowed=allowed)[0]
                 if choice is None:
                     continue
@@ -1411,7 +1735,11 @@ class MasterSimulator:
                 self._place(replica, choice, states)
                 if replica.worker is not None:
                     self.report.replicas_launched += 1
-                    idle.remove(choice)
+                    if idle_mask is not None:
+                        idle_mask[choice] = False
+                        n_idle -= 1
+                    else:
+                        idle.remove(choice)
                 else:
                     tbl.destroy(replica)
             return
@@ -1471,7 +1799,17 @@ class MasterSimulator:
     def _compute_step(self, slot: int, states: np.ndarray) -> None:
         tbl = self._tbl
         up = int(ProcState.UP)
-        if tbl is not None:
+        dirty = self._rs_dirty
+        hint = self._rs_dirty_hint
+        if self._cal is not None:
+            # Calendar path: a queue implies live hosted instances, so
+            # the queue-host set (O(live)) filtered to UP is exactly the
+            # sweep's candidate list, in the same ascending order.
+            slist = self._states_list
+            candidates = [
+                q for q in sorted(self._queue_hosts()) if slist[q] == up
+            ]
+        elif tbl is not None:
             # Only UP workers with a queue can compute; the candidate
             # filter replaces the all-workers sweep (same ascending order).
             slist = self._states_list
@@ -1510,7 +1848,9 @@ class MasterSimulator:
                     )
                 )
             current.compute_done += 1
-            self._rs_dirty[q] = 1  # delay shrank (or pin began)
+            if not dirty[q]:  # delay shrank (or pin began)
+                dirty[q] = 1
+                hint.append(q)
             self.report.compute_slots_spent += 1
             if self.timeline is not None:
                 self.timeline.mark_compute(q)
@@ -1589,11 +1929,21 @@ class MasterSimulator:
             # slots instead of re-validating a fresh object per boundary.
             slist = self._states_list
             all_workers = self.workers
-            workers = [
-                all_workers[q]
-                for q in range(len(slist))
-                if slist[q] == up and all_workers[q].queue
-            ]
+            if self._cal is not None:
+                # Calendar path: requests can only come from queue hosts
+                # (both request kinds need a non-empty queue) — O(live)
+                # candidates in the same ascending order.
+                workers = [
+                    all_workers[q]
+                    for q in sorted(self._queue_hosts())
+                    if slist[q] == up
+                ]
+            else:
+                workers = [
+                    all_workers[q]
+                    for q in range(len(slist))
+                    if slist[q] == up and all_workers[q].queue
+                ]
             caches = self._request_cache
         else:
             workers = self.workers
@@ -1639,9 +1989,13 @@ class MasterSimulator:
         requests, targets = self._gather_requests(states)
         grants: List[tuple] = []
         nprog = 0
+        dirty = self._rs_dirty
+        hint = self._rs_dirty_hint
         for grant in self.network.allocate(slot, requests):
             worker = self.workers[grant.worker]
-            self._rs_dirty[grant.worker] = 1  # prog/data progress moves delay
+            if not dirty[grant.worker]:  # prog/data progress moves delay
+                dirty[grant.worker] = 1
+                hint.append(grant.worker)
             self.report.comm_slots_spent += 1
             if self.timeline is not None:
                 self.timeline.mark_transfer(worker.index, grant.kind)
@@ -1651,6 +2005,7 @@ class MasterSimulator:
                 if worker.prog_received == 0:
                     if self._tbl is not None:
                         self._prog_started[worker.index] = True
+                        self._prog_holders.add(worker.index)
                     self.log.emit(
                         SimEvent(
                             slot,
@@ -1712,24 +2067,49 @@ class MasterSimulator:
     # ------------------------------------------------------------------ #
     def _step(self, slot: int) -> bool:
         """Simulate one slot; returns True when the whole run finished."""
-        if self._tbl is not None:
-            # Body fast path: gather states into a Python list (one
-            # state_at per source, cursor-backed O(1) on the RLE traces)
-            # and wrap it zero-copy for the vectorised consumers.  A
-            # cohort-installed provider returns the identical list from a
-            # shared per-trial memo (DESIGN.md §11).
-            provider = self.states_provider
-            if provider is None:
-                slist = [source.state_at(slot) for source in self._avail]
+        cal = self._cal
+        if cal is not None:
+            # Calendar path (DESIGN.md §12): pop the processors whose run
+            # ended since the last boundary — O(churn · log p) — and keep
+            # the persistent state list/buffer, instead of p state reads
+            # and a fresh vector per boundary.  The net-change records
+            # replace the sweep path's snapshot diff in _handle_states.
+            self._cal_records = cal.advance(slot)
+            self._states_list = cal.states
+            states = cal.states_np
+            self.op_boundary_workers_touched += cal.last_pops
+            self.op_calendar_pops += cal.last_pops
+        elif self._tbl is not None:
+            if self._calendar_active():
+                # First boundary of a calendar run: full O(p) build, then
+                # the sweep fallback handles this step (records = None).
+                cal = self._cal = PlatformCalendar(self._avail)
+                cal.start(slot, self._cal_last)
+                self._states_list = cal.states
+                states = cal.states_np
             else:
-                slist = provider(slot)
-            states = np.frombuffer(bytes(slist), dtype=np.uint8)
-            self._states_list = slist
+                # Body fast path: gather states into a Python list (one
+                # state_at per source, cursor-backed O(1) on the RLE
+                # traces) and wrap it zero-copy for the vectorised
+                # consumers.  A cohort-installed provider returns the
+                # identical list from a shared per-trial memo (§11).
+                provider = self.states_provider
+                if provider is None:
+                    slist = [source.state_at(slot) for source in self._avail]
+                else:
+                    slist = provider(slot)
+                states = np.frombuffer(bytes(slist), dtype=np.uint8)
+                self._states_list = slist
+            self._cal_records = None
+            self.op_boundary_workers_touched += len(self.workers)
         else:
             states = self.platform.states_at(slot)
+            self._cal_records = None
+            self.op_boundary_workers_touched += len(self.workers)
         # Counted after the gather: a step aborted by a diverging cohort
         # hook (which raises before any mutation) was never executed.
         self.steps_executed += 1
+        self.op_boundaries += 1
         self._pipeline_changed = False
         if self.timeline is not None:
             self.timeline.begin_slot(states)
@@ -1910,6 +2290,8 @@ class MasterSimulator:
         be applied arithmetically by :meth:`_advance_quiet`; slot
         ``slot+n+1`` is the next boundary and is simulated in full.
         """
+        if self._cal is not None:
+            return self._quiet_span_cal(slot, budget)
         last = budget - 1
         if slot >= last:
             return 0
@@ -1988,6 +2370,7 @@ class MasterSimulator:
         #    come from one pass (PR 5 span-search trim: one iteration,
         #    O(1) computing lookup off the table, no per-worker method
         #    calls).
+        self.op_span_scan_workers += len(self.workers)
         for q, worker in enumerate(self.workers):
             queue = worker.queue
             state_up = states[q] == up
@@ -2065,6 +2448,123 @@ class MasterSimulator:
                     return 0
         return horizon - slot - 1
 
+    def _quiet_span_cal(self, slot: int, budget: int) -> int:
+        """Calendar-mode quiet-span search: O(busy), never O(p).
+
+        Same contract as :meth:`_quiet_span`, visiting only the *busy*
+        workers — queue hosts plus program holders (O(live), from the
+        table's rows and the ``_prog_holders`` mirror).  The availability
+        bound splits by regime:
+
+        * **observe_all** (event log attached; the calendar never engages
+          with a timeline): the sweep assigns every worker kind 0, whose
+          minimum is exactly the calendar's heap top — identical spans;
+        * **non-glide**: busy workers are kind 0 and idle non-UP workers
+          kind 1 (their next *UP entry*); bounding both by the heap top
+          is conservative — spans never longer than the sweep's, and an
+          extra boundary at an idle worker's non-UP→non-UP transition is
+          provably a no-op: no UP-set change, no event (the log is off in
+          this regime), no crash candidate (idle workers carry nothing),
+          and identical grants (same request set; grant priorities are
+          stable — see BoundedMultiportNetwork.plan), so the per-slot
+          trail matches the sweep's span arithmetic bit for bit;
+        * **glide**: idle workers are invisible (kind None) and the heap
+          top must NOT bound the span — only the busy workers' kind 0/2
+          lookups apply, exactly as in the sweep.
+
+        Milestone bounds (transfer/compute completions) are the sweep's,
+        restricted to queue holders — the only workers that can carry
+        grants or computing instances.
+        """
+        last = budget - 1
+        if slot >= last:
+            return 0
+        if self._need_replan or self._pipeline_changed:
+            return 0  # next slot re-plans or re-allocates: full step
+        states = self._prev_states_list
+        up = int(ProcState.UP)
+        horizon = last + 1  # exclusive sentinel: quiet through the budget
+        observe_all = self.log.enabled
+        sticky = self._policy.ignores_churn and not observe_all
+        glide = sticky or (not observe_all and self._round_glidable())
+        refined = glide and not self.options.audit
+        self._span_refined = refined
+        if not glide:
+            nxt = self._cal.peek()  # platform-wide next transition, O(1)
+            if nxt < horizon:
+                horizon = nxt
+                if horizon == slot + 1:
+                    return 0
+        grant_index = self._grant_index
+        next_change_cache = self._next_change_cache
+        next_down_cache = self._next_down_cache
+        tbl = self._tbl
+        computing_rows = tbl.computing_row
+        objects = tbl.objects
+        avail = self._avail
+        workers = self.workers
+        busy = self._queue_hosts()
+        busy.update(self._prog_holders)
+        self.op_span_scan_workers += len(busy)
+        for q in sorted(busy):
+            worker = workers[q]
+            queue = worker.queue
+            state_up = states[q] == up
+            grant = grant_index.get(q) if queue else None
+            if glide:
+                # kind 2 = next DOWN entry, kind 0 = any change — the
+                # sweep's glide assignments for busy workers verbatim.
+                if queue:
+                    kind = 2 if refined and state_up and grant is None else 0
+                else:
+                    kind = 2  # resident program: only the wiping DOWN
+                cache = next_down_cache if kind == 2 else next_change_cache
+                cached = cache[q]  # inline cache hit: the common case
+                if cached is not None and cached > slot:
+                    change = cached if cached <= last else None
+                elif kind == 2:
+                    change = self._next_down_entry(q, slot, last)
+                else:
+                    change = self._next_change(q, slot, last)
+                if change is not None and change < horizon:
+                    horizon = change
+                    if horizon == slot + 1:
+                        return 0
+            if not queue or not state_up:
+                continue  # idle, frozen (RECLAIMED) or wiped: no ticks
+            row = computing_rows[q]
+            computing = objects[row] if row >= 0 else None
+            if grant is None:
+                if refined:
+                    if computing is None:
+                        continue
+                    milestone_slot = avail[q].nth_up_after(
+                        slot,
+                        computing.compute_needed - computing.compute_done,
+                        limit=last,
+                    )
+                    if milestone_slot is not None and milestone_slot < horizon:
+                        horizon = milestone_slot
+                        if horizon == slot + 1:
+                            return 0
+                    continue
+                milestone = None
+            else:
+                grant_kind, grant_inst = grant
+                if grant_kind == "prog":
+                    milestone = worker.t_prog - worker.prog_received
+                else:
+                    milestone = grant_inst.data_needed - grant_inst.data_received
+            if computing is not None:
+                remaining = computing.compute_needed - computing.compute_done
+                if milestone is None or remaining < milestone:
+                    milestone = remaining
+            if milestone is not None and slot + milestone < horizon:
+                horizon = slot + milestone
+                if horizon == slot + 1:
+                    return 0
+        return horizon - slot - 1
+
     def _advance_quiet(self, start: int, count: int) -> None:
         """Apply ``count`` quiet slots (``start .. start+count-1``) in O(p).
 
@@ -2079,11 +2579,22 @@ class MasterSimulator:
         report = self.report
         refined = self._span_refined
         dirty = self._rs_dirty
+        hint = self._rs_dirty_hint
         timeline_compute: Optional[List[int]] = (
             [] if self.timeline is not None else None
         )
         tbl = self._tbl
-        if tbl is not None:
+        if self._cal is not None:
+            # Calendar path: a computing row implies a queued instance,
+            # so the queue-host set covers every computing worker.
+            slist = self._prev_states_list
+            computing_row = tbl.computing_row
+            computing = [
+                (q, tbl.objects[computing_row[q]])
+                for q in sorted(self._queue_hosts())
+                if slist[q] == up and computing_row[q] >= 0
+            ]
+        elif tbl is not None:
             slist = self._prev_states_list
             computing_row = tbl.computing_row
             computing = [
@@ -2111,7 +2622,9 @@ class MasterSimulator:
             if ticks:
                 inst.compute_done += ticks
                 report.compute_slots_spent += ticks
-                dirty[q] = 1
+                if not dirty[q]:
+                    dirty[q] = 1
+                    hint.append(q)
             if timeline_compute is not None:
                 # With a recorder attached every transition is a span
                 # boundary, so the worker computes on every quiet slot.
@@ -2122,7 +2635,9 @@ class MasterSimulator:
             else:
                 inst.data_received += count
             report.comm_slots_spent += count
-            dirty[worker.index] = 1
+            if not dirty[worker.index]:
+                dirty[worker.index] = 1
+                hint.append(worker.index)
         nprog, ndata, requested = self._grant_counts
         self.network.record_span(
             start, count, nprog=nprog, ndata=ndata, requested=requested
@@ -2169,6 +2684,9 @@ class MasterSimulator:
 
     def _run_loop(self, budget: int) -> None:
         """Advance the simulation up to ``budget`` slots (either mode)."""
+        # The calendar's heap sentinels are budget-relative, so the
+        # engine can only engage once the budget is known.
+        self._cal_last = budget - 1
         if self._step_mode_effective() == "slot":
             for slot in range(budget):
                 finished = self._step(slot)
@@ -2233,6 +2751,7 @@ class MasterSimulator:
         """
         budget = max_slots if max_slots is not None else self.options.max_slots
         self._resume_budget = require_positive_int(budget, "max_slots")
+        self._cal_last = self._resume_budget - 1
         self._resume_slot = 0
         self._run_over = False
         if self._step_mode_effective() != "slot":
@@ -2340,6 +2859,26 @@ class MasterSimulator:
                 )
             assert bool(self._prog_started[q]) == (worker.prog_received > 0), (
                 f"worker {q}: prog_started flag drifted"
+            )
+        # Calendar-path invariants (DESIGN.md §12), cheap to verify on
+        # every store: the busy-worker mirrors behind the O(busy) span
+        # search must match the queues exactly.
+        hosts = self._queue_hosts()
+        for q, worker in enumerate(self.workers):
+            assert (q in hosts) == bool(worker.queue), (
+                f"worker {q}: queue-host derivation drifted"
+            )
+            assert (q in self._prog_holders) == (worker.prog_received > 0), (
+                f"worker {q}: prog_holders mirror drifted"
+            )
+        cal = self._cal
+        if cal is not None:
+            slist = self._states_list
+            assert cal.up_count == slist.count(int(ProcState.UP)), (
+                "calendar up_count drifted"
+            )
+            assert list(cal.states_np) == slist, (
+                "calendar state buffer drifted from its list"
             )
 
 

@@ -17,17 +17,32 @@ trace (see :mod:`repro.sim.availability`).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .._validation import require_positive_int
 from ..core.markov import MarkovAvailabilityModel
 from ..types import ProcState
-from .availability import AvailabilitySource, MarkovSource, TraceSource
+from .availability import (
+    AvailabilitySource,
+    MarkovSource,
+    SemiMarkovSource,
+    TraceSource,
+)
 
-__all__ = ["Processor", "Platform"]
+__all__ = ["Processor", "Platform", "PlatformCalendar"]
+
+
+def _geometric_sojourn(leave: float):
+    """A sojourn sampler drawing ``Geometric(leave)`` run lengths."""
+
+    def sample(rng: np.random.Generator) -> int:
+        return int(rng.geometric(leave))
+
+    return sample
 
 
 @dataclass
@@ -74,6 +89,56 @@ class Processor:
             index=index,
             speed_w=speed_w,
             availability=MarkovSource(model, rng, initial=initial),
+            belief=model,
+        )
+
+    @classmethod
+    def from_semi_markov(
+        cls,
+        index: int,
+        speed_w: int,
+        model: MarkovAvailabilityModel,
+        rng: np.random.Generator,
+        *,
+        initial: Optional[int] = None,
+    ) -> "Processor":
+        """A processor whose truth is the run-length form of ``model``.
+
+        A Markov chain's sojourn in state ``i`` is geometric with
+        parameter :math:`1 - P_{ii}`, and on leaving it jumps to ``j``
+        with probability :math:`P_{ij} / (1 - P_{ii})`.  Sampling those
+        two directly (:class:`~repro.sim.availability.SemiMarkovSource`)
+        yields the *same process* as the slot-by-slot walk of
+        :meth:`from_markov` — but generated in O(runs) instead of
+        O(slots), which is what the large-p benchmarks need (DESIGN.md
+        §12: a 10k-worker platform must not pay Θ(p · horizon) just to
+        *materialise* its ground truth).  The belief handed to the
+        heuristics is still ``model`` itself.
+
+        The draw protocol differs from :meth:`from_markov` (run lengths
+        vs per-slot uniforms), so the two are distributionally equal,
+        not bit-identical, for the same ``rng`` stream.
+        """
+        matrix = model.matrix
+        embedded = np.zeros((3, 3))
+        samplers = {}
+        for s in range(3):
+            leave = 1.0 - float(matrix[s, s])
+            if leave <= 0.0:
+                raise ValueError(
+                    f"state {s} is absorbing (self-loop 1); the run-length "
+                    "form needs a positive leave probability"
+                )
+            embedded[s] = matrix[s] / leave
+            embedded[s, s] = 0.0
+            samplers[s] = _geometric_sojourn(leave)
+        start = int(ProcState.UP) if initial is None else int(initial)
+        return cls(
+            index=index,
+            speed_w=speed_w,
+            availability=SemiMarkovSource(
+                embedded, samplers, rng, initial=start
+            ),
             belief=model,
         )
 
@@ -187,3 +252,123 @@ class Platform:
             for proc in self.processors
             if proc.state_at(slot) == ProcState.UP
         ]
+
+
+class PlatformCalendar:
+    """Platform-wide event calendar over the availability sources.
+
+    The large-p engine (DESIGN.md §12).  A lazy min-heap holds exactly one
+    entry per processor: ``(next_transition_slot, q)``, fed by the RLE run
+    cursors of :mod:`repro.sim.availability`.  Advancing from one span
+    boundary to the next pops only the processors whose current run ended
+    in between — O(churned · log p) — instead of re-reading all ``p``
+    states and re-deriving all ``p`` next-transition minima (the O(p)
+    sweep the ``platform_index="sweep"`` oracle performs per boundary).
+
+    Maintained invariants, relied on by the simulator:
+
+    * ``states`` (plain list) and ``states_np`` (zero-copy ``uint8`` view
+      of the same buffer) always hold the state vector of the last
+      ``advance``-d slot;
+    * each processor has exactly one heap entry, whose slot is the first
+      transition strictly after the last slot it was popped at (or the
+      sentinel ``last + 1`` when it holds its state through the budget),
+      so ``peek()`` is the platform-wide next-transition slot and the
+      heap never empties;
+    * ``up_count`` equals ``states.count(UP)``;
+    * ``advance`` returns the *net* per-processor changes since the
+      previous boundary — exactly what a snapshot diff of the two
+      boundary state vectors yields — in ascending processor order.
+
+    ``pops``/``last_pops`` count heap pops (total / last advance): the
+    per-boundary touched-worker metric behind the O(churn) claim.
+    """
+
+    def __init__(self, sources: Sequence[AvailabilitySource]) -> None:
+        self.sources = list(sources)
+        self.states: List[int] = []
+        self._buf = bytearray(len(self.sources))
+        #: Zero-copy writable uint8 view of the state buffer (bytearray
+        #: buffers are writable through ``np.frombuffer``).
+        self.states_np = np.frombuffer(self._buf, dtype=np.uint8)
+        self._heap: List[Tuple[int, int]] = []
+        self._last = 0
+        self.up_count = 0
+        self.pops = 0
+        self.last_pops = 0
+        self.started = False
+
+    def start(self, slot: int, last: int) -> None:
+        """Full O(p) build at the first boundary of a run.
+
+        ``last`` is the final in-budget slot; a processor holding its
+        state through it gets the sentinel ``last + 1`` (strictly beyond
+        every boundary, so its entry is never popped).
+        """
+        self._last = last
+        up = int(ProcState.UP)
+        buf = self._buf
+        states: List[int] = []
+        heap: List[Tuple[int, int]] = []
+        up_count = 0
+        for q, source in enumerate(self.sources):
+            state = source.state_at(slot)
+            states.append(state)
+            buf[q] = state
+            if state == up:
+                up_count += 1
+            change = source.next_change_after(slot, limit=last)
+            heap.append((change if change is not None else last + 1, q))
+        heapq.heapify(heap)
+        self.states = states
+        self._heap = heap
+        self.up_count = up_count
+        self.started = True
+
+    def peek(self) -> int:
+        """The earliest next-transition slot platform-wide (O(1)).
+
+        Strictly greater than the last ``advance``-d slot; ``last + 1``
+        when every processor holds its state through the budget.
+        """
+        return self._heap[0][0]
+
+    def advance(self, slot: int) -> List[Tuple[int, int, int]]:
+        """Catch the calendar up to ``slot``; return the net changes.
+
+        Pops every processor whose next transition is ``<= slot``,
+        re-reads its state once (one RLE cursor hop regardless of how
+        many runs the span glided over) and re-arms its heap entry with
+        the first transition after ``slot``.  Returns ``(q, old, new)``
+        triples — net changes only, ascending ``q`` — matching what the
+        sweep path's boundary snapshot diff reports.
+        """
+        heap = self._heap
+        states = self.states
+        buf = self._buf
+        sources = self.sources
+        last = self._last
+        up = int(ProcState.UP)
+        records: List[Tuple[int, int, int]] = []
+        pops = 0
+        while heap[0][0] <= slot:
+            _, q = heapq.heappop(heap)
+            pops += 1
+            source = sources[q]
+            new = source.state_at(slot)
+            change = source.next_change_after(slot, limit=last)
+            heapq.heappush(heap, (change if change is not None else last + 1, q))
+            old = states[q]
+            if new != old:
+                states[q] = new
+                buf[q] = new
+                if old == up:
+                    self.up_count -= 1
+                if new == up:
+                    self.up_count += 1
+                records.append((q, old, new))
+        self.pops += pops
+        self.last_pops = pops
+        if len(records) > 1:
+            records.sort()
+        return records

@@ -73,6 +73,11 @@ class Scenario:
         ncom: the master channel budget.
         app: the iterative application (m tasks, 10 iterations, timings).
         root_seed: entropy of the generating factory (provenance).
+        truth: ground-truth sampler family — ``"markov"`` (the paper's
+            slot-by-slot walk) or ``"semi-markov"`` (the run-length form
+            of the same chains, O(runs) generation; used by the large-p
+            family, DESIGN.md §12).  The scheduler belief is the Markov
+            chain either way.
     """
 
     key: tuple
@@ -81,6 +86,7 @@ class Scenario:
     ncom: int
     app: IterativeApplication
     root_seed: object = None
+    truth: str = "markov"
 
     @property
     def p(self) -> int:
@@ -94,8 +100,17 @@ class Scenario:
         processor)`` — identical across heuristics, fresh across trials.
         """
         factory = RngFactory(self.root_seed)
+        if self.truth == "semi-markov":
+            build = Processor.from_semi_markov
+        elif self.truth == "markov":
+            build = Processor.from_markov
+        else:
+            raise ValueError(
+                f"unknown ground-truth family {self.truth!r}; "
+                "expected 'markov' or 'semi-markov'"
+            )
         processors = [
-            Processor.from_markov(
+            build(
                 q,
                 self.speeds[q],
                 self.models[q],
@@ -180,7 +195,8 @@ class ScenarioSpec:
         )
         rebuilt = spec.build()
         same = (
-            rebuilt.key == scenario.key
+            rebuilt.truth == scenario.truth
+            and rebuilt.key == scenario.key
             and rebuilt.ncom == scenario.ncom
             and rebuilt.speeds == scenario.speeds
             and rebuilt.app == scenario.app
@@ -280,6 +296,79 @@ class ScenarioGenerator:
             ncom=ncom,
             app=app,
             root_seed=self._root_seed,
+        )
+
+    def large_grid_scenario(
+        self,
+        n: int,
+        ncom: int,
+        wmin: int,
+        index: int,
+        *,
+        comm_factor: int = 1,
+        mean_sojourn: int = 1000,
+    ) -> Scenario:
+        """A low-churn scenario for the large-p platform benchmarks.
+
+        The paper's chains (self-loops in ``[0.90, 0.99]``) model a
+        20-host lab where a slot is minutes and hosts flap every 10–100
+        slots.  A production desktop grid (BOINC-style, the DESIGN.md §12
+        setting) has per-host mean sojourns of hours-to-days — hundreds
+        to thousands of slots — so platform-wide churn per slot stays
+        O(p / sojourn), not O(p).  This family keeps the paper's speeds,
+        timings, and symmetric off-diagonal structure but draws each
+        self-loop as ``1 - 1/s`` with ``s`` log-uniform in
+        ``[mean_sojourn / 2, mean_sojourn * 2]``, giving per-state mean
+        sojourns around ``mean_sojourn`` slots.
+
+        Ground truth is the run-length (semi-Markov) form of the chains
+        (``truth="semi-markov"``): distributionally the same process,
+        but generated in O(runs) — materialising 10k workers' traces
+        must not cost Θ(p · horizon).  Beliefs stay the Markov chains.
+
+        Seed-stable exactly like :meth:`scenario`: the key
+        ``("large", n, ncom, wmin, comm_factor, mean_sojourn, index)``
+        fully determines chains, speeds, and every trial's availability
+        sample.  (Keys of this family are not :class:`ScenarioSpec`
+        round-trippable; the bench harness passes scenarios directly.)
+        """
+        n = require_positive_int(n, "n")
+        ncom = require_positive_int(ncom, "ncom")
+        wmin = require_positive_int(wmin, "wmin")
+        comm_factor = require_positive_int(comm_factor, "comm_factor")
+        mean_sojourn = require_positive_int(mean_sojourn, "mean_sojourn")
+        if mean_sojourn < 2:
+            raise ValueError(
+                f"mean_sojourn must be >= 2 slots, got {mean_sojourn}"
+            )
+        key = ("large", n, ncom, wmin, comm_factor, mean_sojourn, index)
+        rng = self._factory.generator("scenario", *key)
+        low, high = np.log(mean_sojourn / 2.0), np.log(mean_sojourn * 2.0)
+        sojourns = np.exp(rng.uniform(low, high, size=(self.p, 3)))
+        models = tuple(
+            MarkovAvailabilityModel.from_self_loops(
+                1.0 - 1.0 / row[0], 1.0 - 1.0 / row[1], 1.0 - 1.0 / row[2]
+            )
+            for row in sojourns
+        )
+        speeds = tuple(
+            int(rng.integers(wmin, 10 * wmin, endpoint=True))
+            for _ in range(self.p)
+        )
+        app = IterativeApplication(
+            tasks_per_iteration=n,
+            iterations=self.iterations,
+            t_prog=5 * comm_factor * wmin,
+            t_data=comm_factor * wmin,
+        )
+        return Scenario(
+            key=key,
+            models=models,
+            speeds=speeds,
+            ncom=ncom,
+            app=app,
+            root_seed=self._root_seed,
+            truth="semi-markov",
         )
 
     def cell(

@@ -415,3 +415,175 @@ class TestRleStorage:
         before = dense.storage_bytes()
         dense.up_count_in(0, 5)  # builds the prefix
         assert dense.storage_bytes() > before
+
+
+class TestRleCursorBoundaries:
+    """Deterministic boundary cases for the RLE run cursors (§12).
+
+    A scripted semi-Markov source — jump chain cycling 0 → 1 → 2 → 0,
+    sojourns read from a fixed schedule — pins the exact run layout, so
+    every query can be asserted at the slots where off-by-one bugs live:
+    the first and last slot of a run, the transition slot itself, and
+    limits landing exactly on (or one before) an answer.
+    """
+
+    #: Scripted run lengths; states cycle UP, RECLAIMED, DOWN, UP, ...
+    LENGTHS = [5, 3, 4, 6, 2, 8]
+
+    @classmethod
+    def _scripted(cls):
+        cycle = np.array(
+            [[0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [1.0, 0.0, 0.0]]
+        )
+        schedule = iter(cls.LENGTHS * 50)
+
+        def sample(rng):
+            return next(schedule)
+
+        return SemiMarkovSource(
+            cycle, {s: sample for s in (0, 1, 2)}, np.random.default_rng(0)
+        )
+
+    @classmethod
+    def _runs(cls):
+        """(start, stop, state) triples of the scripted layout."""
+        runs, position = [], 0
+        for i, length in enumerate(cls.LENGTHS * 50):
+            runs.append((position, position + length, i % 3))
+            position += length
+        return runs
+
+    def test_state_at_run_edges(self):
+        source = self._scripted()
+        for start, stop, state in self._runs()[:12]:
+            assert source.state_at(start) == state
+            assert source.state_at(stop - 1) == state
+
+    def test_next_change_after_at_run_edges(self):
+        source = self._scripted()
+        runs = self._runs()
+        for (start, stop, _), (nxt, _, _) in zip(runs[:10], runs[1:11]):
+            assert nxt == stop
+            # Anywhere inside a run the next change is the next start.
+            assert source.next_change_after(start) == nxt
+            assert source.next_change_after(stop - 1) == nxt
+
+    def test_next_change_after_limit_edges(self):
+        source = self._scripted()
+        start, stop, _ = self._runs()[3]
+        # limit == the answer: found; limit one before: not found.
+        assert source.next_change_after(start, limit=stop) == stop
+        assert source.next_change_after(start, limit=stop - 1) is None
+
+    def test_up_count_in_run_aligned_windows(self):
+        source = self._scripted()
+        for start, stop, state in self._runs()[:9]:
+            expected = (stop - start) if state == int(ProcState.UP) else 0
+            assert source.up_count_in(start, stop) == expected
+            # Shifting one edge by one slot moves the count iff UP.
+            inside = source.up_count_in(start + 1, stop)
+            assert inside == max(0, expected - 1)
+
+    def test_up_count_in_degenerate_windows(self):
+        source = self._scripted()
+        assert source.up_count_in(7, 7) == 0
+        assert source.up_count_in(9, 4) == 0
+
+    def test_nth_up_after_crosses_runs(self):
+        source = self._scripted()
+        runs = self._runs()
+        first_up = runs[0]  # [0, 5) UP
+        second_up = runs[3]  # UP again after RECLAIMED + DOWN
+        # From the last UP slot of run 0, the next UP is the run-3 start.
+        assert source.nth_up_after(first_up[1] - 1, 1) == second_up[0]
+        # k walking through run 3: k-th UP is start + k - 1.
+        for k in range(1, second_up[1] - second_up[0] + 1):
+            assert (
+                source.nth_up_after(first_up[1] - 1, k)
+                == second_up[0] + k - 1
+            )
+
+    def test_nth_up_after_limit_edges(self):
+        source = self._scripted()
+        second_up = self._runs()[3]
+        slot = self._runs()[0][1] - 1
+        found = second_up[0]
+        assert source.nth_up_after(slot, 1, limit=found) == found
+        assert source.nth_up_after(slot, 1, limit=found - 1) is None
+
+    def test_single_run_source_bounded_growth(self):
+        cycle = np.array(
+            [[0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [1.0, 0.0, 0.0]]
+        )
+        source = SemiMarkovSource(
+            cycle,
+            {s: (lambda rng: 50_000) for s in (0, 1, 2)},
+            np.random.default_rng(0),
+        )
+        assert source.state_at(0) == 0
+        assert source.state_at(49_999) == 0
+        # A limit inside the single run must answer None without growing
+        # past the limit by more than one geometric step.
+        assert source.next_change_after(0, limit=10_000) is None
+        assert source.up_count_in(0, 20_000) == 20_000
+        assert source.nth_up_after(0, 123) == 123
+
+    def test_single_run_trace_source_horizon_edge(self):
+        dense = TraceSource([0, 0, 0, 0], pad_state=ProcState.DOWN)
+        assert dense.up_count_in(0, 4) == 4
+        # The pad region starts exactly at the horizon.
+        assert dense.next_change_after(0) == 4
+        assert dense.state_at(4) == int(ProcState.DOWN)
+        # Beyond the pad transition nothing ever changes again.
+        assert dense.next_change_after(4, limit=10_000) is None
+
+
+class TestProcessorFromSemiMarkov:
+    """The O(runs) ground-truth constructor (DESIGN.md §12)."""
+
+    def _model(self):
+        return MarkovAvailabilityModel.from_self_loops(0.9, 0.8, 0.7)
+
+    def test_builds_semi_markov_truth_with_markov_belief(self):
+        from repro.sim.platform import Processor
+
+        model = self._model()
+        proc = Processor.from_semi_markov(
+            0, 10, model, np.random.default_rng(3)
+        )
+        assert isinstance(proc.availability, SemiMarkovSource)
+        assert proc.belief is model
+        assert proc.availability.state_at(0) == int(ProcState.UP)
+
+    def test_initial_state_honoured(self):
+        from repro.sim.platform import Processor
+
+        proc = Processor.from_semi_markov(
+            0, 10, self._model(), np.random.default_rng(3),
+            initial=int(ProcState.DOWN),
+        )
+        assert proc.availability.state_at(0) == int(ProcState.DOWN)
+
+    def test_matches_markov_statistics(self):
+        # Same chain, run-length draw protocol: distributionally equal
+        # to the dense Markov sampling (long-run state frequencies).
+        from repro.sim.platform import Processor
+
+        model = self._model()
+        proc = Processor.from_semi_markov(
+            0, 10, model, np.random.default_rng(11)
+        )
+        states = proc.availability.materialized(120_000)
+        freq = np.bincount(states, minlength=3) / len(states)
+        assert np.allclose(freq, model.stationary, atol=0.02)
+
+    def test_rejects_absorbing_state(self):
+        from repro.sim.platform import Processor
+
+        absorbing = MarkovAvailabilityModel(
+            np.array([[1.0, 0.0, 0.0], [0.3, 0.6, 0.1], [0.3, 0.1, 0.6]])
+        )
+        with pytest.raises(ValueError, match="absorbing"):
+            Processor.from_semi_markov(
+                0, 10, absorbing, np.random.default_rng(0)
+            )

@@ -35,6 +35,7 @@ def test_examples_directory_complete():
         "offline_complexity_tour.py",
         "contention_study.py",
         "deadline_and_proactive.py",
+        "large_grid.py",
     } <= names
 
 
@@ -50,6 +51,16 @@ def test_offline_complexity_tour():
     assert "Theorem 1" in out
     assert "10/10" in out            # Proposition 2 cross-validation
     assert "exact optimal makespan:  9" in out
+
+
+def test_large_grid():
+    # The example defaults to p=10,000; the smoke run scales down to
+    # keep tier-1 fast while still crossing the vectorisation threshold.
+    out = run_example("large_grid.py", "1500")
+    assert "1500-worker volatile grid" in out
+    assert "slot " in out                 # the progress line fired
+    assert "makespan:" in out
+    assert "workers touched per boundary" in out
 
 
 @pytest.mark.slow
