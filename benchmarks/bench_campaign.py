@@ -1,8 +1,11 @@
 """Campaign backend throughput benchmark (exp. id ``bench-campaign``).
 
 Measures serial vs. parallel execution-backend throughput (simulation
-runs per second) on a reduced Table 2 sweep and emits a JSON document so
-successive PRs accumulate a perf trajectory::
+runs per second) on a reduced Table 2 sweep — including loopback
+``distributed`` cells that record coordinator overhead per unit,
+parallel efficiency and the fault counters (re-issues, duplicates
+dropped) — and emits a JSON document so successive PRs accumulate a
+perf trajectory::
 
     PYTHONPATH=src python benchmarks/bench_campaign.py --jobs 4 --out bench.json
 
@@ -34,7 +37,7 @@ REDUCED = dict(n_values=(5, 20), ncom_values=(5,), wmin_values=(1, 5, 10))
 
 def _measure(
     *,
-    backend: str,
+    backend,
     jobs: Optional[int],
     scenarios_per_cell: int,
     trials: int,
@@ -42,6 +45,9 @@ def _measure(
     seed: int,
     engine: str = "per-run",
 ) -> Dict:
+    # ``backend`` may be a registry name or a pre-built instance (the
+    # distributed cells need instances to read coordinator stats back).
+    is_instance = not isinstance(backend, str)
     start = time.perf_counter()
     result = run_table2(
         scenarios_per_cell=scenarios_per_cell,
@@ -49,14 +55,14 @@ def _measure(
         heuristics=tuple(heuristics),
         seed=seed,
         backend=backend,
-        jobs=jobs,
+        jobs=None if is_instance else jobs,
         engine=engine,
         **REDUCED,
     )
     elapsed = time.perf_counter() - start
     runs = result.campaign.instances * len(heuristics)
     return {
-        "backend": backend,
+        "backend": getattr(backend, "name", backend),
         "jobs": jobs or 1,
         "engine": engine,
         "seconds": round(elapsed, 4),
@@ -81,10 +87,37 @@ def run_benchmark(
     parallel rows cover ``jobs`` workers and, for scaling shape, half of
     ``jobs`` when that is a distinct count.
     """
+    from repro.experiments.distributed import (
+        DistributedBackend,
+        FaultPlan,
+        FaultyWorker,
+    )
+
     configurations = [("serial", None, "per-run"), ("serial", None, "batch")]
     if jobs >= 2 and jobs // 2 not in (1, jobs):
         configurations.append(("process", jobs // 2, "per-run"))
     configurations.append(("process", jobs, "per-run"))
+    # Distributed cells (loopback coordinator/worker service, DESIGN.md
+    # §13): a single-worker cell isolates coordinator overhead per unit,
+    # the ``jobs``-worker cell feeds the scaling/parallel-efficiency
+    # table, and a duplicate-delivery cell measures the dedupe path's
+    # cost while recording the fault counters.
+    fleet_jobs = max(2, jobs)  # the fleet cell always exercises concurrency
+    dist_single = DistributedBackend(1)
+    dist_fleet = DistributedBackend(fleet_jobs)
+    dist_faulty = DistributedBackend(
+        max(2, min(jobs, 4)),
+        worker_factory=lambda address, slot: FaultyWorker(
+            address,
+            plan=FaultPlan(duplicate_results=True),
+            worker_id=f"bench-dup-{slot}",
+        ),
+    )
+    configurations += [
+        (dist_single, 1, "per-run"),
+        (dist_fleet, fleet_jobs, "per-run"),
+        (dist_faulty, dist_faulty.jobs, "per-run"),
+    ]
 
     rows: List[Dict] = []
     for backend, worker_count, engine in configurations:
@@ -99,6 +132,7 @@ def run_benchmark(
                 engine=engine,
             )
         )
+    rows[-1]["backend"] = "distributed-faulty"
 
     reference = rows[0].pop("_campaign")
     for row in rows[1:]:
@@ -141,6 +175,55 @@ def run_benchmark(
             "ideal_speedup": bound,
             "parallel_efficiency": round(speedup / bound, 3),
         }
+    # Coordinator overhead per unit: the single-worker distributed cell
+    # does exactly the serial cell's work plus the whole service stack
+    # (sockets, leases, heartbeats, journal-less bookkeeping), so the
+    # per-unit wall-clock difference *is* the service overhead.
+    serial_row = rows[0]
+    single_row = next(
+        r for r in rows if r["backend"] == "distributed" and r["jobs"] == 1
+    )
+    fleet_row = next(
+        r
+        for r in rows
+        if r["backend"] == "distributed" and r["jobs"] == fleet_jobs
+    )
+    faulty_row = next(r for r in rows if r["backend"] == "distributed-faulty")
+
+    def _counters(backend: DistributedBackend) -> Dict:
+        stats = backend.last_stats
+        return {
+            "units_executed": stats.units_executed,
+            "chunks_assigned": stats.chunks_assigned,
+            "reissues": stats.reissues,
+            "duplicates_dropped": stats.duplicates_dropped,
+            "lease_expiries": stats.lease_expiries,
+            "heartbeats": stats.heartbeats,
+        }
+
+    distributed = {
+        "coordinator_overhead_ms_per_unit": round(
+            1000.0
+            * (single_row["seconds"] - serial_row["seconds"])
+            / single_row["instances"],
+            3,
+        ),
+        "single": _counters(dist_single),
+        "fleet": {
+            "jobs": fleet_jobs,
+            "parallel_efficiency": scaling[f"distributed-{fleet_jobs}"][
+                "parallel_efficiency"
+            ],
+            **_counters(dist_fleet),
+        },
+        "faulty_duplicates": {
+            "jobs": dist_faulty.jobs,
+            "slowdown_vs_clean_fleet": round(
+                faulty_row["seconds"] / fleet_row["seconds"], 3
+            ),
+            **_counters(dist_faulty),
+        },
+    }
     return {
         "benchmark": "campaign-backends",
         "unix_time": int(time.time()),
@@ -158,6 +241,7 @@ def run_benchmark(
         },
         "scaling": scaling,
         "batch_speedup": batch_speedup,
+        "distributed": distributed,
         "statistics_identical": True,
     }
 
@@ -194,12 +278,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.history != "-":
         from bench_history import append_history
 
+        distributed = document["distributed"]
         append_history(
             document["benchmark"],
             {
                 "speedup_vs_serial": document["speedup_vs_serial"],
                 "batch_speedup": document["batch_speedup"],
                 "serial_runs_per_sec": document["results"][0]["runs_per_sec"],
+                "coordinator_overhead_ms_per_unit": distributed[
+                    "coordinator_overhead_ms_per_unit"
+                ],
+                "distributed_parallel_efficiency": distributed["fleet"][
+                    "parallel_efficiency"
+                ],
+                "distributed_reissues": distributed["fleet"]["reissues"],
+                "distributed_duplicates_dropped": distributed[
+                    "faulty_duplicates"
+                ]["duplicates_dropped"],
             },
             path=args.history,
         )

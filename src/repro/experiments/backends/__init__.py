@@ -10,6 +10,13 @@ seed-complete descriptions of one simulation or one instance) from
 * :class:`ProcessPoolBackend` — a chunked process pool for real
   multi-core sweeps.
 
+A fourth, ``distributed`` (lazily loaded from
+:mod:`repro.experiments.distributed`), runs units on the coordinator/
+worker campaign service — loopback worker threads by default, external
+worker processes via the ``repro-experiments coordinator``/``worker``
+commands — with work-stealing leases, fault-tolerant re-issue and
+per-shard checkpoint journals (DESIGN.md §13).
+
 All three are interchangeable by construction: unit results depend only
 on the unit (seed-stable partitioning), and aggregation folds results in
 unit order, so campaign statistics are bit-identical across backends and
@@ -55,12 +62,20 @@ BACKENDS: Dict[str, Type[ExecutionBackend]] = {
     "process": ProcessPoolBackend,
 }
 
+#: Backends resolved on first use.  ``distributed`` lives in its own
+#: package whose coordinator imports the persistence layer (which in
+#: turn imports the harness, which imports this module) — lazy loading
+#: breaks that cycle without contorting the persistence API.
+LAZY_BACKENDS: Dict[str, str] = {
+    "distributed": "repro.experiments.distributed.backend:DistributedBackend",
+}
+
 BackendLike = Union[None, str, ExecutionBackend]
 
 
 def available_backends() -> List[str]:
-    """Registered backend names, sorted."""
-    return sorted(BACKENDS)
+    """Registered backend names (eager and lazy), sorted."""
+    return sorted(set(BACKENDS) | set(LAZY_BACKENDS))
 
 
 def make_backend(
@@ -87,13 +102,18 @@ def make_backend(
             )
         return backend
     name = (backend or "serial").lower()
-    try:
-        cls = BACKENDS[name]
-    except KeyError:
+    cls = BACKENDS.get(name)
+    if cls is None and name in LAZY_BACKENDS:
+        import importlib
+
+        module_name, _, class_name = LAZY_BACKENDS[name].partition(":")
+        cls = getattr(importlib.import_module(module_name), class_name)
+        BACKENDS[name] = cls
+    if cls is None:
         raise KeyError(
             f"unknown backend {backend!r}; available: "
             f"{', '.join(available_backends())}"
-        ) from None
+        )
     if cls is SerialBackend:
         return cls()
     return cls(jobs)

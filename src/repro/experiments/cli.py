@@ -12,9 +12,18 @@ Commands map one-to-one to the paper's artefacts:
 All campaign commands accept ``--scenarios`` and ``--trials`` to scale
 between quick smoke runs and the paper's full protocol (247 × 10), plus
 ``--backend``/``--jobs`` to run the sweep on a parallel execution backend
-(DESIGN.md §4; statistics are bit-identical across backends) and
+(DESIGN.md §4; statistics are bit-identical across backends — including
+``--backend distributed``, the loopback coordinator/worker service) and
 ``--checkpoint PATH`` to journal completed work units and resume an
 interrupted campaign.
+
+Three commands operate the distributed campaign service (DESIGN.md §13):
+
+* ``coordinator`` — run a study's campaign as a coordinator that serves
+  units to workers over TCP, journalling to per-shard checkpoints;
+* ``worker`` — connect to a coordinator and execute units until done;
+* ``campaign-status`` — live progress view over a checkpoint directory
+  (units done/pending/in-flight, per-worker throughput, ETA).
 """
 
 from __future__ import annotations
@@ -199,6 +208,101 @@ def build_parser() -> argparse.ArgumentParser:
         help="wmin axis of the Figure 2 shape check (default: 1 5 10)",
     )
 
+    co = sub.add_parser(
+        "coordinator",
+        help="serve a study's campaign to distributed workers (DESIGN.md §13)",
+    )
+    co.add_argument(
+        "--study",
+        choices=("table2", "table3", "figure2"),
+        default="table2",
+        help="which campaign to coordinate",
+    )
+    co.add_argument(
+        "--factor",
+        type=int,
+        choices=(5, 10),
+        default=5,
+        help="table3 communication factor (ignored by other studies)",
+    )
+    co.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="listen address (port 0 picks a free port, printed on start)",
+    )
+    co.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "shard-journal directory: results persist as they arrive and "
+            "a restarted coordinator resumes without re-executing them"
+        ),
+    )
+    co.add_argument(
+        "--shards", type=int, default=4, help="shard-journal count"
+    )
+    co.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="units per assignment (default: guided self-scheduling)",
+    )
+    co.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        help="seconds before an unrenewed assignment is re-issued",
+    )
+    co.add_argument(
+        "--local-workers",
+        type=int,
+        default=0,
+        help="also run this many in-process workers (0: external only)",
+    )
+    co.add_argument("--scenarios", type=int, default=1, help="scenarios/cell")
+    co.add_argument("--trials", type=int, default=2, help="trials/scenario")
+    co.add_argument("--seed", type=int, default=12061)
+    co.add_argument(
+        "--wmin", type=int, nargs="*", default=None,
+        help="restrict wmin values (table2/figure2)",
+    )
+    co.add_argument("--progress", action="store_true")
+
+    wk = sub.add_parser(
+        "worker", help="execute campaign units for a coordinator"
+    )
+    wk.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address",
+    )
+    wk.add_argument(
+        "--jobs", type=int, default=1, help="worker threads in this process"
+    )
+    wk.add_argument(
+        "--worker-id",
+        default=None,
+        help="wire identity prefix (default: pid-derived)",
+    )
+    wk.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to keep retrying the initial connection",
+    )
+
+    st = sub.add_parser(
+        "campaign-status",
+        help="progress view over a campaign checkpoint directory",
+    )
+    st.add_argument("checkpoint_dir", help="directory holding shard journals")
+    st.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
     demo = sub.add_parser("demo", help="one simulation with an event trace")
     demo.add_argument("--heuristic", default="emct*", help="heuristic name")
     demo.add_argument("--seed", type=int, default=7, help="demo seed")
@@ -360,9 +464,119 @@ def main(argv: Optional[List[str]] = None) -> int:
             **kwargs,
         )
         print(render_replan_study(result))
+    elif args.command == "coordinator":
+        return _run_coordinator(args)
+    elif args.command == "worker":
+        return _run_worker(args)
+    elif args.command == "campaign-status":
+        from .distributed import campaign_status, render_campaign_status
+
+        summary = campaign_status(args.checkpoint_dir)
+        if args.json:
+            import json
+
+            print(json.dumps(summary, indent=1))
+        else:
+            print(render_campaign_status(summary))
     elif args.command == "demo":
         _run_demo(args)
     return 0
+
+
+def _parse_address(text: str):
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"expected HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def _run_coordinator(args) -> int:
+    from .distributed import DistributedBackend, LocalCluster
+
+    host, port = _parse_address(args.bind)
+    clusters = []
+
+    def announce(address):
+        print(
+            f"coordinator listening on {address[0]}:{address[1]} — start "
+            f"workers with: repro-experiments worker --connect "
+            f"{address[0]}:{address[1]}",
+            file=sys.stderr,
+        )
+        if args.local_workers:
+            clusters.append(
+                LocalCluster(address, args.local_workers).start()
+            )
+
+    backend = DistributedBackend(
+        external=True,
+        host=host,
+        port=port,
+        chunk_size=args.chunk_size,
+        lease_timeout=args.lease_timeout,
+        checkpoint_dir=args.checkpoint_dir,
+        shards=args.shards,
+        on_listening=announce,
+    )
+    common = dict(
+        trials=args.trials,
+        seed=args.seed,
+        backend=backend,
+        progress=_progress_printer(args.progress),
+    )
+    if args.study == "table2":
+        from .table2 import render_table2, run_table2
+
+        kwargs = {"wmin_values": tuple(args.wmin)} if args.wmin else {}
+        result = run_table2(
+            scenarios_per_cell=args.scenarios, **common, **kwargs
+        )
+        print(render_table2(result))
+    elif args.study == "table3":
+        from .table3 import render_table3, run_table3
+
+        result = run_table3(args.factor, scenarios=args.scenarios, **common)
+        print(render_table3(result))
+    else:
+        from .figure2 import render_figure2, run_figure2
+
+        result = run_figure2(scenarios_per_cell=args.scenarios, **common)
+        print(render_figure2(result))
+    stats = backend.last_stats
+    if stats is not None:
+        print(
+            f"campaign complete: {stats.units_executed} executed, "
+            f"{stats.units_restored} restored, {stats.reissues} re-issued, "
+            f"{stats.duplicates_dropped} duplicates dropped",
+            file=sys.stderr,
+        )
+    for cluster in clusters:
+        cluster.join(timeout=5.0)
+    return 0
+
+
+def _run_worker(args) -> int:
+    from .distributed import CampaignWorker, LocalCluster
+
+    address = _parse_address(args.connect)
+    prefix = args.worker_id
+
+    def factory(addr, slot):
+        worker_id = f"{prefix}-{slot}" if prefix else None
+        return CampaignWorker(
+            addr,
+            worker_id=worker_id,
+            connect_timeout=args.connect_timeout,
+        )
+
+    cluster = LocalCluster(address, args.jobs, worker_factory=factory)
+    cluster.start()
+    cluster.join(timeout=None)
+    for failure in cluster.failures:
+        print(f"worker failed: {failure!r}", file=sys.stderr)
+    done = cluster.units_done()
+    print(f"worker done: {done} units executed", file=sys.stderr)
+    return 1 if cluster.failures else 0
 
 
 def _run_demo(args) -> None:

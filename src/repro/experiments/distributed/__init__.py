@@ -1,0 +1,60 @@
+"""Distributed campaign service: coordinator/worker over TCP (DESIGN.md §13).
+
+The simulator studies a volatile master–worker platform; this package
+runs the campaigns themselves on one.  A coordinator shards
+:class:`~repro.experiments.harness.CampaignUnit`\\ s into chunks and
+serves them to pull-based workers over a length-prefixed pickle wire
+protocol, with leases + heartbeats + re-issue for lost units, dedupe for
+duplicate deliveries, and per-shard checkpoint journals so a killed
+coordinator resumes exactly.  It plugs into the execution-backend seam
+as ``--backend distributed`` and keeps campaign statistics bit-identical
+to the serial backend under every failure mode in the matrix (see
+``tests/test_distributed.py``).
+
+Public surface:
+
+* :class:`DistributedBackend` — the backend (local loopback cluster or
+  external workers);
+* :class:`CampaignCoordinator` / :class:`CampaignWorker` — the service
+  halves, used directly by the ``coordinator`` / ``worker`` CLI;
+* :class:`LocalCluster` — in-process worker fleet for tests and 1-CPU
+  containers;
+* :class:`FaultyWorker` / :class:`FaultPlan` / :func:`tear_journal` —
+  the fault-injection harness;
+* :func:`campaign_status` — the file-based live progress view.
+"""
+
+from .backend import DistributedBackend
+from .cluster import LocalCluster
+from .coordinator import (
+    CampaignCoordinator,
+    CoordinatorKilled,
+    CoordinatorStats,
+    RemoteUnitError,
+    units_fingerprint,
+)
+from .faults import FaultPlan, FaultyWorker, WorkerCrashed, tear_journal
+from .status import campaign_status, render_campaign_status
+from .wire import PROTOCOL_VERSION, ProtocolError
+from .worker import CampaignWorker, WorkerStats, connect_with_retry
+
+__all__ = [
+    "DistributedBackend",
+    "LocalCluster",
+    "CampaignCoordinator",
+    "CampaignWorker",
+    "CoordinatorKilled",
+    "CoordinatorStats",
+    "RemoteUnitError",
+    "WorkerStats",
+    "FaultPlan",
+    "FaultyWorker",
+    "WorkerCrashed",
+    "tear_journal",
+    "campaign_status",
+    "render_campaign_status",
+    "connect_with_retry",
+    "units_fingerprint",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+]

@@ -1,0 +1,141 @@
+"""``DistributedBackend``: the campaign service behind the backend protocol.
+
+``--backend distributed`` plugs the coordinator/worker service into the
+existing :class:`~repro.experiments.backends.ExecutionBackend` seam: the
+caller still sees ``(index, result)`` pairs in completion order, the
+harness still folds them in unit order, and statistics stay bit-identical
+to ``--backend serial`` — the whole lease/re-issue/dedupe machinery is
+invisible at this layer (that is the point).
+
+Two modes:
+
+* **local** (default): a loopback :class:`LocalCluster` of ``jobs``
+  worker threads is spun up per ``run()`` call — self-contained, used by
+  tests, benchmarks and the plain CLI flag;
+* **external** (``external=True``): no local workers; the coordinator
+  binds ``host:port`` and waits for ``repro-experiments worker``
+  processes to connect (the service deployment shape).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Iterator, Optional, Sequence, Tuple
+
+from ..backends.base import ExecutionBackend, WorkUnit
+from .cluster import LocalCluster, WorkerFactory
+from .coordinator import CampaignCoordinator, CoordinatorStats
+
+__all__ = ["DistributedBackend"]
+
+
+class DistributedBackend(ExecutionBackend):
+    """Run units on the coordinator/worker campaign service.
+
+    Args:
+        jobs: local worker threads (local mode; default ``max(2, cpu
+            count)`` — two workers even on one CPU, so the protocol's
+            concurrency is always exercised).  Ignored in external mode.
+        chunk_size: fixed units per assignment (default: guided — see
+            :class:`CampaignCoordinator`).
+        lease_timeout: seconds before an unrenewed assignment is
+            re-issued.
+        heartbeat_interval: lease-renewal period advertised to workers.
+        checkpoint_dir: shard-journal directory; a re-run over the same
+            directory resumes, re-executing only missing units.
+        shards: shard-journal count.
+        host, port: bind address (external mode; local mode always uses
+            loopback with an ephemeral port).
+        external: wait for external workers instead of spawning local
+            ones.
+        worker_factory: local-mode worker constructor override (fault
+            injection).
+        stop_after_units: fault injection — kill the coordinator after
+            accepting this many executed results (see
+            :class:`CampaignCoordinator`).
+        on_listening: callback invoked with the bound ``(host, port)``
+            once the coordinator accepts connections (the CLI prints
+            it so workers know where to connect).
+
+    After each ``run()`` the coordinator's counters are kept on
+    ``last_stats`` (re-issues, duplicates dropped, restored units…) and
+    the local fleet's on ``last_worker_stats``.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        *,
+        chunk_size: Optional[int] = None,
+        lease_timeout: float = 30.0,
+        heartbeat_interval: Optional[float] = None,
+        checkpoint_dir=None,
+        shards: int = 4,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        external: bool = False,
+        worker_factory: Optional[WorkerFactory] = None,
+        stop_after_units: Optional[int] = None,
+        on_listening: Optional[Callable[[Tuple[str, int]], None]] = None,
+    ):
+        if jobs is not None and jobs <= 0:
+            raise ValueError(f"jobs must be positive, got {jobs}")
+        self.jobs = jobs or max(2, os.cpu_count() or 1)
+        self.chunk_size = chunk_size
+        self.lease_timeout = lease_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.checkpoint_dir = checkpoint_dir
+        self.shards = shards
+        self.host = host
+        self.port = port
+        self.external = external
+        self.worker_factory = worker_factory
+        self.stop_after_units = stop_after_units
+        self.on_listening = on_listening
+        self.last_stats: Optional[CoordinatorStats] = None
+        self.last_worker_stats = None
+
+    def run(self, units: Sequence[WorkUnit]) -> Iterator[Tuple[int, Any]]:
+        units = list(units)
+        if not units:
+            return
+        coordinator = CampaignCoordinator(
+            units,
+            host=self.host if self.external else "127.0.0.1",
+            port=self.port if self.external else 0,
+            chunk_size=self.chunk_size,
+            lease_timeout=self.lease_timeout,
+            heartbeat_interval=self.heartbeat_interval,
+            checkpoint_dir=self.checkpoint_dir,
+            shards=self.shards,
+            stop_after_units=self.stop_after_units,
+        )
+        self.last_stats = coordinator.stats
+        cluster: Optional[LocalCluster] = None
+        try:
+            coordinator.start()
+            if self.on_listening is not None:
+                self.on_listening(coordinator.address)
+            if not self.external:
+                cluster = LocalCluster(
+                    coordinator.address,
+                    self.jobs,
+                    worker_factory=self.worker_factory,
+                )
+                # A fleet whose every worker died must fail the run, not
+                # hang it — external deployments instead wait for new
+                # workers indefinitely (that is the service contract).
+                coordinator.liveness_check = cluster.alive
+                cluster.start()
+                self.last_worker_stats = cluster.stats
+            yield from coordinator.results()
+        finally:
+            coordinator.close()
+            if cluster is not None:
+                cluster.join(timeout=5.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "external" if self.external else f"local jobs={self.jobs}"
+        return f"DistributedBackend({mode}, lease={self.lease_timeout}s)"

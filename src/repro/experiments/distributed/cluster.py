@@ -1,0 +1,89 @@
+"""In-process worker fleet over loopback sockets.
+
+``LocalCluster`` runs N :class:`CampaignWorker` sessions on daemon
+threads against a coordinator address — the full wire protocol, lease
+machinery and failure paths of a real deployment, with no extra
+processes.  It is how ``--backend distributed`` works out of the box,
+how the 1-CPU container exercises the service in tests, and where the
+fault harness plugs in (pass a ``worker_factory`` that returns
+:class:`~repro.experiments.distributed.faults.FaultyWorker`\\ s for some
+slots).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional, Tuple
+
+from .worker import CampaignWorker, WorkerStats
+
+__all__ = ["LocalCluster"]
+
+#: ``worker_factory(address, slot)`` → a worker for thread ``slot``.
+WorkerFactory = Callable[[Tuple[str, int], int], CampaignWorker]
+
+
+class LocalCluster:
+    """N worker threads against one coordinator address.
+
+    Args:
+        address: the coordinator's ``(host, port)``.
+        workers: thread count.
+        worker_factory: optional per-slot worker constructor (fault
+            injection, custom ids); default builds plain
+            :class:`CampaignWorker`\\ s named ``local-<slot>``.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        workers: int = 2,
+        *,
+        worker_factory: Optional[WorkerFactory] = None,
+    ):
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.address = tuple(address)
+        self.worker_count = workers
+        self.worker_factory = worker_factory or (
+            lambda address, slot: CampaignWorker(
+                address, worker_id=f"local-{slot}"
+            )
+        )
+        self.workers: List[CampaignWorker] = []
+        self.stats: List[WorkerStats] = []
+        self.failures: List[BaseException] = []
+        self._threads: List[threading.Thread] = []
+
+    def _run_slot(self, worker: CampaignWorker) -> None:
+        try:
+            self.stats.append(worker.run())
+        except BaseException as exc:  # noqa: BLE001 - faults land here
+            self.failures.append(exc)
+
+    def start(self) -> "LocalCluster":
+        for slot in range(self.worker_count):
+            worker = self.worker_factory(self.address, slot)
+            self.workers.append(worker)
+            thread = threading.Thread(
+                target=self._run_slot,
+                args=(worker,),
+                name=f"local-worker-{slot}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+        return self
+
+    def alive(self) -> bool:
+        """True while at least one worker thread is still running."""
+        return any(thread.is_alive() for thread in self._threads)
+
+    def join(self, timeout: Optional[float] = 10.0) -> None:
+        """Wait for the worker threads to wind down."""
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+
+    def units_done(self) -> int:
+        """Units executed across the fleet (including crashed sessions)."""
+        return sum(worker.stats.units_done for worker in self.workers)

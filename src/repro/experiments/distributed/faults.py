@@ -1,0 +1,129 @@
+"""Fault injection for the distributed campaign service (DESIGN.md §13).
+
+The failure matrix the subsystem must survive — with merged statistics
+bit-identical to a serial run — is exercised by :class:`FaultyWorker`
+(worker-side faults) plus two coordinator/journal-side injections:
+
+* **crash mid-unit** — the worker's socket dies abruptly after it has
+  *executed* a unit but before the result is delivered; the coordinator
+  re-issues the unit on connection loss;
+* **hang past lease** — the worker stops heartbeating and sleeps beyond
+  the lease timeout, then delivers late; the re-issued copy races it and
+  the loser is deduplicated;
+* **duplicate send** — every result frame is delivered twice; the second
+  copy must be counted and dropped;
+* **torn journal write** — :func:`tear_journal` truncates a shard
+  journal mid-line, simulating a coordinator killed inside an append;
+  the healed journal must drop exactly the torn entry;
+* **coordinator kill** — ``stop_after_units`` on the coordinator (see
+  :class:`~repro.experiments.distributed.coordinator.CampaignCoordinator`).
+
+All worker faults are *one-shot* per plan: after the fault fires the
+worker behaves normally (or is dead), mirroring how a real fleet fails a
+few machines, not every machine forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from .wire import ConnectionClosed
+from .worker import CampaignWorker
+
+__all__ = ["FaultPlan", "FaultyWorker", "WorkerCrashed", "tear_journal"]
+
+
+class WorkerCrashed(RuntimeError):
+    """Raised inside a crashed FaultyWorker thread (expected by tests)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What should go wrong, and when (unit counts are 0-based).
+
+    Attributes:
+        crash_before_delivery: kill the worker (abrupt socket close, no
+            result sent) while delivering its n-th executed unit — the
+            "crash mid-unit" case: work was done, the result is lost.
+        hang_before_delivery: on the n-th executed unit, go silent
+            (heartbeats stop) for ``hang_seconds`` before delivering —
+            the lease must expire and the unit be re-issued; the late
+            delivery then exercises deduplication.
+        hang_seconds: how long the hang lasts.
+        duplicate_results: deliver every result twice.
+    """
+
+    crash_before_delivery: Optional[int] = None
+    hang_before_delivery: Optional[int] = None
+    hang_seconds: float = 0.0
+    duplicate_results: bool = False
+
+    def __post_init__(self) -> None:
+        if self.hang_before_delivery is not None and self.hang_seconds <= 0:
+            raise ValueError("hang_before_delivery needs hang_seconds > 0")
+
+
+class FaultyWorker(CampaignWorker):
+    """A :class:`CampaignWorker` that fails according to a plan."""
+
+    def __init__(self, address, plan: FaultPlan, **kwargs):
+        super().__init__(address, **kwargs)
+        self.plan = plan
+        self._executed = 0
+        self._hanging = False
+        self._hang_fired = False
+
+    def _heartbeats_enabled(self) -> bool:
+        return not self._hanging
+
+    def _deliver(self, chunk_id: int, index: int, outcome: Any) -> None:
+        n = self._executed
+        self._executed += 1
+        if self.plan.crash_before_delivery == n:
+            # Abrupt death: no result, no bye — the coordinator sees the
+            # connection drop and re-issues everything this lease held.
+            self._close()
+            raise WorkerCrashed(
+                f"{self.worker_id} crashed before delivering unit {index}"
+            )
+        if self.plan.hang_before_delivery == n and not self._hang_fired:
+            self._hang_fired = True
+            self._hanging = True
+            try:
+                import time
+
+                time.sleep(self.plan.hang_seconds)
+            finally:
+                self._hanging = False
+        try:
+            super()._deliver(chunk_id, index, outcome)
+            if self.plan.duplicate_results:
+                super()._deliver(chunk_id, index, outcome)
+        except (ConnectionClosed, OSError):
+            # The coordinator may already have finished without us
+            # (our lease expired and the re-issued copy won): a late
+            # delivery hitting a closed service is part of the plan.
+            raise
+
+
+def tear_journal(
+    path: Union[str, Path], *, keep_bytes_of_last_line: int = 10
+) -> None:
+    """Truncate a journal mid-line, as a kill inside an append would.
+
+    The file keeps every complete line plus a prefix of its last line;
+    :meth:`CampaignCheckpoint.load` must heal by dropping the torn tail.
+
+    Raises:
+        ValueError: if the journal has no entry line to tear.
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    lines = raw.splitlines(keepends=True)
+    if len(lines) < 2:
+        raise ValueError(f"{path} has no entry lines to tear")
+    last = lines[-1]
+    torn = last[: min(keep_bytes_of_last_line, max(len(last) - 2, 1))]
+    path.write_bytes(b"".join(lines[:-1]) + torn)

@@ -1,0 +1,151 @@
+"""CI smoke for the distributed campaign service (DESIGN.md §13).
+
+Runs a small Table 2 slice three ways and gates on exact equality:
+
+1. serially (the reference statistics);
+2. distributed with an injected mid-campaign coordinator kill
+   (``stop_after_units``) — the run must abort with
+   :class:`CoordinatorKilled`, leaving shard journals behind;
+3. resumed over the same checkpoint directory with a two-worker fleet
+   whose first worker *crashes* on its first delivery — the service
+   must restore the journalled units, re-issue the crashed lease, and
+   finish with statistics bit-identical to the serial run.
+
+Exit code 0 means the full kill → resume → crash → re-issue path
+reproduced the serial campaign exactly.  Run it as::
+
+    PYTHONPATH=src python -m repro.experiments.distributed.smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional
+
+HEURISTICS = ("mct", "emct", "random")
+SLICE = dict(n_values=(5,), ncom_values=(5,), wmin_values=(1, 5))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trials", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=12061)
+    parser.add_argument(
+        "--kill-after", type=int, default=2,
+        help="executed units before the injected coordinator kill",
+    )
+    args = parser.parse_args(argv)
+
+    from ..table2 import run_table2
+    from . import (
+        CampaignWorker,
+        CoordinatorKilled,
+        DistributedBackend,
+        FaultPlan,
+        FaultyWorker,
+        campaign_status,
+    )
+
+    common = dict(
+        scenarios_per_cell=1,
+        trials=args.trials,
+        heuristics=HEURISTICS,
+        seed=args.seed,
+        **SLICE,
+    )
+
+    started = time.time()
+    serial = run_table2(backend="serial", **common)
+    total = serial.campaign.instances
+    if args.kill_after >= total:
+        raise SystemExit(
+            f"--kill-after {args.kill_after} must be < {total} units"
+        )
+    print(f"serial reference: {total} units", file=sys.stderr)
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        checkpoint_dir = Path(tmp) / "campaign"
+        killed = DistributedBackend(
+            jobs=2,
+            chunk_size=1,
+            checkpoint_dir=checkpoint_dir,
+            stop_after_units=args.kill_after,
+        )
+        try:
+            run_table2(backend=killed, **common)
+        except CoordinatorKilled:
+            pass
+        else:
+            print("FAIL: injected coordinator kill never fired", file=sys.stderr)
+            return 1
+        print(
+            f"coordinator killed after {killed.last_stats.units_executed} "
+            "units; shard journals retained",
+            file=sys.stderr,
+        )
+
+        def fleet(address, slot):
+            if slot == 0:
+                return FaultyWorker(
+                    address,
+                    plan=FaultPlan(crash_before_delivery=0),
+                    worker_id="smoke-crash",
+                )
+            return CampaignWorker(address, worker_id="smoke-rescue")
+
+        resumed_backend = DistributedBackend(
+            jobs=2,
+            chunk_size=1,
+            lease_timeout=10.0,
+            checkpoint_dir=checkpoint_dir,
+            worker_factory=fleet,
+        )
+        resumed = run_table2(backend=resumed_backend, **common)
+        stats = resumed_backend.last_stats
+        summary = campaign_status(checkpoint_dir)
+
+    failures = []
+    if resumed.campaign.records != serial.campaign.records:
+        failures.append("instance records differ from serial")
+    if resumed.campaign.accumulator != serial.campaign.accumulator:
+        failures.append("aggregated statistics differ from serial")
+    if resumed.rows_with_ci() != serial.rows_with_ci():
+        failures.append("rendered table rows (incl. CIs) differ from serial")
+    if stats.units_restored != args.kill_after:
+        failures.append(
+            f"expected {args.kill_after} restored units, got "
+            f"{stats.units_restored}"
+        )
+    if stats.units_restored + stats.units_executed != total:
+        failures.append(
+            "restored + executed != total "
+            f"({stats.units_restored} + {stats.units_executed} != {total})"
+        )
+    if not summary["finished"]:
+        failures.append("campaign-status does not report finished")
+    if summary["done"] != total:
+        failures.append(
+            f"campaign-status counts {summary['done']} of {total} units"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(
+        "distributed smoke OK: "
+        f"{stats.units_restored} restored + {stats.units_executed} executed "
+        f"= {total} units; {stats.reissues} re-issued, "
+        f"{stats.worker_disconnects} disconnect(s), "
+        f"{stats.duplicates_dropped} duplicates dropped; statistics "
+        f"bit-identical to serial ({time.time() - started:.1f}s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,179 @@
+"""Live progress view over a campaign checkpoint directory.
+
+``repro-experiments campaign-status <dir>`` works entirely from files —
+the shard journals (ground truth: which units completed, by whom, when),
+the coordinator's ``MANIFEST.json`` (how many units exist at all) and
+its ``status.json`` (queue depth and in-flight leases, refreshed
+atomically on every state change).  No connection to a live coordinator
+is needed, so the view works mid-run, after a crash, or long after the
+campaign finished — the "streaming aggregation" counterpart of the
+simulator's own progress lines.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..persistence import discover_shards, read_journal_entries
+from .coordinator import MANIFEST_NAME, MANIFEST_TAG, STATUS_NAME, STATUS_TAG
+
+__all__ = ["campaign_status", "render_campaign_status"]
+
+
+def _load_json(path: Path, expected_tag: str) -> Optional[dict]:
+    if not path.exists():
+        return None
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return None  # torn mid-replace; treat as absent
+    if document.get("format") != expected_tag:
+        return None
+    return document
+
+
+def campaign_status(
+    checkpoint_dir: Union[str, Path], *, now: Optional[float] = None
+) -> dict:
+    """Summarise a campaign's progress from its checkpoint directory.
+
+    Returns a JSON-safe dict with unit counts (done / in-flight /
+    pending), per-worker throughput derived from journal timestamps,
+    and an ETA at the aggregate completion rate.  Fields whose inputs
+    are missing (no manifest → no total, no status file → no in-flight
+    view) are ``None`` rather than guessed.
+    """
+    directory = Path(checkpoint_dir)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"{directory} is not a checkpoint directory")
+    now = time.time() if now is None else now
+
+    entries: List[dict] = []
+    shard_paths = discover_shards(directory)
+    for path in shard_paths:
+        entries.extend(read_journal_entries(path))
+    # A unit appears once per campaign, but journals from a resumed
+    # coordinator plus defensive dedupe keep this robust to overlap.
+    seen = {}
+    for entry in entries:
+        seen[tuple(entry["key"])] = entry
+    done = len(seen)
+
+    manifest = _load_json(directory / MANIFEST_NAME, MANIFEST_TAG)
+    status = _load_json(directory / STATUS_NAME, STATUS_TAG)
+
+    total = manifest.get("total_units") if manifest else None
+    in_flight = None
+    queued = None
+    finished = None
+    if status is not None:
+        in_flight = sum(len(lease["units"]) for lease in status["in_flight"])
+        queued = status.get("queued")
+        finished = status.get("finished")
+        if total is None:
+            total = status.get("total")
+    pending = None
+    if total is not None:
+        pending = max(total - done - (in_flight or 0), 0)
+
+    # Per-worker throughput from journal timestamps: a worker's rate is
+    # its unit count over its active span (first to last delivery; a
+    # single delivery has no measurable span → rate None).
+    workers: Dict[str, dict] = {}
+    stamped = [e for e in seen.values() if "t" in e and "worker" in e]
+    for entry in stamped:
+        record = workers.setdefault(
+            str(entry["worker"]),
+            {"units": 0, "first_t": entry["t"], "last_t": entry["t"]},
+        )
+        record["units"] += 1
+        record["first_t"] = min(record["first_t"], entry["t"])
+        record["last_t"] = max(record["last_t"], entry["t"])
+    for record in workers.values():
+        span = record["last_t"] - record["first_t"]
+        record["units_per_sec"] = (
+            round(record["units"] / span, 3) if span > 0 and record["units"] > 1
+            else None
+        )
+        record["last_seen_ago"] = round(now - record.pop("last_t"), 3)
+        del record["first_t"]
+
+    rate = None
+    if len(stamped) > 1:
+        t_values = [entry["t"] for entry in stamped]
+        span = max(t_values) - min(t_values)
+        if span > 0:
+            rate = len(stamped) / span
+    eta = None
+    if rate and pending is not None and not finished:
+        eta = round((pending + (in_flight or 0)) / rate, 1)
+
+    return {
+        "checkpoint_dir": str(directory),
+        "shards": len(shard_paths),
+        "total": total,
+        "done": done,
+        "restored": status.get("restored") if status else None,
+        "in_flight": in_flight,
+        "queued": queued,
+        "pending": pending,
+        "finished": finished,
+        "reissues": status.get("reissues") if status else None,
+        "duplicates_dropped": (
+            status.get("duplicates_dropped") if status else None
+        ),
+        "workers": workers,
+        "units_per_sec": round(rate, 3) if rate else None,
+        "eta_seconds": eta,
+    }
+
+
+def render_campaign_status(summary: dict) -> str:
+    """Human-readable rendering of :func:`campaign_status`."""
+    lines = []
+    total = summary["total"]
+    done = summary["done"]
+    if total:
+        share = 100.0 * done / total
+        lines.append(
+            f"campaign: {done}/{total} units done ({share:.1f}%), "
+            f"{summary['shards']} shard journal(s)"
+        )
+    else:
+        lines.append(
+            f"campaign: {done} units done "
+            f"({summary['shards']} shard journal(s); no manifest — "
+            "total unknown)"
+        )
+    if summary["restored"]:
+        lines.append(f"  restored from journals: {summary['restored']}")
+    if summary["in_flight"] is not None:
+        lines.append(
+            f"  in-flight: {summary['in_flight']}   "
+            f"queued: {summary['queued']}   pending: {summary['pending']}"
+        )
+    elif summary["pending"] is not None:
+        lines.append(f"  pending: {summary['pending']} (no live status file)")
+    if summary["reissues"] is not None:
+        lines.append(
+            f"  re-issued: {summary['reissues']}   "
+            f"duplicates dropped: {summary['duplicates_dropped']}"
+        )
+    for worker, record in sorted(summary["workers"].items()):
+        rate = record["units_per_sec"]
+        rate_text = f"{rate:.3f} units/s" if rate else "rate n/a"
+        lines.append(
+            f"  worker {worker}: {record['units']} units, {rate_text}, "
+            f"last seen {record['last_seen_ago']:.1f}s ago"
+        )
+    if summary["finished"]:
+        lines.append("  state: finished")
+    elif summary["eta_seconds"] is not None:
+        lines.append(
+            f"  throughput: {summary['units_per_sec']} units/s, "
+            f"ETA ~{summary['eta_seconds']}s"
+        )
+    return "\n".join(lines)

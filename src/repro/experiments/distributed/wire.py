@@ -1,0 +1,120 @@
+"""Wire protocol for the distributed campaign service (DESIGN.md §13).
+
+Framing is deliberately minimal: every message is one length-prefixed
+pickle — a 4-byte big-endian payload length followed by the pickled
+object.  Messages are plain dicts with a ``"type"`` key, so the protocol
+stays greppable and a version bump never has to fight a class hierarchy.
+
+Sessions open with an explicit handshake (``hello`` → ``welcome`` /
+``reject``) carrying :data:`PROTOCOL_VERSION` on both sides; a version
+mismatch is refused *before* any campaign state moves, because a worker
+built from a different tree could deserialise a unit into something that
+simulates differently — silently corrupting a bit-identical campaign.
+
+Security note: pickle implies mutual trust between coordinator and
+workers.  The service is meant for loopback clusters and machines you
+already control (the same trust model as ``multiprocessing``); do not
+expose the port to untrusted networks.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ConnectionClosed",
+    "send_msg",
+    "recv_msg",
+    "client_handshake",
+]
+
+#: Bumped whenever message semantics change incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Sanity bound on a single frame.  Campaign units and results are tiny
+#: (specs + floats); anything near this large is a corrupt or hostile frame.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """The peer spoke, but not our protocol (bad frame or handshake)."""
+
+
+class ConnectionClosed(ConnectionError):
+    """The peer went away (EOF mid-frame or before one started)."""
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise :class:`ConnectionClosed`."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionClosed(
+                f"connection closed with {remaining} of {n} bytes unread"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_msg(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Send one framed message (atomic from the receiver's viewpoint)."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:  # pragma: no cover - defensive
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds bound")
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def recv_msg(sock: socket.socket) -> Dict[str, Any]:
+    """Receive one framed message.
+
+    Raises:
+        ConnectionClosed: on EOF (peer gone, cleanly or not).
+        ProtocolError: on an over-sized or undecodable frame.
+    """
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"peer announced a {length}-byte frame; refusing")
+    payload = _recv_exact(sock, length)
+    try:
+        message = pickle.loads(payload)
+    except Exception as exc:  # noqa: BLE001 - any unpickling failure
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError(f"malformed message: {message!r}")
+    return message
+
+
+def client_handshake(
+    sock: socket.socket, *, worker_id: str, extra: Optional[dict] = None
+) -> Dict[str, Any]:
+    """Run the worker side of the handshake; return the ``welcome`` message.
+
+    Raises:
+        ProtocolError: when the coordinator rejects the session (version
+            mismatch or explicit refusal).
+    """
+    hello: Dict[str, Any] = {
+        "type": "hello",
+        "version": PROTOCOL_VERSION,
+        "worker": worker_id,
+    }
+    if extra:
+        hello.update(extra)
+    send_msg(sock, hello)
+    reply = recv_msg(sock)
+    if reply.get("type") != "welcome":
+        raise ProtocolError(
+            f"coordinator refused session: {reply.get('reason', reply)!r}"
+        )
+    return reply

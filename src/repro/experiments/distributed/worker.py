@@ -1,0 +1,217 @@
+"""Campaign worker: pull chunks, run units locally, stream results back.
+
+A worker is a dumb loop by design — all fault-tolerance policy lives in
+the coordinator.  It connects, handshakes, then repeats *request → run →
+result* until the coordinator says ``done``.  While a unit simulates, a
+background thread renews the chunk's lease with heartbeats (the socket
+is shared, so every send+recv pair happens under one lock — heartbeats
+slot naturally into the gaps because the main thread holds the lock only
+between units).
+
+Units resolve their scenarios locally (``ScenarioRef`` → spec →
+``build()``), so the wire carries names and seeds, not matrices, and a
+worker process anywhere reproduces the exact same simulation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import socket
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from .wire import ConnectionClosed, client_handshake, recv_msg, send_msg
+
+__all__ = ["CampaignWorker", "WorkerStats", "connect_with_retry"]
+
+_worker_counter = itertools.count()
+
+
+@dataclass
+class WorkerStats:
+    """What one worker did during :meth:`CampaignWorker.run`."""
+
+    worker_id: str = "?"
+    units_done: int = 0
+    chunks: int = 0
+    heartbeats_sent: int = 0
+    idle_waits: int = 0
+    seconds: float = 0.0
+    per_chunk: Dict[int, int] = field(default_factory=dict)
+
+
+def connect_with_retry(
+    address: Tuple[str, int], *, timeout: float = 30.0
+) -> socket.socket:
+    """Connect to the coordinator, retrying until ``timeout`` elapses.
+
+    Lets a worker CLI start before its coordinator without a race.
+    """
+    deadline = time.time() + timeout
+    delay = 0.05
+    while True:
+        try:
+            return socket.create_connection(address)
+        except OSError:
+            if time.time() + delay > deadline:
+                raise
+            time.sleep(delay)
+            delay = min(delay * 2, 1.0)
+
+
+class CampaignWorker:
+    """One worker session against a coordinator.
+
+    Args:
+        address: coordinator ``(host, port)``.
+        worker_id: wire identity (default: ``"<pid>-w<n>"``, unique per
+            process).
+        heartbeat_interval: lease-renewal period; default: whatever the
+            coordinator advertises in ``welcome``.
+        connect_timeout: how long to keep retrying the initial connect.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        *,
+        worker_id: Optional[str] = None,
+        heartbeat_interval: Optional[float] = None,
+        connect_timeout: float = 30.0,
+    ):
+        self.address = tuple(address)
+        self.worker_id = worker_id or f"{os.getpid()}-w{next(_worker_counter)}"
+        self.heartbeat_interval = heartbeat_interval
+        self.connect_timeout = connect_timeout
+        self.stats = WorkerStats(worker_id=self.worker_id)
+        self._sock: Optional[socket.socket] = None
+        self._io_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # wire helpers (every exchange is one atomic send+recv)
+
+    def _call(self, message: dict) -> dict:
+        with self._io_lock:
+            if self._sock is None:
+                raise ConnectionClosed("worker socket already closed")
+            send_msg(self._sock, message)
+            return recv_msg(self._sock)
+
+    def _close(self) -> None:
+        with self._io_lock:
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+                self._sock = None
+
+    # ------------------------------------------------------------------
+    # fault-injection seams (overridden by FaultyWorker)
+
+    def _run_unit(self, index: int, unit: Any) -> Any:
+        return unit.run()
+
+    def _deliver(self, chunk_id: int, index: int, outcome: Any) -> None:
+        self._call(
+            {
+                "type": "result",
+                "chunk": chunk_id,
+                "unit": index,
+                "outcome": outcome,
+            }
+        )
+
+    def _heartbeats_enabled(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _heartbeat_loop(
+        self, chunk_id: int, interval: float, stop: threading.Event
+    ) -> None:
+        while not stop.wait(interval):
+            if not self._heartbeats_enabled():
+                continue
+            try:
+                self._call({"type": "heartbeat", "chunk": chunk_id})
+                self.stats.heartbeats_sent += 1
+            except (ConnectionClosed, OSError):
+                return  # session is ending; the main loop will notice
+
+    def _run_chunk(self, assignment: dict) -> None:
+        chunk_id = assignment["chunk"]
+        interval = self.heartbeat_interval or assignment.get("heartbeat", 5.0)
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(chunk_id, interval, stop),
+            name=f"heartbeat-{self.worker_id}",
+            daemon=True,
+        )
+        beat.start()
+        try:
+            for index, unit in assignment["units"]:
+                try:
+                    outcome = self._run_unit(index, unit)
+                except Exception:  # noqa: BLE001 - forwarded to coordinator
+                    self._call(
+                        {
+                            "type": "error",
+                            "unit": index,
+                            "traceback": traceback.format_exc(),
+                        }
+                    )
+                    raise
+                self._deliver(chunk_id, index, outcome)
+                self.stats.units_done += 1
+                self.stats.per_chunk[chunk_id] = (
+                    self.stats.per_chunk.get(chunk_id, 0) + 1
+                )
+        finally:
+            stop.set()
+            beat.join(timeout=2.0)
+        self.stats.chunks += 1
+
+    def run(self) -> WorkerStats:
+        """Serve until the coordinator reports the campaign done.
+
+        Returns the session's :class:`WorkerStats`.  A coordinator that
+        vanishes mid-session (shut down, killed) ends the session
+        quietly — its successor re-issues whatever this worker held.
+        """
+        started = time.time()
+        self._sock = connect_with_retry(
+            self.address, timeout=self.connect_timeout
+        )
+        try:
+            welcome = client_handshake(self._sock, worker_id=self.worker_id)
+            if self.heartbeat_interval is None:
+                self.heartbeat_interval = welcome.get("heartbeat")
+            while True:
+                reply = self._call({"type": "request"})
+                kind = reply["type"]
+                if kind == "done":
+                    try:
+                        with self._io_lock:
+                            if self._sock is not None:
+                                send_msg(self._sock, {"type": "bye"})
+                    except (ConnectionClosed, OSError):
+                        pass
+                    return self.stats
+                if kind == "idle":
+                    self.stats.idle_waits += 1
+                    time.sleep(reply.get("retry_after", 0.05))
+                    continue
+                if kind != "assign":  # pragma: no cover - protocol guard
+                    raise RuntimeError(f"unexpected reply {reply!r}")
+                self._run_chunk(reply)
+        except (ConnectionClosed, OSError):
+            return self.stats  # coordinator gone; nothing left to do
+        finally:
+            self.stats.seconds = time.time() - started
+            self._close()

@@ -348,13 +348,12 @@ def run_campaign(
     if checkpoint is not None:
         from .persistence import CampaignCheckpoint
 
-        journal = (
-            checkpoint
-            if isinstance(checkpoint, CampaignCheckpoint)
-            else CampaignCheckpoint(
+        if hasattr(checkpoint, "load") and hasattr(checkpoint, "append"):
+            journal = checkpoint  # CampaignCheckpoint or ShardedCheckpoint
+        else:
+            journal = CampaignCheckpoint(
                 checkpoint, meta=_campaign_fingerprint(units, config)
             )
-        )
         stored = journal.load()
         for index, unit in enumerate(units):
             entry = stored.get(unit.instance_key)

@@ -36,6 +36,8 @@ bit-identical to an uninterrupted one.
 from __future__ import annotations
 
 import json
+import threading
+import zlib
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -48,10 +50,21 @@ __all__ = [
     "rebuild_result",
     "merge_records",
     "CampaignCheckpoint",
+    "ShardedCheckpoint",
+    "read_journal_entries",
+    "discover_shards",
 ]
 
 FORMAT_TAG = "repro-campaign-v1"
 CHECKPOINT_TAG = "repro-checkpoint-v1"
+
+#: Shard journals are ``<base>.shard-NN`` next to each other (multi-writer
+#: journalling for the distributed campaign service, DESIGN.md §13).
+SHARD_SUFFIX = ".shard-"
+
+#: Entry keys with journal-level meaning; ``extra`` metadata must not
+#: shadow them.
+RESERVED_ENTRY_KEYS = frozenset({"key", "makespans", "truncated"})
 
 Record = Tuple[tuple, Dict[str, float]]
 
@@ -148,6 +161,7 @@ class CampaignCheckpoint:
         self.path = Path(path)
         self.meta = meta
         self._header_valid: Optional[bool] = None
+        self._append_lock = threading.Lock()
 
     def _read_header(self) -> Optional[dict]:
         """The parsed header, or ``None`` for a torn/empty/absent one.
@@ -218,29 +232,206 @@ class CampaignCheckpoint:
         instance_key: tuple,
         makespans: Dict[str, float],
         truncated: Sequence[str] = (),
+        *,
+        extra: Optional[dict] = None,
     ) -> None:
-        """Record one completed unit (creates/heals the journal if needed)."""
+        """Record one completed unit (creates/heals the journal if needed).
+
+        ``extra`` carries free-form provenance (worker id, wall-clock
+        timestamp) that :meth:`load` ignores but observability tooling
+        (:func:`read_journal_entries`, ``campaign-status``) reads back.
+        Appends are thread-safe: the distributed coordinator journals
+        from several connection handlers at once.
+        """
         entry = {
             "key": list(instance_key),
             "makespans": dict(makespans),
             "truncated": list(truncated),
         }
-        if self._header_valid is None:
-            self._header_valid = self._read_header() is not None
-        header_line = None
-        if not self._header_valid:
-            header: Dict[str, object] = {"format": CHECKPOINT_TAG}
-            if self.meta is not None:
-                header["meta"] = self.meta
-            header_line = json.dumps(header) + "\n"
-        # "w" rewrites a torn-header journal from scratch; a foreign file
-        # can't reach here (_read_header raises before any append).
-        with self.path.open("w" if header_line else "a") as handle:
-            if header_line:
-                handle.write(header_line)
-                self._header_valid = True
-            handle.write(json.dumps(entry) + "\n")
-            handle.flush()
+        if extra:
+            clash = RESERVED_ENTRY_KEYS & set(extra)
+            if clash:
+                raise ValueError(f"extra shadows reserved keys: {sorted(clash)}")
+            entry.update(extra)
+        with self._append_lock:
+            if self._header_valid is None:
+                self._header_valid = self._read_header() is not None
+            header_line = None
+            if not self._header_valid:
+                header: Dict[str, object] = {"format": CHECKPOINT_TAG}
+                if self.meta is not None:
+                    header["meta"] = self.meta
+                header_line = json.dumps(header) + "\n"
+            # "w" rewrites a torn-header journal from scratch; a foreign
+            # file can't reach here (_read_header raises before any
+            # append).
+            with self.path.open("w" if header_line else "a") as handle:
+                if header_line:
+                    handle.write(header_line)
+                    self._header_valid = True
+                handle.write(json.dumps(entry) + "\n")
+                handle.flush()
+
+
+def read_journal_entries(path: Union[str, Path]) -> List[dict]:
+    """Raw journal entries (header excluded, torn tail dropped).
+
+    Unlike :meth:`CampaignCheckpoint.load`, entries keep their ``extra``
+    provenance fields (worker id, timestamp) and duplicates are *not*
+    collapsed — this is the observability view, not the resume view.
+    An absent or torn-header journal yields ``[]``.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    lines = path.read_text().splitlines()
+    if not lines:
+        return []
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError:
+        return []  # torn header: journal counts as empty
+    if not isinstance(header, dict) or header.get("format") != CHECKPOINT_TAG:
+        return []
+    entries: List[dict] = []
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            break  # torn tail from an interrupted append
+        entries.append(entry)
+    return entries
+
+
+def discover_shards(base: Union[str, Path]) -> List[Path]:
+    """Existing shard-journal paths for ``base``, sorted by shard index.
+
+    ``base`` may be the shard base path (``…/campaign.ckpt``) or a
+    directory (every ``*.shard-NN`` inside it).  Sorting makes every
+    consumer's iteration order deterministic regardless of directory
+    enumeration order — the first half of the no-ordering-drift
+    guarantee (the other half is that the harness folds restored units
+    in campaign order, never journal order).
+    """
+    base = Path(base)
+    if base.is_dir():
+        pattern = f"*{SHARD_SUFFIX}*"
+        parent = base
+    else:
+        pattern = f"{base.name}{SHARD_SUFFIX}*"
+        parent = base.parent
+    shards = [
+        path
+        for path in parent.glob(pattern)
+        if not path.name.endswith(".tmp")
+    ]
+    return sorted(shards)
+
+
+class ShardedCheckpoint:
+    """A checkpoint journal split across per-shard files.
+
+    One journal file has one writer lock; the distributed coordinator
+    accepts results on many connection threads at once, so the journal
+    is sharded — ``<base>.shard-00`` … ``<base>.shard-NN`` — and a unit
+    routes to its shard by a stable hash of its instance key.  Stable
+    routing means a resumed coordinator (same base, same shard count)
+    appends each unit to the same file it would have used originally,
+    keeping every shard individually append-only and torn-tail-healable
+    exactly like a single :class:`CampaignCheckpoint`.
+
+    :meth:`load` merges *all* existing shards (even beyond the
+    configured count, so resuming with a different ``--shards`` never
+    loses units) in sorted shard order, and rejects shards that disagree
+    about a unit — partially overlapping journals are legitimate (a
+    shard-count change re-routes keys), conflicting ones mean seed or
+    code drift.  Merging is order-safe by construction: the result is
+    keyed by instance key, and the harness folds restored units in
+    campaign unit order, so statistics cannot drift with shard layout.
+
+    Duck-compatible with :class:`CampaignCheckpoint` (``load`` /
+    ``append``), so ``run_campaign(checkpoint=ShardedCheckpoint(...))``
+    works unchanged.
+    """
+
+    def __init__(
+        self,
+        base: Union[str, Path],
+        shards: int = 4,
+        *,
+        meta: Optional[dict] = None,
+    ):
+        if shards <= 0:
+            raise ValueError(f"shards must be positive, got {shards}")
+        self.base = Path(base)
+        self.shards = shards
+        self.meta = meta
+        self._shard_cache: Dict[Path, CampaignCheckpoint] = {}
+
+    def shard_path(self, index: int) -> Path:
+        return self.base.with_name(
+            f"{self.base.name}{SHARD_SUFFIX}{index:02d}"
+        )
+
+    def shard(self, index: int) -> CampaignCheckpoint:
+        """The shard journal for slot ``index`` (instances are cached)."""
+        return self._shard_for(self.shard_path(index))
+
+    def _shard_for(self, path: Path) -> CampaignCheckpoint:
+        journal = self._shard_cache.get(path)
+        if journal is None:
+            journal = CampaignCheckpoint(path, meta=self.meta)
+            self._shard_cache[path] = journal
+        return journal
+
+    def _route(self, instance_key: tuple) -> CampaignCheckpoint:
+        digest = zlib.crc32(
+            json.dumps(list(instance_key), default=repr).encode()
+        )
+        return self.shard(digest % self.shards)
+
+    def existing_paths(self) -> List[Path]:
+        """All shard files on disk (sorted), not just the routed range."""
+        return discover_shards(self.base)
+
+    def load(self) -> Dict[tuple, Tuple[Dict[str, float], List[str]]]:
+        """Merged completed units across every existing shard.
+
+        Raises:
+            ValueError: when two shards disagree about one unit (drift),
+                or any shard fails its own header/meta validation.
+        """
+        merged: Dict[tuple, Tuple[Dict[str, float], List[str]]] = {}
+        origin: Dict[tuple, Path] = {}
+        for path in self.existing_paths():
+            for key, entry in self._shard_for(path).load().items():
+                if key in merged:
+                    if merged[key] != entry:
+                        raise ValueError(
+                            f"shard journals disagree about unit {key}: "
+                            f"{origin[key]} has {merged[key]!r}, "
+                            f"{path} has {entry!r} — seed or code drift; "
+                            "refusing to merge"
+                        )
+                    continue
+                merged[key] = entry
+                origin[key] = path
+        return merged
+
+    def append(
+        self,
+        instance_key: tuple,
+        makespans: Dict[str, float],
+        truncated: Sequence[str] = (),
+        *,
+        extra: Optional[dict] = None,
+    ) -> None:
+        """Journal one unit into its (stably routed) shard."""
+        self._route(instance_key).append(
+            instance_key, makespans, truncated, extra=extra
+        )
 
 
 def merge_records(*record_sets: List[Record]) -> List[Record]:

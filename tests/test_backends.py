@@ -75,7 +75,9 @@ class TestScenarioSpec:
 
 class TestRegistry:
     def test_available(self):
-        assert available_backends() == ["process", "serial", "thread"]
+        assert available_backends() == [
+            "distributed", "process", "serial", "thread"
+        ]
 
     def test_default_is_serial(self):
         assert isinstance(make_backend(None), SerialBackend)

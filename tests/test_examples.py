@@ -36,6 +36,7 @@ def test_examples_directory_complete():
         "contention_study.py",
         "deadline_and_proactive.py",
         "large_grid.py",
+        "distributed_campaign.py",
     } <= names
 
 
@@ -68,6 +69,14 @@ def test_desktop_grid_campaign():
     out = run_example("desktop_grid_campaign.py", "1", timeout=1200)
     assert "mini Table 2" in out
     assert "legend:" in out
+
+
+@pytest.mark.slow
+def test_distributed_campaign():
+    out = run_example("distributed_campaign.py", "1", timeout=1200)
+    assert "coordinator died" in out
+    assert "state: finished" in out
+    assert "statistics bit-identical to the serial run: YES" in out
 
 
 @pytest.mark.slow
