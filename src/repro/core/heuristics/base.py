@@ -631,9 +631,16 @@ class GreedyScheduler(Scheduler):
     # -- per-round cache for the array path -------------------------------
     _round_version = None
     _round_cache: Optional[dict] = None
+    # -- cross-round persistent cache (delta-patched, DESIGN.md §8/§14) ---
+    _persist: Optional[dict] = None
     # -- cross-round persistent score rows (DESIGN.md §11/§12) ------------
     _row_store: Optional[dict] = None
     _row_store_rs = None
+    # -- stacked-round precomputed plan (DESIGN.md §14) -------------------
+    #: ``(rs.version, n_tasks, placements)`` installed by the cohort
+    #: driver; consumed (and cleared) by the next unrestricted
+    #: ``place_array`` call against the same round-state version.
+    _stacked_plan: Optional[tuple] = None
     #: Candidate-set instrumentation (DESIGN.md §12): score evaluations
     #: actually run vs. stamped rows reused verbatim from the persistent
     #: store.  ``rows_scored`` after warm-up is the candidate-set size —
@@ -672,6 +679,11 @@ class GreedyScheduler(Scheduler):
                 pinned_zero_arr = None
                 state_list = rs.state.tolist()
                 up_list = [q for q, s in enumerate(state_list) if s == up_state]
+                cache = self._delta_reuse(rs, up_list)
+                if cache is not None:
+                    self._round_cache = cache
+                    self._round_version = rs.version
+                    return cache
                 pinned_list = rs.pinned_count.tolist()
                 pinned_zero = [pinned_list[q] == 0 for q in up_list]
             self._round_cache = {
@@ -682,12 +694,100 @@ class GreedyScheduler(Scheduler):
                 "row0": {},
                 "row0_arr": {},
                 "row0_nan": {},
+                "row0_keys": {},
                 "ct": {},
                 "gathers": None,
                 "belief": {},
             }
             self._round_version = rs.version
+            if (
+                up_arr is None
+                and rs.stamped
+                and self.batch_scoring
+                and self._score_ct_one is not None
+            ):
+                # Seed the persistent cache (DESIGN.md §8): the artifacts
+                # this round assembles into the cache dict are kept and
+                # delta-patched next round instead of being rebuilt.
+                self._persist = {
+                    "rs": rs,
+                    "serial": rs._stamp_serial,
+                    "pos": {q: i for i, q in enumerate(up_list)},
+                    "cache": self._round_cache,
+                }
+            else:
+                self._persist = None
         return self._round_cache
+
+    def _delta_reuse(self, rs: RoundState, up_list: list) -> Optional[dict]:
+        """Delta-patch last round's cache instead of rebuilding it.
+
+        The ROADMAP-named persistent per-factor score-row cache: when the
+        UP set is unchanged and the stamp history covers the gap since
+        the cache was last current, only the processors that were
+        actually stamped (dirty) since then have moved — so the CT bases,
+        ``n_q = 0`` score rows, signed key lists, pinned flags and delay
+        gathers are patched in place at exactly those positions (via the
+        same ``_score_ct_one`` scalar the full build would call, hence
+        bit-identical) and everything else is reused verbatim.  Falls
+        back to ``None`` — a full rebuild — when the UP set moved, the
+        history window was exceeded, or the state does not maintain the
+        stamp contract.
+        """
+        persist = self._persist
+        if persist is None or persist["rs"] is not rs or not rs.stamped:
+            return None
+        cache = persist["cache"]
+        if up_list != cache["up_list"]:
+            return None
+        changed = rs.changed_since(persist["serial"])
+        if changed is None:
+            return None
+        persist["serial"] = rs._stamp_serial
+        if not changed:
+            return cache
+        pos = persist["pos"]
+        touched = [(pos[q], q) for q in changed if q in pos]
+        if not touched:
+            return cache
+        pinned_zero = cache["pinned_zero"]
+        pinned_count = rs.pinned_count
+        for i, q in touched:
+            pinned_zero[i] = int(pinned_count[q]) == 0
+        row0 = cache["row0"]
+        keys_map = cache["row0_keys"]
+        # Score rows without CT coefficients (installed whole by the
+        # stacked driver) cannot be patched per position — drop them so
+        # they recompute instead of serving stale values.
+        for stale in [f for f in row0 if f not in cache["ct"]]:
+            del row0[stale]
+            keys_map.pop(stale, None)
+        gathers = cache["gathers"]
+        if gathers is not None:
+            delay_list, speed_list = gathers
+            delay_col = rs.delay
+            for i, q in touched:
+                delay_list[i] = int(delay_col[q])
+            t_data = rs.t_data
+            sign = -1.0 if self.maximize else 1.0
+            score_one = self._score_ct_one
+            reused = len(up_list) - len(touched)
+            for factor, (base, _step) in cache["ct"].items():
+                eff = factor * t_data
+                row = row0.get(factor)
+                keys = keys_map.get(factor)
+                for i, _q in touched:
+                    ct = delay_list[i] + eff + speed_list[i]
+                    base[i] = ct
+                    if row is not None:
+                        value = score_one(rs, cache, ct, i)
+                        row[i] = value
+                        if keys is not None:
+                            keys[i] = sign * value
+                if row is not None:
+                    self.rows_scored += len(touched)
+                    self.rows_reused += reused
+        return cache
 
     def _gather_belief(self, rs: RoundState, cache: dict, name: str,
                        needs: str) -> list:
@@ -906,6 +1006,22 @@ class GreedyScheduler(Scheduler):
             cache["row0"][factor] = row
         return row
 
+    def _row0_keys_list(self, rs: RoundState, cache: dict, factor: int) -> list:
+        """The ``n_q = 0`` row as a signed float list, memoised per round.
+
+        Small-p twin of :meth:`_row0_keys`: the unrestricted placement
+        and replication calls of one round (and, with the persistent
+        cache, of every delta-reused round) share one ``sign * value``
+        materialisation instead of rebuilding the listcomp per call.
+        Callers must treat the list as read-only.
+        """
+        keys = cache["row0_keys"].get(factor)
+        if keys is None:
+            sign = -1.0 if self.maximize else 1.0
+            keys = [sign * value for value in self._row0(rs, cache, factor)]
+            cache["row0_keys"][factor] = keys
+        return keys
+
     def _row0_keys(self, rs: RoundState, cache: dict, factor: int) -> np.ndarray:
         """The ``n_q = 0`` row as a signed float64 array, memoised per round.
 
@@ -1022,6 +1138,116 @@ class GreedyScheduler(Scheduler):
         self.rows_reused += len(row) - scored
         return row
 
+    # -- stacked-round scoring (DESIGN.md §14) ----------------------------
+    def score_batch_stacked(self, stacked, rows, factors, ct0, members):
+        """Cohort-wide ``n_q = 0`` score rows in one pass, or ``None``.
+
+        The stacked-round driver calls this once per (scheduler kind,
+        contention factor profile) group with the full-width integer CT
+        matrix ``ct0`` (shape ``(K, p)``: ``Delay + factor·t_data + w``
+        per member row — exact int64, only UP positions meaningful) and
+        asks for every member's ``n_q = 0`` score row at once.
+
+        Args:
+            stacked: the cohort's
+                :class:`~repro.core.heuristics.round_state.StackedRoundState`.
+            rows: each member's stacked row index, aligned with ``ct0``.
+            factors: each member's (uniform) contention factor.
+            ct0: the ``(K, p)`` int64 CT matrix at ``n_q = 0``.
+            members: aligned ``(rs, cache)`` pairs — the member's
+                :class:`RoundState` and its current ``_round_setup`` dict.
+
+        Returns:
+            A list of K Python float lists — member ``k``'s score row
+            aligned with its ``cache["up_list"]`` — or ``None`` when the
+            heuristic has no stacked kernel (the driver then leaves that
+            group to the per-run path, bit-identically).  Every returned
+            value must be bit-identical to what :meth:`_score_ct_row`
+            would produce for the same ``(ct, position)``: elementwise
+            add/mul/max vectorise exactly, while exponentiation must stay
+            scalar ``math.pow`` (the 1-ulp rule, see :func:`pow_batch`)
+            — LW/UD therefore route through the stamped store
+            (:meth:`_stacked_rows_via_store`) rather than ``np.power``.
+        """
+        return None
+
+    def _stacked_rows_via_store(self, stacked, rows, factors, ct0, members):
+        """Stacked score rows through the cohort-wide persistent store.
+
+        The :class:`StackedRoundState` keeps ``(values, stamps)`` (C, p)
+        matrices per (scheduler kind, factor): a member's score at ``q``
+        is reused verbatim while ``col_stamp[row, q]`` has not moved —
+        the cohort twin of :meth:`_row0_stamped` — and only stamped-out
+        entries re-run the scalar :meth:`_score_ct_one` (preserving the
+        ``math.pow`` 1-ulp rule, which is why the pow-based LW/UD rows
+        cannot be a single vectorised expression).  Scores depend only on
+        the stamped columns, the member-static ``t_data``/beliefs and the
+        factor, and rows are stamp-reset on attach, so a hit can never
+        serve another occupant's (or a stale) value.
+        """
+        kind = type(self).__name__
+        out = []
+        for k, (rs, cache) in enumerate(members):
+            row = rows[k]
+            values, stamps = stacked.store(kind, factors[k])
+            value_row = values[row]
+            stamp_row = stamps[row]
+            ix = cache.get("up_ix")
+            if ix is None:
+                ix = cache["up_ix"] = np.array(cache["up_list"], dtype=np.intp)
+            cur = stacked.col_stamp[row][ix]
+            misses = np.nonzero(stamp_row[ix] != cur)[0]
+            if misses.size == 0:
+                member_row = value_row[ix].tolist()
+                self.rows_reused += len(member_row)
+            elif 2 * int(misses.size) >= ix.size:
+                # Mostly stale (fresh attach, factor flip): one hoisted
+                # full-row pass — `_score_ct_row` is the documented
+                # bit-identical twin of per-position `_score_ct_one`.
+                member_row = self._score_ct_row(rs, cache, ct0[k][ix].tolist())
+                value_row[ix] = member_row
+                stamp_row[ix] = cur
+                self.rows_scored += len(member_row)
+            else:
+                member_row = value_row[ix].tolist()
+                scorer = self._stacked_scorer(rs, cache, factors[k])
+                cts = ct0[k][ix].tolist()
+                miss_list = misses.tolist()
+                for i in miss_list:
+                    member_row[i] = scorer(cts[i], i)
+                value_row[ix[misses]] = [member_row[i] for i in miss_list]
+                stamp_row[ix[misses]] = cur[misses]
+                self.rows_scored += len(miss_list)
+                self.rows_reused += len(member_row) - len(miss_list)
+            out.append(member_row)
+        return out
+
+    def _stacked_scorer(self, rs: RoundState, cache: dict, factor):
+        """A hoisted ``(ct, i) -> score`` closure for tight re-score loops.
+
+        Bit-identical to :meth:`_score_ct_one` by construction — the
+        subclasses hoist their belief gathers out of the per-call body
+        (the values are member-static for the round), nothing else
+        changes.  Returns ``None`` when the scheduler has no scalar CT
+        hook."""
+        score_one = self._score_ct_one
+        if score_one is None:
+            return None
+        return lambda ct, i: score_one(rs, cache, ct, i)
+
+    def _extract_stacked_rows(self, scores, members):
+        """Gather each member's UP positions out of a full-width (K, p)
+        float64 score matrix (the tail shared by the vectorisable stacked
+        kernels).  ``tolist`` round-trips float64 exactly, so the lists
+        equal the scalar assemblies bit for bit."""
+        out = []
+        for k, (_rs, cache) in enumerate(members):
+            up_list = cache["up_list"]
+            row = scores[k].take(up_list).tolist() if up_list else []
+            self.rows_scored += len(row)
+            out.append(row)
+        return out
+
     def place_array(
         self,
         rs: RoundState,
@@ -1053,6 +1279,25 @@ class GreedyScheduler(Scheduler):
             # with belief-less UP processors it would raise where this
             # path returns — irrelevant to any simulated outcome.)
             return []
+        plan = self._stacked_plan
+        if plan is not None:
+            # Stacked-round precompute (DESIGN.md §14): the cohort driver
+            # already ran this exact unrestricted placement through the
+            # cohort-wide argmin loop.  The plan is a pure function of
+            # (columns at ``rs.version``, ``n_tasks``) — the same
+            # invariant the version-keyed ``_round_setup`` cache rests
+            # on — so it persists and keeps serving (relevance-gate
+            # probe, the post-gate placement, elided-round re-probes)
+            # until a column write bumps ``rs.version`` and retires it.
+            plan_version, plan_count, placed = plan
+            if (
+                allowed is None
+                and plan_version == rs.version
+                and plan_count == n_tasks
+            ):
+                return placed
+            if plan_version != rs.version:
+                self._stacked_plan = None
         cache = self._round_setup(rs)
         if n_tasks == 1:
             single = self._place_one(rs, cache, allowed)
@@ -1115,10 +1360,10 @@ class GreedyScheduler(Scheduler):
                 keys_factor = uniform_factor
                 keys = None  # materialised lazily on the scalar paths
             else:
-                row0 = self._row0(rs, cache, uniform_factor)
                 if positions is None:
-                    keys = [sign * value for value in row0]
+                    keys = self._row0_keys_list(rs, cache, uniform_factor)
                 else:
+                    row0 = self._row0(rs, cache, uniform_factor)
                     keys = [sign * row0[i] for i in positions]
         else:
             factor_base = max(1, -(-n_active // ncom))
@@ -1133,7 +1378,7 @@ class GreedyScheduler(Scheduler):
                     keys_factor = factor_base
                     keys = None  # materialised lazily on the scalar paths
                 elif positions is None:
-                    keys = [sign * value for value in row_base]
+                    keys = self._row0_keys_list(rs, cache, factor_base)
                 else:
                     keys = [sign * row_base[i] for i in positions]
                 entry_factor = [factor_base] * k

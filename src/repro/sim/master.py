@@ -475,6 +475,17 @@ class MasterSimulator:
         self._resume_budget: Optional[int] = None
         self._resume_slot = 0
         self._run_over = False
+        self._resume_span = False
+        #: Stacked-round cohort seam (DESIGN.md §14): when set, a step
+        #: whose scheduling round survives the triviality check *pauses*
+        #: after the round's read-only prepare phase instead of executing
+        #: it — :meth:`advance_until` returns with :attr:`round_pending`
+        #: True, the cohort driver scores the whole cohort's rounds in
+        #: one stacked pass, and :meth:`resume_round` executes the round
+        #: and finishes the interrupted step.  Off (the default) the
+        #: round runs inline exactly as before.
+        self.stack_rounds = False
+        self._round_pending: Optional[tuple] = None
 
     @property
     def round_state(self) -> RoundState:
@@ -1186,8 +1197,26 @@ class MasterSimulator:
             )
 
     def _scheduling_round(self, slot: int, states: np.ndarray) -> None:
+        pend = self._round_prepare(slot, states)
+        if pend is not None:
+            self._round_execute(slot, states, pend)
+
+    def _round_prepare(self, slot: int, states: np.ndarray) -> Optional[tuple]:
+        """The read-only first half of a scheduling round.
+
+        Runs the triviality check, the proactive pre-pass and the round
+        counters, collects the unpinned instances and (on the array API)
+        refreshes the :class:`RoundState` — everything a round does
+        *before* any scoring.  Returns ``None`` when the round was
+        trivial (nothing further to do), else the pending-round tuple
+        ``(originals, replicas, dirty_mask, rs)`` that
+        :meth:`_round_execute` consumes.  The split is the stacked-round
+        pause point (DESIGN.md §14): between prepare and execute the
+        simulation is untouched, so a cohort driver may score many runs'
+        rounds in one stacked pass and resume each bit-identically.
+        """
         if self._round_is_trivial(states):
-            return
+            return None
         if self.options.proactive:
             self._proactive_round(slot, states)
         self.report.scheduler_rounds += 1
@@ -1212,13 +1241,23 @@ class MasterSimulator:
                     (replicas if inst.replica_id else originals).append(inst)
         originals.sort(key=lambda inst: inst.task_id)
 
-        placements: Optional[List[Optional[int]]] = None
-        decisions: Optional[List[tuple]] = None
         if self.options.scheduler_api == "array":
             # With replicas dropped, the unpinned originals are exactly the
             # context's ``m - m'`` remaining tasks.
             dirty_mask = bytes(self._rs_dirty) if self._relevance else b""
             rs = self._refresh_round_state(slot, states, len(originals))
+        else:
+            dirty_mask = b""
+            rs = None
+        return (originals, replicas, dirty_mask, rs)
+
+    def _round_execute(self, slot: int, states: np.ndarray, pend: tuple) -> None:
+        """Execute a prepared scheduling round (scoring + mutation)."""
+        originals, replicas, dirty_mask, rs = pend
+        tbl = self._tbl
+        placements: Optional[List[Optional[int]]] = None
+        decisions: Optional[List[tuple]] = None
+        if rs is not None:
             scheduler = self.scheduler
 
             def place_batch(n: int, allowed=None) -> List[Optional[int]]:
@@ -2117,8 +2156,25 @@ class MasterSimulator:
 
         if self._need_replan or self.options.replan_every_slot:
             self._need_replan = False
-            self._scheduling_round(slot, states)
+            if self.stack_rounds:
+                # Stacked-round pause (DESIGN.md §14): run the read-only
+                # prepare phase, then hand the step back to the cohort
+                # driver.  resume_round() executes the round and the
+                # remainder of this step; a trivial round needs no
+                # stacked scoring, so the step continues inline.
+                pend = self._round_prepare(slot, states)
+                if pend is not None:
+                    self._round_pending = (slot, states, pend)
+                    return False
+            else:
+                self._scheduling_round(slot, states)
 
+        return self._step_tail(slot, states)
+
+    def _step_tail(self, slot: int, states: np.ndarray) -> bool:
+        """The post-round remainder of :meth:`_step` (compute, transfer,
+        audit, commit bookkeeping); shared verbatim with
+        :meth:`resume_round`."""
         self._compute_step(slot, states)
         self._transfer_step(slot, states)
 
@@ -2754,7 +2810,11 @@ class MasterSimulator:
         self._cal_last = self._resume_budget - 1
         self._resume_slot = 0
         self._run_over = False
-        if self._step_mode_effective() != "slot":
+        # The effective mode is fixed for the whole run; resolve it once
+        # here instead of per advance_until()/resume_round() call (the
+        # stacked cohort driver makes one such call per scheduling round).
+        self._resume_span = self._step_mode_effective() != "slot"
+        if self._resume_span:
             # Same reset _run_loop performs on entry.
             self._next_change_cache = [None] * len(self.workers)
             self._next_up_cache = [None] * len(self.workers)
@@ -2776,6 +2836,10 @@ class MasterSimulator:
         budget = self._resume_budget
         if budget is None:
             raise RuntimeError("advance_until() before begin_run()")
+        if self._round_pending is not None:
+            raise RuntimeError(
+                "advance_until() with a pending round; call resume_round()"
+            )
         if self._run_over:
             return True
         slot = self._resume_slot
@@ -2786,9 +2850,14 @@ class MasterSimulator:
         # advance_until() resumes by re-executing exactly that slot and
         # the run stays bit-identical.
         try:
-            if self._step_mode_effective() == "slot":
+            if not self._resume_span:
                 while slot < budget:
                     finished = self._step(slot)
+                    if self._round_pending is not None:
+                        # Paused mid-step at a scheduling round: the slot
+                        # is not yet simulated — resume_round() finishes
+                        # it and owns the cursor/report bookkeeping.
+                        return False
                     self.report.slots_simulated = slot + 1
                     slot += 1
                     if finished:
@@ -2799,6 +2868,8 @@ class MasterSimulator:
             else:
                 while slot < budget:
                     finished = self._step(slot)
+                    if self._round_pending is not None:
+                        return False
                     self.report.slots_simulated = slot + 1
                     if finished:
                         self._run_over = True
@@ -2815,6 +2886,62 @@ class MasterSimulator:
         if slot >= budget:
             self._run_over = True
         return self._run_over
+
+    @property
+    def round_pending(self) -> bool:
+        """True while a stacked-mode step is paused at its scheduling
+        round (between :meth:`advance_until` and :meth:`resume_round`)."""
+        return self._round_pending is not None
+
+    def pending_round(self) -> tuple:
+        """The paused round's ``(slot, states, (originals, replicas,
+        dirty_mask, rs))`` — read-only, for the stacked cohort driver."""
+        if self._round_pending is None:
+            raise RuntimeError("pending_round() without a pending round")
+        return self._round_pending
+
+    def resume_round(self, advance_to: Optional[int] = None) -> bool:
+        """Execute the paused scheduling round and finish its step.
+
+        Replays exactly what the inline path would have done from the
+        pause point on: the round's scoring + mutation phases, the step
+        tail, the report bookkeeping, and (in span mode) the quiet-span
+        glide — so a run paused and resumed at every round is
+        bit-identical to one never paused.  Returns True when the run is
+        over (like :meth:`advance_until`).
+
+        With ``advance_to`` the call continues stepping toward that slot
+        limit after the round (exactly :meth:`advance_until`), so a
+        cohort driver pays one resume call per round instead of a
+        resume + re-entered advance pair; the run may be paused at a new
+        round on return (check :attr:`round_pending`).
+        """
+        pending = self._round_pending
+        if pending is None:
+            raise RuntimeError("resume_round() without a pending round")
+        self._round_pending = None
+        slot, states, pend = pending
+        self._round_execute(slot, states, pend)
+        finished = self._step_tail(slot, states)
+        self.report.slots_simulated = slot + 1
+        if finished:
+            self._run_over = True
+            self._resume_slot = slot + 1
+            return True
+        budget = self._resume_budget
+        if self._resume_span:
+            quiet = self._quiet_span(slot, budget)
+            if quiet > 0:
+                self._advance_quiet(slot + 1, quiet)
+                self.report.slots_simulated = slot + 1 + quiet
+            slot += quiet
+        slot += 1
+        self._resume_slot = slot
+        if slot >= budget:
+            self._run_over = True
+        if self._run_over or advance_to is None or slot >= advance_to:
+            return self._run_over
+        return self.advance_until(advance_to)
 
     def finish_run(self) -> SimulationReport:
         """Finalise an incremental run and return the report."""

@@ -285,14 +285,21 @@ class TestDemotion:
         def tripping_admit(index, spec, groups, donors):
             run = admit(index, spec, groups, donors)
             if spec.heuristic == "mct":
+                # Stacked members run with no provider (their own calendar);
+                # installing one drops the run to the sweep body path, which
+                # is bit-identical, so the tripwire can gather the rows
+                # itself when there is no inner provider to delegate to.
                 inner = run.sim.states_provider
+                sources = run.sim._avail
                 calls = {"n": 0}
 
                 def tripwire(slot):
                     calls["n"] += 1
                     if calls["n"] > 5:
                         raise CohortDivergence("test divergence")
-                    return inner(slot)
+                    if inner is not None:
+                        return inner(slot)
+                    return [source.state_at(slot) for source in sources]
 
                 run.sim.states_provider = tripwire
             return run

@@ -1,0 +1,237 @@
+"""Stacked-round engine equivalence suite (DESIGN.md §14).
+
+The stacked-round driver's contract is the batch engine's, one level
+deeper: with ``stack_rounds=True`` the cohort's scheduling rounds are
+scored (and their uniform-factor placements pre-run) against the shared
+``(R, p)`` column matrices, yet every run must stay bit-identical to the
+per-run oracle — reports, event logs, audit trails — for every cohort
+composition, both objectives, both step modes, and every replan policy.
+"Skipping is always correct" is the engine's safety rule: any member the
+stacked pass cannot serve falls back to the per-run path, so the tests
+here also pin the demotion and mixed-cohort behaviour.
+"""
+
+import pytest
+
+from repro.core.heuristics.registry import available_heuristics, make_scheduler
+from repro.sim.batch_engine import (
+    BatchCampaignRunner,
+    BatchRunSpec,
+    CohortDivergence,
+)
+from repro.sim.events import EventLog
+from repro.sim.master import MasterSimulator, SimulatorOptions
+from repro.workload.scenarios import ScenarioGenerator
+
+
+def _reference_run(spec, log=None):
+    """The untouched per-run oracle for one spec."""
+    platform = spec.scenario.build_platform(spec.trial)
+    sim = MasterSimulator(
+        platform,
+        spec.scenario.app,
+        make_scheduler(spec.heuristic, platform=platform),
+        options=spec.options,
+        rng=spec.scenario.scheduler_rng(spec.trial, spec.heuristic),
+        log=log,
+    )
+    return sim.run(max_slots=spec.max_slots)
+
+
+def _assert_reports_equal(got, ref, context=""):
+    assert got.makespan == ref.makespan, context
+    assert got.slots_simulated == ref.slots_simulated, context
+    assert got.completed_iterations == ref.completed_iterations, context
+    assert got.scheduler_rounds == ref.scheduler_rounds, context
+
+
+def _run_stacked(specs):
+    """Run specs through the stacked engine, collecting event logs."""
+    logs = {}
+
+    def log_factory(index, spec):
+        logs[index] = EventLog()
+        return logs[index]
+
+    runner = BatchCampaignRunner(
+        specs, log_factory=log_factory, stack_rounds=True
+    )
+    return runner, runner.run(), logs
+
+
+def _assert_oracle_identical(specs, reports, logs):
+    for index, (spec, got) in enumerate(zip(specs, reports)):
+        ref_log = EventLog()
+        ref = _reference_run(spec, log=ref_log)
+        context = f"{spec.heuristic}/trial={spec.trial}"
+        _assert_reports_equal(got, ref, context)
+        assert logs[index].events == ref_log.events, context
+
+
+class TestFullRegistry:
+    def test_whole_registry_bit_identity(self):
+        # Every registered heuristic — the stacked-capable families
+        # (mct/emct/lw/ud and their * variants), the store-path-only
+        # exact-UD ablations, and the random/passive tiers that never
+        # stack — in one cohort, two trials each.
+        scenario = ScenarioGenerator(11).scenario(8, 5, 2, 0)
+        specs = [
+            BatchRunSpec(scenario=scenario, trial=trial, heuristic=name,
+                         max_slots=50_000)
+            for trial in (0, 1)
+            for name in available_heuristics()
+        ]
+        runner, reports, logs = _run_stacked(specs)
+        # The stacked pass must actually have served the capable members
+        # (otherwise this suite silently degrades into the §11 tests).
+        assert runner.rows_scored_stacked > 0
+        _assert_oracle_identical(specs, reports, logs)
+
+    def test_single_heuristic_cohort(self):
+        # All members share one scheduler class: one stacked group of
+        # R rows, the widest (R, p) kernel shape.
+        scenario = ScenarioGenerator(12).scenario(10, 5, 3, 0)
+        specs = [
+            BatchRunSpec(scenario=scenario, trial=trial, heuristic="emct*",
+                         max_slots=50_000)
+            for trial in range(6)
+        ]
+        runner, reports, logs = _run_stacked(specs)
+        assert runner.rows_scored_stacked > 0
+        assert runner.demotions == 0
+        _assert_oracle_identical(specs, reports, logs)
+
+
+class TestObjectivesModesPolicies:
+    def test_deadline_objective(self):
+        # Budget-limited runs: completed_iterations carries the Section
+        # 3.4 objective; the stacked pass must not change where the
+        # budget lands.
+        scenario = ScenarioGenerator(3).scenario(5, 5, 1, 0)
+        specs = [
+            BatchRunSpec(scenario=scenario, trial=trial, heuristic=name,
+                         max_slots=600)
+            for trial in (0, 1)
+            for name in ("mct", "emct*", "lw", "ud")
+        ]
+        _runner, reports, logs = _run_stacked(specs)
+        _assert_oracle_identical(specs, reports, logs)
+
+    def test_slot_mode_members_demote_statically(self):
+        # Slot-stepped members are statically ineligible for the cohort
+        # (the per-run slot loop is the validated oracle); they must run
+        # standalone and stay bit-identical alongside stacked members.
+        scenario = ScenarioGenerator(5).scenario(6, 5, 2, 0)
+        specs = [
+            BatchRunSpec(scenario=scenario, trial=0, heuristic="emct*",
+                         max_slots=50_000),
+            BatchRunSpec(scenario=scenario, trial=0, heuristic="mct",
+                         max_slots=50_000,
+                         options=SimulatorOptions(step_mode="slot")),
+            BatchRunSpec(scenario=scenario, trial=1, heuristic="ud*",
+                         max_slots=50_000,
+                         options=SimulatorOptions(replan_every_slot=True)),
+        ]
+        runner, reports, logs = _run_stacked(specs)
+        assert runner.demotions == 2
+        _assert_oracle_identical(specs, reports, logs)
+
+    @pytest.mark.parametrize(
+        "policy", ["event", "sticky", "debounce:4", "relevant-up"]
+    )
+    def test_replan_policies(self, policy):
+        # Relaxed policies change when rounds trigger — fewer pauses,
+        # different pause slots — but each triggered round must still be
+        # served (or skipped) bit-identically.
+        scenario = ScenarioGenerator(6).scenario(8, 5, 2, 0)
+        options = SimulatorOptions(replan_policy=policy)
+        specs = [
+            BatchRunSpec(scenario=scenario, trial=trial, heuristic=name,
+                         max_slots=50_000, options=options)
+            for trial in (0, 1)
+            for name in ("mct", "emct*", "lw*", "ud")
+        ]
+        _runner, reports, logs = _run_stacked(specs)
+        _assert_oracle_identical(specs, reports, logs)
+
+
+class TestDemotionAndMixedCohorts:
+    def test_mid_cohort_divergence_finishes_standalone(self):
+        # A stacked member whose shared seam diverges mid-run (here: a
+        # states provider that starts raising) must demote, finish the
+        # paused round on the per-run path, and still match the oracle —
+        # without poisoning the other stacked members.
+        scenario = ScenarioGenerator(4).scenario(5, 5, 2, 0)
+        specs = [
+            BatchRunSpec(scenario=scenario, trial=0, heuristic="emct*",
+                         max_slots=50_000),
+            BatchRunSpec(scenario=scenario, trial=0, heuristic="mct",
+                         max_slots=50_000),
+        ]
+        runner = BatchCampaignRunner(specs, stack_rounds=True)
+        admit = runner._admit
+
+        def tripping_admit(index, spec, groups, donors):
+            run = admit(index, spec, groups, donors)
+            if spec.heuristic == "mct":
+                # Stacked members run without a provider (their own
+                # calendar); installing one drops the run to the sweep
+                # body path, which is bit-identical, so the tripwire
+                # gathers the rows itself until it starts raising.
+                sources = run.sim._avail
+                calls = {"n": 0}
+
+                def tripwire(slot):
+                    calls["n"] += 1
+                    if calls["n"] > 5:
+                        raise CohortDivergence("test divergence")
+                    return [source.state_at(slot) for source in sources]
+
+                run.sim.states_provider = tripwire
+            return run
+
+        runner._admit = tripping_admit
+        reports = runner.run()
+        assert runner.demotions == 1
+        for spec, got in zip(specs, reports):
+            _assert_reports_equal(got, _reference_run(spec), spec.heuristic)
+
+    def test_mixed_cohort_with_audit_and_non_capable(self):
+        # Stacked-capable, capable-but-not (random/passive score no CT
+        # rows), and statically ineligible audit members in one runner;
+        # the audit run's network trail lives in its event log, so the
+        # log comparison covers the audit trail too.
+        scenario = ScenarioGenerator(9).scenario(6, 5, 2, 0)
+        specs = [
+            BatchRunSpec(scenario=scenario, trial=0, heuristic="emct*",
+                         max_slots=50_000),
+            BatchRunSpec(scenario=scenario, trial=0, heuristic="random",
+                         max_slots=50_000),
+            BatchRunSpec(scenario=scenario, trial=0, heuristic="passive",
+                         max_slots=50_000),
+            BatchRunSpec(scenario=scenario, trial=1, heuristic="lw",
+                         max_slots=50_000,
+                         options=SimulatorOptions(audit=True)),
+            BatchRunSpec(scenario=scenario, trial=1, heuristic="ud-exact",
+                         max_slots=50_000),
+        ]
+        runner, reports, logs = _run_stacked(specs)
+        assert runner.demotions == 1  # the audit spec
+        assert runner.rows_scored_stacked > 0
+        _assert_oracle_identical(specs, reports, logs)
+
+    def test_stacked_off_is_unchanged_cohort_engine(self):
+        # The flag default is off: the runner then takes the §11 cohort
+        # path for every member and scores no stacked rows.
+        scenario = ScenarioGenerator(2).scenario(5, 5, 1, 0)
+        specs = [
+            BatchRunSpec(scenario=scenario, trial=0, heuristic="emct*",
+                         max_slots=50_000),
+            BatchRunSpec(scenario=scenario, trial=1, heuristic="mct",
+                         max_slots=50_000),
+        ]
+        runner = BatchCampaignRunner(specs)
+        reports = runner.run()
+        assert runner.rows_scored_stacked == 0
+        for spec, got in zip(specs, reports):
+            _assert_reports_equal(got, _reference_run(spec), spec.heuristic)
